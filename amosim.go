@@ -1,0 +1,180 @@
+// Package amosim is a simulator-backed reproduction of Zhang, Fang &
+// Carter, "Highly Efficient Synchronization Based on Active Memory
+// Operations" (IPDPS 2004).
+//
+// It provides a deterministic discrete-event CC-NUMA multiprocessor model —
+// directory coherence with the paper's fine-grained get/put update
+// extension, an Active Memory Unit per node, a radix-8 fat-tree interconnect
+// — plus the paper's five synchronization mechanisms (LL/SC, processor-side
+// atomics, active messages, memory-side atomics, AMOs) applied to
+// centralized barriers, combining-tree barriers, ticket locks and
+// array-based queuing locks, and a harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	cfg := amosim.DefaultConfig(8)
+//	m, _ := amosim.NewMachine(cfg)
+//	defer m.Shutdown()
+//	b := amosim.NewBarrier(m, amosim.AMO, cfg.Processors, 0)
+//	m.OnAllCPUs(func(c *amosim.CPU) {
+//	    for i := 0; i < 10; i++ {
+//	        b.Wait(c)
+//	    }
+//	})
+//	cycles, err := m.Run()
+//
+// Experiment runners (RunBarrier, RunTreeBarrier, RunLock, ...) wrap this
+// pattern with warm-up, alignment and measurement windows.
+package amosim
+
+import (
+	"amosim/internal/config"
+	"amosim/internal/core"
+	"amosim/internal/isa"
+	"amosim/internal/machine"
+	"amosim/internal/proc"
+	"amosim/internal/stats"
+	"amosim/internal/syncprim"
+	"amosim/internal/trace"
+)
+
+// Tracer is a bounded in-memory message/event log; attach one with
+// Machine.EnableTrace to watch protocol traffic message by message.
+type Tracer = trace.Tracer
+
+// Config is the simulated machine configuration (Table 1 of the paper).
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table 1 configuration for p processors.
+func DefaultConfig(p int) Config { return config.Default(p) }
+
+// Machine is a simulated CC-NUMA multiprocessor.
+type Machine = machine.Machine
+
+// NewMachine builds a machine for the configuration.
+func NewMachine(cfg Config) (*Machine, error) { return machine.New(cfg) }
+
+// CPU is one simulated processor; programs receive their CPU and issue
+// memory and synchronization operations on it.
+type CPU = proc.CPU
+
+// Mechanism selects the atomic-primitive implementation for barriers and
+// locks.
+type Mechanism = syncprim.Mechanism
+
+// The five mechanisms compared in the paper.
+const (
+	LLSC   = syncprim.LLSC
+	Atomic = syncprim.Atomic
+	ActMsg = syncprim.ActMsg
+	MAO    = syncprim.MAO
+	AMO    = syncprim.AMO
+)
+
+// Mechanisms lists all mechanisms in the paper's presentation order.
+var Mechanisms = syncprim.Mechanisms
+
+// Barrier is a centralized barrier (Figure 3 of the paper).
+type Barrier = syncprim.Barrier
+
+// NewBarrier allocates a barrier on the given home node.
+func NewBarrier(m *Machine, mech Mechanism, procs, home int) *Barrier {
+	return syncprim.NewBarrier(m, mech, procs, home)
+}
+
+// TreeBarrier is a two-level software combining-tree barrier (Yew et al.).
+type TreeBarrier = syncprim.TreeBarrier
+
+// NewTreeBarrier builds a two-level tree with the given branching factor.
+func NewTreeBarrier(m *Machine, mech Mechanism, procs, branching int) *TreeBarrier {
+	return syncprim.NewTreeBarrier(m, mech, procs, branching)
+}
+
+// SenseBarrier is the classic sense-reversing centralized barrier (count
+// reset + sense flip), provided as an extension baseline.
+type SenseBarrier = syncprim.SenseBarrier
+
+// NewSenseBarrier allocates a sense-reversing barrier on the home node.
+func NewSenseBarrier(m *Machine, mech Mechanism, procs, home int) *SenseBarrier {
+	return syncprim.NewSenseBarrier(m, mech, procs, home)
+}
+
+// DisseminationBarrier is the O(log P)-latency dissemination barrier,
+// provided as an extension baseline; it uses no atomic primitive.
+type DisseminationBarrier = syncprim.DisseminationBarrier
+
+// NewDisseminationBarrier builds dissemination state; amo selects
+// update-push signalling instead of coherent stores.
+func NewDisseminationBarrier(m *Machine, procs int, amo bool) *DisseminationBarrier {
+	return syncprim.NewDisseminationBarrier(m, procs, amo)
+}
+
+// MCSLock is the Mellor-Crummey & Scott queue lock, the strongest
+// conventional lock baseline.
+type MCSLock = syncprim.MCSLock
+
+// NewMCSLock allocates MCS state for up to procs waiters.
+func NewMCSLock(m *Machine, mech Mechanism, procs, home int) *MCSLock {
+	return syncprim.NewMCSLock(m, mech, procs, home)
+}
+
+// TicketLock is the FIFO ticket lock (Figure 4 of the paper).
+type TicketLock = syncprim.TicketLock
+
+// NewTicketLock allocates a ticket lock on the given home node.
+func NewTicketLock(m *Machine, mech Mechanism, home int) *TicketLock {
+	return syncprim.NewTicketLock(m, mech, home)
+}
+
+// ArrayLock is T. Anderson's array-based queuing lock.
+type ArrayLock = syncprim.ArrayLock
+
+// NewArrayLock allocates an array lock with the given slot count.
+func NewArrayLock(m *Machine, mech Mechanism, slots, home int) *ArrayLock {
+	return syncprim.NewArrayLock(m, mech, slots, home)
+}
+
+// AMOOp is an active-memory opcode (amo.inc, amo.fetchadd, amo.swap,
+// amo.cswap).
+type AMOOp = core.Op
+
+// AMO opcodes.
+const (
+	OpInc         = core.OpInc
+	OpFetchAdd    = core.OpFetchAdd
+	OpSwap        = core.OpSwap
+	OpCompareSwap = core.OpCompareSwap
+	OpAnd         = core.OpAnd
+	OpOr          = core.OpOr
+	OpXor         = core.OpXor
+	OpMax         = core.OpMax
+)
+
+// AMO instruction flag bits.
+const (
+	// FlagTest fires the fine-grained update only when the result equals
+	// the instruction's test value.
+	FlagTest = core.FlagTest
+	// FlagUpdateAlways fires the update after every operation.
+	FlagUpdateAlways = core.FlagUpdateAlways
+)
+
+// AMOInstr is a decoded AMO instruction word (the MIPS-IV SPECIAL2
+// encoding of §3 of the paper).
+type AMOInstr = isa.Instr
+
+// EncodeAMO packs an AMO instruction into its 32-bit instruction word.
+func EncodeAMO(i AMOInstr) (uint32, error) { return isa.Encode(i) }
+
+// DecodeAMO unpacks a 32-bit instruction word, rejecting non-AMO words.
+func DecodeAMO(w uint32) (AMOInstr, error) { return isa.Decode(w) }
+
+// BarrierResult describes one barrier experiment.
+type BarrierResult = stats.BarrierResult
+
+// LockResult describes one lock experiment.
+type LockResult = stats.LockResult
+
+// Speedup returns how many times faster x is than base, given cycle costs.
+func Speedup(baseCycles, xCycles float64) float64 { return stats.Speedup(baseCycles, xCycles) }

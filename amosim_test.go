@@ -1,0 +1,210 @@
+package amosim
+
+import (
+	"testing"
+)
+
+func TestRunBarrierBasicShape(t *testing.T) {
+	// At 16 processors the paper's ordering is AMO < MAO < ActMsg < Atomic
+	// (in cycles; Table 2 speedups 9.11 > 3.61 > 2.00 > 1.20 over LL/SC).
+	// We assert the weaker, structural claims: AMO is fastest, MAO beats
+	// the processor-centric mechanisms, and LL/SC is slowest or close to it.
+	cfg := DefaultConfig(16)
+	results := map[Mechanism]BarrierResult{}
+	for _, mech := range Mechanisms {
+		r, err := RunBarrier(cfg, mech, BarrierOptions{Episodes: 4, Warmup: 1})
+		if err != nil {
+			t.Fatalf("RunBarrier(%v): %v", mech, err)
+		}
+		if r.CyclesPerBarrier <= 0 {
+			t.Fatalf("RunBarrier(%v): nonpositive cycles %v", mech, r.CyclesPerBarrier)
+		}
+		results[mech] = r
+		t.Logf("%-7s %8.0f cycles/barrier  %6.1f cycles/proc  %6.1f msgs/barrier",
+			mech, r.CyclesPerBarrier, r.CyclesPerProc, r.NetMessagesPerBarrier)
+	}
+	if !(results[AMO].CyclesPerBarrier < results[MAO].CyclesPerBarrier) {
+		t.Errorf("AMO (%v) not faster than MAO (%v)", results[AMO].CyclesPerBarrier, results[MAO].CyclesPerBarrier)
+	}
+	if !(results[MAO].CyclesPerBarrier < results[Atomic].CyclesPerBarrier) {
+		t.Errorf("MAO (%v) not faster than Atomic (%v)", results[MAO].CyclesPerBarrier, results[Atomic].CyclesPerBarrier)
+	}
+	if !(results[AMO].CyclesPerBarrier < results[LLSC].CyclesPerBarrier/3) {
+		t.Errorf("AMO (%v) not >3x faster than LL/SC (%v)", results[AMO].CyclesPerBarrier, results[LLSC].CyclesPerBarrier)
+	}
+}
+
+func TestRunBarrierDeterministic(t *testing.T) {
+	cfg := DefaultConfig(8)
+	r1, err := RunBarrier(cfg, AMO, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunBarrier(cfg, AMO, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("nondeterministic results:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestRunLockBasicShape(t *testing.T) {
+	cfg := DefaultConfig(16)
+	llsc, err := RunLock(cfg, Ticket, LLSC, LockOptions{Acquires: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amo, err := RunLock(cfg, Ticket, AMO, LockOptions{Acquires: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ticket LL/SC %8.0f cycles/pass, AMO %8.0f cycles/pass (speedup %.2f)",
+		llsc.CyclesPerPass, amo.CyclesPerPass, Speedup(llsc.CyclesPerPass, amo.CyclesPerPass))
+	if !(amo.CyclesPerPass < llsc.CyclesPerPass) {
+		t.Errorf("AMO ticket lock (%v) not faster than LL/SC (%v)", amo.CyclesPerPass, llsc.CyclesPerPass)
+	}
+	if !(amo.ByteHops < llsc.ByteHops) {
+		t.Errorf("AMO traffic (%d byte-hops) not lower than LL/SC (%d)", amo.ByteHops, llsc.ByteHops)
+	}
+}
+
+func TestIncrementMessageCountFig1(t *testing.T) {
+	llsc, err := IncrementMessageCount(LLSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amo, err := IncrementMessageCount(AMO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Figure 1: LL/SC %d one-way messages, AMO %d (paper: 18 vs 6)", llsc, amo)
+	if amo != 6 {
+		t.Errorf("AMO increment messages = %d, want exactly 6 (one request + one reply per CPU)", amo)
+	}
+	// Paper counts 18 for LL/SC; our exclusive-fetch LL needs fewer (no
+	// upgrade retries), but the block still migrates: interventions push it
+	// well above AMO's 6.
+	if llsc <= amo {
+		t.Errorf("LL/SC (%d msgs) should exceed AMO (%d)", llsc, amo)
+	}
+}
+
+func TestBestTreeBarrier(t *testing.T) {
+	cfg := DefaultConfig(16)
+	flat, err := RunBarrier(cfg, LLSC, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := BestTreeBarrier(cfg, LLSC, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("LL/SC flat %0.f vs tree(b=%d) %0.f cycles/barrier", flat.CyclesPerBarrier, tree.Branching, tree.CyclesPerBarrier)
+	if tree.Branching == 0 {
+		t.Fatal("BestTreeBarrier returned no branching factor")
+	}
+	// Trees should help LL/SC at 16 procs (paper Table 3: 1.70x).
+	if !(tree.CyclesPerBarrier < flat.CyclesPerBarrier) {
+		t.Errorf("tree (%v) not faster than flat (%v) for LL/SC", tree.CyclesPerBarrier, flat.CyclesPerBarrier)
+	}
+}
+
+func TestTreeBranchings(t *testing.T) {
+	got := TreeBranchings(16)
+	want := []int{2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("TreeBranchings(16) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TreeBranchings(16) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTorusInterconnectRuns(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.Interconnect = "torus"
+	r, err := RunBarrier(cfg, AMO, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CyclesPerBarrier <= 0 {
+		t.Fatalf("torus barrier cycles = %v", r.CyclesPerBarrier)
+	}
+	ft := DefaultConfig(16)
+	rf, err := RunBarrier(ft, AMO, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("AMO barrier 16p: fattree %.0f vs torus %.0f cycles", rf.CyclesPerBarrier, r.CyclesPerBarrier)
+}
+
+func TestBadInterconnectRejected(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Interconnect = "hypercube"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bogus interconnect accepted")
+	}
+	if _, err := NewMachine(cfg); err == nil {
+		t.Fatal("NewMachine accepted bogus interconnect")
+	}
+}
+
+func TestNaiveCodingSlower(t *testing.T) {
+	cfg := DefaultConfig(16)
+	opt, err := RunBarrier(cfg, LLSC, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := RunBarrier(cfg, LLSC, BarrierOptions{Episodes: 3, Warmup: 1, NaiveConventional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("LL/SC 16p: naive %.0f vs optimized %.0f cycles/barrier", naive.CyclesPerBarrier, opt.CyclesPerBarrier)
+	if naive.CyclesPerBarrier <= opt.CyclesPerBarrier {
+		t.Errorf("naive coding (%v) not slower than spin-variable coding (%v)", naive.CyclesPerBarrier, opt.CyclesPerBarrier)
+	}
+}
+
+func TestNaiveCodingMAO(t *testing.T) {
+	cfg := DefaultConfig(8)
+	if _, err := RunBarrier(cfg, MAO, BarrierOptions{Episodes: 2, Warmup: 1, NaiveConventional: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticastSpeedsUpdateWave(t *testing.T) {
+	serial := DefaultConfig(64)
+	mcCfg := DefaultConfig(64)
+	mcCfg.MulticastUpdates = true
+	s, err := RunBarrier(serial, AMO, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := RunBarrier(mcCfg, AMO, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("AMO 64p: serialized %.0f vs multicast %.0f cycles/barrier", s.CyclesPerBarrier, mc.CyclesPerBarrier)
+	if mc.CyclesPerBarrier >= s.CyclesPerBarrier {
+		t.Errorf("multicast (%v) not faster than serialized updates (%v)", mc.CyclesPerBarrier, s.CyclesPerBarrier)
+	}
+}
+
+func TestUpdateAlwaysOptionTrafficBlowup(t *testing.T) {
+	cfg := DefaultConfig(16)
+	delayed, err := RunBarrier(cfg, AMO, BarrierOptions{Episodes: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	always, err := RunBarrier(cfg, AMO, BarrierOptions{Episodes: 3, Warmup: 1, AMOUpdateAlways: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if always.NetMessagesPerBarrier < 2*delayed.NetMessagesPerBarrier {
+		t.Errorf("update-always traffic (%v msgs) not well above delayed (%v)",
+			always.NetMessagesPerBarrier, delayed.NetMessagesPerBarrier)
+	}
+}

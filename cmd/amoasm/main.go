@@ -1,0 +1,78 @@
+// Command amoasm assembles and disassembles AMO instruction words (the
+// MIPS-IV SPECIAL2 encoding of the paper's §3).
+//
+//	amoasm -asm  -op fetchadd -base 4 -value 5 -dest 2 -u
+//	amoasm -dasm 0x708510bb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"amosim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("amoasm: ")
+	var (
+		asm   = flag.Bool("asm", false, "assemble from fields")
+		dasm  = flag.String("dasm", "", "disassemble a hex instruction word")
+		op    = flag.String("op", "inc", "inc, fetchadd, swap, cswap, and, or, xor or max")
+		base  = flag.Int("base", 4, "base address register (0-31)")
+		value = flag.Int("value", 5, "operand register (0-31)")
+		dest  = flag.Int("dest", 2, "destination register (0-31)")
+		test  = flag.Bool("t", false, "test-enable bit (update on match)")
+		upd   = flag.Bool("u", false, "update-always bit")
+	)
+	flag.Parse()
+
+	switch {
+	case *dasm != "":
+		w, err := strconv.ParseUint(strings.TrimPrefix(*dasm, "0x"), 16, 32)
+		if err != nil {
+			log.Fatalf("bad instruction word %q: %v", *dasm, err)
+		}
+		instr, err := amosim.DecodeAMO(uint32(w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%#08x  %s\n", uint32(w), instr.Mnemonic())
+	case *asm:
+		var opc amosim.AMOOp
+		switch *op {
+		case "inc":
+			opc = amosim.OpInc
+		case "fetchadd":
+			opc = amosim.OpFetchAdd
+		case "swap":
+			opc = amosim.OpSwap
+		case "cswap":
+			opc = amosim.OpCompareSwap
+		case "and":
+			opc = amosim.OpAnd
+		case "or":
+			opc = amosim.OpOr
+		case "xor":
+			opc = amosim.OpXor
+		case "max":
+			opc = amosim.OpMax
+		default:
+			log.Fatalf("unknown op %q", *op)
+		}
+		instr := amosim.AMOInstr{
+			Op: opc, Base: *base, Value: *value, Dest: *dest,
+			Test: *test, UpdateAlways: *upd,
+		}
+		w, err := amosim.EncodeAMO(instr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%#08x  %s\n", w, instr.Mnemonic())
+	default:
+		flag.Usage()
+	}
+}

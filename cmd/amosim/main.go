@@ -1,0 +1,98 @@
+// Command amosim runs a single synchronization experiment on the simulated
+// machine and prints its measurements — the building block the table
+// harness (amotables) sweeps.
+//
+// Examples:
+//
+//	amosim -primitive barrier -mech AMO -procs 64
+//	amosim -primitive barrier -mech LLSC -procs 32 -tree 8
+//	amosim -primitive ticket -mech MAO -procs 128 -acquires 8
+//	amosim -primitive array -mech Atomic -procs 16 -trace 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"amosim"
+)
+
+func parseMech(s string) (amosim.Mechanism, error) {
+	switch strings.ToLower(s) {
+	case "llsc", "ll/sc":
+		return amosim.LLSC, nil
+	case "atomic":
+		return amosim.Atomic, nil
+	case "actmsg":
+		return amosim.ActMsg, nil
+	case "mao":
+		return amosim.MAO, nil
+	case "amo":
+		return amosim.AMO, nil
+	}
+	return 0, fmt.Errorf("unknown mechanism %q (LLSC, Atomic, ActMsg, MAO, AMO)", s)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("amosim: ")
+	var (
+		primitive = flag.String("primitive", "barrier", "barrier, ticket or array")
+		mechFlag  = flag.String("mech", "AMO", "LLSC, Atomic, ActMsg, MAO or AMO")
+		procs     = flag.Int("procs", 32, "processor count")
+		episodes  = flag.Int("episodes", 8, "measured barrier episodes")
+		warmup    = flag.Int("warmup", 2, "warm-up barrier episodes")
+		tree      = flag.Int("tree", 0, "tree-barrier branching factor (0 = centralized)")
+		acquires  = flag.Int("acquires", 4, "lock acquisitions per CPU")
+		amuWords  = flag.Int("amu-cache", 8, "AMU operand-cache words (0 disables)")
+	)
+	flag.Parse()
+
+	mech, err := parseMech(*mechFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := amosim.DefaultConfig(*procs)
+	cfg.AMUCacheWords = *amuWords
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	switch *primitive {
+	case "barrier":
+		r, err := amosim.RunBarrier(cfg, mech, amosim.BarrierOptions{
+			Episodes:  *episodes,
+			Warmup:    *warmup,
+			Branching: *tree,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "centralized"
+		if *tree > 0 {
+			kind = fmt.Sprintf("tree(b=%d)", *tree)
+		}
+		fmt.Printf("%s %s barrier, %d CPUs, %d episodes\n", r.Mechanism, kind, r.Procs, r.Episodes)
+		fmt.Printf("  cycles/barrier:      %12.1f\n", r.CyclesPerBarrier)
+		fmt.Printf("  cycles/processor:    %12.1f\n", r.CyclesPerProc)
+		fmt.Printf("  net msgs/barrier:    %12.1f\n", r.NetMessagesPerBarrier)
+		fmt.Printf("  byte-hops/barrier:   %12.1f\n", r.ByteHopsPerBarrier)
+	case "ticket", "array":
+		kind := amosim.Ticket
+		if *primitive == "array" {
+			kind = amosim.Array
+		}
+		r, err := amosim.RunLock(cfg, kind, mech, amosim.LockOptions{Acquires: *acquires})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %s lock, %d CPUs, %d acquires/CPU\n", r.Mechanism, r.Kind, r.Procs, r.Acquires)
+		fmt.Printf("  cycles/lock pass:    %12.1f\n", r.CyclesPerPass)
+		fmt.Printf("  net msgs/pass:       %12.2f\n", r.MessagesPerPass)
+		fmt.Printf("  window byte-hops:    %12d\n", r.ByteHops)
+	default:
+		log.Fatalf("unknown primitive %q (barrier, ticket, array)", *primitive)
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseMech(t *testing.T) {
+	cases := map[string]bool{
+		"LLSC": true, "llsc": true, "LL/SC": true,
+		"Atomic": true, "actmsg": true, "MAO": true, "amo": true,
+		"bogus": false, "": false,
+	}
+	for in, ok := range cases {
+		_, err := parseMech(in)
+		if ok && err != nil {
+			t.Errorf("parseMech(%q) rejected: %v", in, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("parseMech(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseMechRoundTrip(t *testing.T) {
+	for _, name := range []string{"LLSC", "Atomic", "ActMsg", "MAO", "AMO"} {
+		m, err := parseMech(name)
+		if err != nil {
+			t.Fatalf("parseMech(%q): %v", name, err)
+		}
+		back, err := parseMech(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %q -> %v -> %v (%v)", name, m, back, err)
+		}
+	}
+}

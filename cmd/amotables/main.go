@@ -1,0 +1,148 @@
+// Command amotables regenerates the tables and figures of the paper's
+// evaluation section (and this reproduction's ablations) on the simulated
+// machine, printing plain-text tables to stdout.
+//
+// Usage:
+//
+//	amotables -exp all
+//	amotables -exp table2 -procs 4,8,16,32
+//	amotables -exp table4 -acquires 8
+//
+// Experiments: fig1, table2, fig5, table3, fig6, table4, fig7,
+// ablation-amucache, ablation-update, ablation-tree, ablation-interconnect,
+// ablation-naive, ablation-multicast, extension-mcs, apps, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"amosim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("amotables: ")
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig1, table2, fig5, table3, fig6, table4, fig7, ablation-*, extension-mcs, apps, all; see package doc)")
+		procs    = flag.String("procs", "", "comma-separated processor counts (default: the paper's sweep for the experiment)")
+		episodes = flag.Int("episodes", 8, "measured barrier episodes")
+		warmup   = flag.Int("warmup", 2, "warm-up barrier episodes")
+		acquires = flag.Int("acquires", 4, "lock acquisitions per CPU")
+	)
+	flag.Parse()
+
+	bopts := amosim.BarrierOptions{Episodes: *episodes, Warmup: *warmup}
+	lopts := amosim.LockOptions{Acquires: *acquires}
+
+	parseProcs := func(def []int) []int {
+		if *procs == "" {
+			return def
+		}
+		var out []int
+		for _, f := range strings.Split(*procs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad -procs entry %q", f)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+
+	type runner struct {
+		id  string
+		run func() error
+	}
+	show := func(t interface{ Render() string }, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+		return nil
+	}
+	runners := []runner{
+		{"fig1", func() error { t, err := amosim.Figure1(); return show(t, err) }},
+		{"table2", func() error {
+			t, err := amosim.Table2(parseProcs(amosim.Table2Procs), bopts)
+			return show(t, err)
+		}},
+		{"fig5", func() error {
+			t, err := amosim.Figure5(parseProcs(amosim.Table2Procs), bopts)
+			return show(t, err)
+		}},
+		{"table3", func() error {
+			t, err := amosim.Table3(parseProcs(amosim.Table3Procs), bopts)
+			return show(t, err)
+		}},
+		{"fig6", func() error {
+			t, err := amosim.Figure6(parseProcs(amosim.Table3Procs), bopts)
+			return show(t, err)
+		}},
+		{"table4", func() error {
+			t, err := amosim.Table4(parseProcs(amosim.Table2Procs), lopts)
+			return show(t, err)
+		}},
+		{"fig7", func() error {
+			t, err := amosim.Figure7(parseProcs(amosim.Figure7Procs), lopts)
+			return show(t, err)
+		}},
+		{"ablation-amucache", func() error {
+			t, err := amosim.AblationAMUCache(parseProcs([]int{16, 64, 256}), bopts)
+			return show(t, err)
+		}},
+		{"ablation-update", func() error {
+			t, err := amosim.AblationUpdate(parseProcs([]int{16, 64, 256}), bopts)
+			return show(t, err)
+		}},
+		{"ablation-tree", func() error {
+			t, err := amosim.AblationTree(amosim.LLSC, parseProcs([]int{64, 256}), bopts)
+			return show(t, err)
+		}},
+		{"ablation-interconnect", func() error {
+			t, err := amosim.AblationInterconnect(parseProcs([]int{16, 64, 256}), bopts)
+			return show(t, err)
+		}},
+		{"extension-mcs", func() error {
+			t, err := amosim.ExtensionMCS(parseProcs([]int{16, 64, 256}), lopts)
+			return show(t, err)
+		}},
+		{"apps", func() error {
+			t, err := amosim.ApplicationTable(parseProcs([]int{16, 64}))
+			return show(t, err)
+		}},
+		{"ablation-naive", func() error {
+			t, err := amosim.AblationNaiveCoding(parseProcs([]int{16, 64}), bopts)
+			return show(t, err)
+		}},
+		{"ablation-multicast", func() error {
+			t, err := amosim.AblationMulticast(parseProcs([]int{16, 64, 256}), bopts)
+			return show(t, err)
+		}},
+	}
+
+	if *exp == "all" {
+		for _, r := range runners {
+			fmt.Printf("== %s ==\n", r.id)
+			if err := r.run(); err != nil {
+				log.Fatalf("%s: %v", r.id, err)
+			}
+		}
+		return
+	}
+	for _, r := range runners {
+		if r.id == *exp {
+			if err := r.run(); err != nil {
+				log.Fatalf("%s: %v", r.id, err)
+			}
+			return
+		}
+	}
+	log.Printf("unknown experiment %q", *exp)
+	flag.Usage()
+	os.Exit(2)
+}

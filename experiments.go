@@ -1,0 +1,308 @@
+package amosim
+
+import (
+	"fmt"
+
+	"amosim/internal/machine"
+	"amosim/internal/network"
+	"amosim/internal/proc"
+	"amosim/internal/sim"
+	"amosim/internal/syncprim"
+)
+
+// Experiment methodology shared by all runners: programs run warm-up
+// iterations first (populating caches, the AMU cache and the directory),
+// then a measurement window bounded by the latest exit across CPUs, so the
+// window covers whole synchronization episodes regardless of release-wave
+// skew.
+
+// BarrierOptions tunes RunBarrier.
+type BarrierOptions struct {
+	// Episodes is the measured episode count (default 8).
+	Episodes int
+	// Warmup episodes precede measurement (default 2).
+	Warmup int
+	// Branching > 0 selects a two-level combining tree with that factor.
+	Branching int
+	// WorkCycles is the deterministic per-episode local work ceiling used
+	// to stagger arrivals (default 96).
+	WorkCycles int
+	// Home is the barrier variable's home node (default 0).
+	Home int
+	// NaiveConventional selects the Figure 3(a) coding for conventional
+	// mechanisms: spin on the barrier variable itself (ablation A5).
+	NaiveConventional bool
+	// AMOUpdateAlways pushes a word update on every amo.inc instead of
+	// only at the test value (ablation A2). Flat barriers only.
+	AMOUpdateAlways bool
+}
+
+func (o *BarrierOptions) defaults() {
+	if o.Episodes == 0 {
+		o.Episodes = 8
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 2
+	}
+	if o.WorkCycles == 0 {
+		o.WorkCycles = 96
+	}
+}
+
+// RunBarrier measures a barrier implementation on a fresh machine and
+// returns per-episode cycle and traffic figures.
+func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult, error) {
+	opts.defaults()
+	m, err := machine.New(cfg)
+	if err != nil {
+		return BarrierResult{}, err
+	}
+	defer m.Shutdown()
+
+	var wait func(c *proc.CPU)
+	if opts.Branching > 0 {
+		tb := syncprim.NewTreeBarrier(m, mech, cfg.Processors, opts.Branching)
+		wait = tb.Wait
+	} else {
+		b := syncprim.NewBarrier(m, mech, cfg.Processors, opts.Home)
+		b.SetNaiveConventional(opts.NaiveConventional)
+		b.SetAMOUpdateAlways(opts.AMOUpdateAlways)
+		wait = b.Wait
+	}
+
+	var startT, endT sim.Time
+	var startNet, endNet network.Stats
+	work := func(c *proc.CPU, e int) {
+		c.Think(uint64((c.ID()*37 + e*13) % opts.WorkCycles))
+	}
+	m.OnAllCPUs(func(c *proc.CPU) {
+		for e := 0; e < opts.Warmup; e++ {
+			work(c, e)
+			wait(c)
+		}
+		if c.Now() > startT {
+			startT = c.Now()
+			startNet = m.Net.Stats()
+		}
+		for e := 0; e < opts.Episodes; e++ {
+			work(c, opts.Warmup+e)
+			wait(c)
+		}
+		if c.Now() > endT {
+			endT = c.Now()
+			endNet = m.Net.Stats()
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		return BarrierResult{}, fmt.Errorf("amosim: barrier run (%v, %d procs): %w", mech, cfg.Processors, err)
+	}
+	window := float64(endT - startT)
+	net := endNet.Sub(startNet)
+	eps := float64(opts.Episodes)
+	return BarrierResult{
+		Mechanism:             mech.String(),
+		Procs:                 cfg.Processors,
+		Episodes:              opts.Episodes,
+		Branching:             opts.Branching,
+		TotalCycles:           uint64(window),
+		CyclesPerBarrier:      window / eps,
+		CyclesPerProc:         window / eps / float64(cfg.Processors),
+		NetMessagesPerBarrier: float64(net.NetMessages) / eps,
+		ByteHopsPerBarrier:    float64(net.ByteHops) / eps,
+	}, nil
+}
+
+// TreeBranchings lists the branching factors swept by BestTreeBarrier for a
+// given processor count: powers of two from 2 up to procs/2.
+func TreeBranchings(procs int) []int {
+	var out []int
+	for b := 2; b <= procs/2; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// BestTreeBarrier sweeps branching factors and returns the fastest result,
+// mirroring the paper's "we try all possible tree branching factors and use
+// the one that delivers the best performance".
+func BestTreeBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult, error) {
+	var best BarrierResult
+	for _, b := range TreeBranchings(cfg.Processors) {
+		o := opts
+		o.Branching = b
+		r, err := RunBarrier(cfg, mech, o)
+		if err != nil {
+			return BarrierResult{}, err
+		}
+		if best.TotalCycles == 0 || r.CyclesPerBarrier < best.CyclesPerBarrier {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// LockKind selects the lock algorithm.
+type LockKind int
+
+// Lock algorithms: ticket and array are the paper's Table 4; MCS is this
+// reproduction's extension baseline (the strongest conventional queue
+// lock).
+const (
+	Ticket LockKind = iota
+	Array
+	MCS
+)
+
+func (k LockKind) String() string {
+	switch k {
+	case Ticket:
+		return "ticket"
+	case Array:
+		return "array"
+	case MCS:
+		return "mcs"
+	}
+	return fmt.Sprintf("LockKind(%d)", int(k))
+}
+
+// LockOptions tunes RunLock.
+type LockOptions struct {
+	// Acquires per CPU in the measured window (default 4).
+	Acquires int
+	// CSCycles is the critical-section length (default 25).
+	CSCycles int
+	// GapCycles is the non-critical work ceiling between acquires
+	// (default 64).
+	GapCycles int
+	// Home is the lock's home node (default 0).
+	Home int
+}
+
+func (o *LockOptions) defaults() {
+	if o.Acquires == 0 {
+		o.Acquires = 4
+	}
+	if o.CSCycles == 0 {
+		o.CSCycles = 25
+	}
+	if o.GapCycles == 0 {
+		o.GapCycles = 64
+	}
+}
+
+// RunLock measures a lock-passing microbenchmark: every CPU performs
+// Acquires acquire/CS/release rounds; the result reports cycles per lock
+// passing and traffic in the measured window.
+func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockResult, error) {
+	opts.defaults()
+	m, err := machine.New(cfg)
+	if err != nil {
+		return LockResult{}, err
+	}
+	defer m.Shutdown()
+
+	var acquire func(c *proc.CPU) func()
+	switch kind {
+	case Ticket:
+		l := syncprim.NewTicketLock(m, mech, opts.Home)
+		acquire = func(c *proc.CPU) func() {
+			t := l.Acquire(c)
+			return func() { l.Release(c, t) }
+		}
+	case Array:
+		l := syncprim.NewArrayLock(m, mech, cfg.Processors, opts.Home)
+		acquire = func(c *proc.CPU) func() {
+			s := l.Acquire(c)
+			return func() { l.Release(c, s) }
+		}
+	case MCS:
+		l := syncprim.NewMCSLock(m, mech, cfg.Processors, opts.Home)
+		acquire = func(c *proc.CPU) func() {
+			l.Acquire(c)
+			return func() { l.Release(c) }
+		}
+	default:
+		return LockResult{}, fmt.Errorf("amosim: unknown lock kind %d", int(kind))
+	}
+
+	// Alignment barrier (AMO; independent of the lock under test) brackets
+	// the measured window.
+	align := syncprim.NewBarrier(m, syncprim.AMO, cfg.Processors, cfg.Nodes()-1)
+
+	var startT, endT sim.Time
+	var startNet, endNet network.Stats
+	m.OnAllCPUs(func(c *proc.CPU) {
+		// Warmup: one uncontended-ish pass each.
+		release := acquire(c)
+		release()
+		align.Wait(c)
+		if c.Now() > startT {
+			startT = c.Now()
+			startNet = m.Net.Stats()
+		}
+		for i := 0; i < opts.Acquires; i++ {
+			c.Think(uint64((c.ID()*29 + i*17) % opts.GapCycles))
+			release := acquire(c)
+			c.Think(uint64(opts.CSCycles))
+			release()
+		}
+		if c.Now() > endT {
+			endT = c.Now()
+			endNet = m.Net.Stats()
+		}
+		align.Wait(c)
+	})
+	if _, err := m.Run(); err != nil {
+		return LockResult{}, fmt.Errorf("amosim: lock run (%v %v, %d procs): %w", kind, mech, cfg.Processors, err)
+	}
+	window := float64(endT - startT)
+	net := endNet.Sub(startNet)
+	passes := float64(cfg.Processors * opts.Acquires)
+	return LockResult{
+		Mechanism:       mech.String(),
+		Kind:            kind.String(),
+		Procs:           cfg.Processors,
+		Acquires:        opts.Acquires,
+		TotalCycles:     uint64(window),
+		CyclesPerPass:   window / passes,
+		NetMessages:     net.NetMessages,
+		ByteHops:        net.ByteHops,
+		MessagesPerPass: float64(net.NetMessages) / passes,
+	}, nil
+}
+
+// IncrementMessageCount reproduces the Figure 1 thought experiment: three
+// CPUs on three distinct remote nodes each perform one barrier-arrival
+// increment on a variable homed on a fourth node; the result is the number
+// of one-way network messages the increments generate.
+func IncrementMessageCount(mech Mechanism) (uint64, error) {
+	cfg := DefaultConfig(8) // 4 nodes
+	m, err := machine.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Shutdown()
+	count := m.AllocWord(0) // home node 0; participants on nodes 1..3
+	if mech == syncprim.ActMsg {
+		syncprim.RegisterHandlers(m)
+	}
+	participants := []int{2, 4, 6}
+	for _, id := range participants {
+		m.OnCPU(id, func(c *proc.CPU) {
+			if mech == syncprim.AMO {
+				c.AMOInc(count, uint64(len(participants)))
+			} else {
+				syncprim.FetchAdd(c, mech, count, 1)
+			}
+		})
+	}
+	// Home-node CPU 0 stays alive to serve active-message handlers.
+	if mech == syncprim.ActMsg {
+		m.OnCPU(0, func(c *proc.CPU) { c.Think(1) })
+	}
+	before := m.Net.Stats()
+	if _, err := m.Run(); err != nil {
+		return 0, err
+	}
+	return m.Net.Stats().Sub(before).NetMessages, nil
+}

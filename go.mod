@@ -1,0 +1,3 @@
+module amosim
+
+go 1.22

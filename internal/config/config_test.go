@@ -1,0 +1,95 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16, 32, 64, 128, 256} {
+		c := Default(p)
+		if err := c.Validate(); err != nil {
+			t.Errorf("Default(%d).Validate() = %v", p, err)
+		}
+		if c.Nodes() != p/2 {
+			t.Errorf("Default(%d).Nodes() = %d, want %d", p, c.Nodes(), p/2)
+		}
+	}
+}
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	c := Default(32)
+	if c.BlockBytes != 128 {
+		t.Errorf("BlockBytes = %d, want 128 (Table 1 L2 line)", c.BlockBytes)
+	}
+	if c.DRAMCycles != 60 {
+		t.Errorf("DRAMCycles = %d, want 60", c.DRAMCycles)
+	}
+	if c.HopCycles != 100 {
+		t.Errorf("HopCycles = %d, want 100", c.HopCycles)
+	}
+	if c.RouterRadix != 8 {
+		t.Errorf("RouterRadix = %d, want 8", c.RouterRadix)
+	}
+	if c.MinPacketBytes != 32 {
+		t.Errorf("MinPacketBytes = %d, want 32", c.MinPacketBytes)
+	}
+	if c.AMUCacheWords != 8 {
+		t.Errorf("AMUCacheWords = %d, want 8", c.AMUCacheWords)
+	}
+	if c.AMUOpCycles != 2 {
+		t.Errorf("AMUOpCycles = %d, want 2", c.AMUOpCycles)
+	}
+	if c.ProcsPerNode != 2 {
+		t.Errorf("ProcsPerNode = %d, want 2", c.ProcsPerNode)
+	}
+}
+
+func TestWordsPerBlock(t *testing.T) {
+	c := Default(4)
+	if got := c.WordsPerBlock(); got != 16 {
+		t.Errorf("WordsPerBlock = %d, want 16", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		substr string
+	}{
+		{"zero processors", func(c *Config) { c.Processors = 0 }, "Processors"},
+		{"negative processors", func(c *Config) { c.Processors = -4 }, "Processors"},
+		{"zero procs per node", func(c *Config) { c.ProcsPerNode = 0 }, "ProcsPerNode"},
+		{"non multiple", func(c *Config) { c.Processors = 5 }, "multiple"},
+		{"bad block bytes", func(c *Config) { c.BlockBytes = 100 }, "BlockBytes"},
+		{"non pow2 block", func(c *Config) { c.BlockBytes = 24 }, "BlockBytes"},
+		{"zero ways", func(c *Config) { c.CacheWays = 0 }, "cache geometry"},
+		{"non pow2 sets", func(c *Config) { c.CacheSets = 100 }, "CacheSets"},
+		{"radix 1", func(c *Config) { c.RouterRadix = 1 }, "RouterRadix"},
+		{"negative amu cache", func(c *Config) { c.AMUCacheWords = -1 }, "AMUCacheWords"},
+		{"zero actmsg queue", func(c *Config) { c.ActMsgQueueDepth = 0 }, "ActMsgQueueDepth"},
+		{"zero min packet", func(c *Config) { c.MinPacketBytes = 0 }, "MinPacketBytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Default(8)
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("error %q does not mention %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestAMUCacheCanBeDisabled(t *testing.T) {
+	c := Default(8)
+	c.AMUCacheWords = 0 // ablation A1 needs this to be legal
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}

@@ -1,0 +1,423 @@
+// Package core implements the paper's primary contribution: the Active
+// Memory Unit (AMU) attached to each node's memory controller.
+//
+// The AMU executes simple atomic read-modify-write operations — Active
+// Memory Operations (AMOs) — at the home node of the target word, so
+// synchronization variables never migrate between processor caches. Its
+// parts mirror Figure 2 of the paper:
+//
+//   - a request queue feeding a single function unit (FU);
+//   - a tiny operand cache (default 8 words). An AMO that hits in the AMU
+//     cache completes in 2 cycles regardless of contention; each cached word
+//     supports one outstanding synchronization variable;
+//   - coherent operand access through the directory's fine-grained get/put:
+//     a miss performs a "fine get" (the AMU becomes a word-grained sharer
+//     allowed to mutate the word), and results are propagated by "fine
+//     puts" that push word updates into processor caches — either on every
+//     operation (amo.fetchadd for locks) or only when the result matches a
+//     test value (amo.inc for barriers, firing when the count reaches P).
+//
+// The same queue, FU and cache also serve conventional memory-side atomic
+// operations (MAOs, as in the Cray T3E / SGI Origin): those bypass the
+// coherence protocol entirely, operating on memory directly, with uncached
+// loads for spinning.
+package core
+
+import (
+	"fmt"
+
+	"amosim/internal/directory"
+	"amosim/internal/memsys"
+	"amosim/internal/network"
+	"amosim/internal/sim"
+)
+
+// Op is an AMO/MAO opcode.
+type Op int
+
+// Supported atomic operations. Inc and FetchAdd are the paper's focus;
+// the rest are the "wide range of AMO instructions" under consideration
+// (§3): exchange/compare-exchange for locks, bitwise ops for flag sets,
+// and max for reductions. Eight operations fit the 3-bit op field of the
+// instruction encoding (internal/isa).
+const (
+	OpInc Op = iota
+	OpFetchAdd
+	OpSwap
+	OpCompareSwap
+	OpAnd
+	OpOr
+	OpXor
+	OpMax
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpInc:         "amo.inc",
+	OpFetchAdd:    "amo.fetchadd",
+	OpSwap:        "amo.swap",
+	OpCompareSwap: "amo.cswap",
+	OpAnd:         "amo.and",
+	OpOr:          "amo.or",
+	OpXor:         "amo.xor",
+	OpMax:         "amo.max",
+}
+
+func (o Op) String() string {
+	if o < 0 || o >= numOps {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o >= 0 && o < numOps }
+
+// Apply returns the new value of word for the operation. For OpCompareSwap,
+// operand is the new value and test doubles as the expected value.
+func (o Op) Apply(word, operand, test uint64) uint64 {
+	switch o {
+	case OpInc:
+		return word + 1
+	case OpFetchAdd:
+		return word + operand
+	case OpSwap:
+		return operand
+	case OpCompareSwap:
+		if word == test {
+			return operand
+		}
+		return word
+	case OpAnd:
+		return word & operand
+	case OpOr:
+		return word | operand
+	case OpXor:
+		return word ^ operand
+	case OpMax:
+		if operand > word {
+			return operand
+		}
+		return word
+	}
+	panic(fmt.Sprintf("core: unknown op %d", int(o)))
+}
+
+// Request flag bits (Msg.Flags).
+const (
+	// FlagTest enables the test value: a fine put fires only when the
+	// operation result equals Msg.Aux.
+	FlagTest uint32 = 1 << iota
+	// FlagUpdateAlways pushes a fine put after every operation (the
+	// amo.fetchadd behaviour used by locks).
+	FlagUpdateAlways
+	// FlagMAO marks the request as a conventional memory-side atomic: the
+	// operand is accessed uncached, with no coherence interaction.
+	FlagMAO
+)
+
+// Params configures an AMU.
+type Params struct {
+	Node        int
+	CacheWords  int
+	OpCycles    uint64
+	QueueCycles uint64
+	DRAMCycles  uint64
+}
+
+// amuEntry is one word of the AMU operand cache.
+type amuEntry struct {
+	addr     uint64
+	val      uint64
+	valid    bool
+	coherent bool // obtained via fine get (true) or MAO/uncached (false)
+	lru      uint64
+}
+
+// AMU is one node's active memory unit.
+type AMU struct {
+	eng *sim.Engine
+	net *network.Network
+	mem *memsys.Memory
+	dir *directory.Controller
+	p   Params
+
+	cache []amuEntry
+	tick  uint64
+	// transient marks the zero-word-cache ablation: the single slot is
+	// flushed after every operation, so nothing coalesces.
+	transient  bool
+	blockBytes int
+
+	queue []network.Msg
+	busy  bool
+
+	// counters
+	ops       uint64
+	cacheHits uint64
+	puts      uint64
+	recalls   uint64
+}
+
+// New creates an AMU bound to its node's directory controller and memory.
+func New(eng *sim.Engine, net *network.Network, mem *memsys.Memory, dir *directory.Controller, p Params) *AMU {
+	words := p.CacheWords
+	transient := false
+	if words == 0 {
+		// Ablation: no operand cache. Keep a single latch slot that is
+		// flushed after every operation, so every AMO re-fetches its operand.
+		words = 1
+		transient = true
+	}
+	a := &AMU{
+		eng: eng, net: net, mem: mem, dir: dir, p: p,
+		cache:     make([]amuEntry, words),
+		transient: transient,
+	}
+	if dir != nil {
+		dir.SetAMU(a)
+	}
+	return a
+}
+
+// SetBlockBytes informs the AMU of the coherence block size (needed by
+// Recall to match cached words to blocks).
+func (a *AMU) SetBlockBytes(b int) { a.blockBytes = b }
+
+// Counters returns cumulative operation, AMU-cache-hit, fine-put and recall
+// counts.
+func (a *AMU) Counters() (ops, hits, puts, recalls uint64) {
+	return a.ops, a.cacheHits, a.puts, a.recalls
+}
+
+// Peek returns the AMU-cached value of addr without touching LRU state,
+// for tests and introspection.
+func (a *AMU) Peek(addr uint64) (uint64, bool) {
+	for i := range a.cache {
+		if a.cache[i].valid && a.cache[i].addr == addr {
+			return a.cache[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// Handle accepts an AMO or MAO request message (and uncached accesses to
+// this node's memory). Runs in event context.
+func (a *AMU) Handle(m network.Msg) {
+	switch m.Kind {
+	case network.KindAMORequest, network.KindMAORequest:
+		a.queue = append(a.queue, m)
+		a.dispatch()
+	case network.KindUncachedLoad:
+		a.handleUncachedLoad(m)
+	case network.KindUncachedStore:
+		a.handleUncachedStore(m)
+	default:
+		panic(fmt.Sprintf("core: unexpected message %v", m))
+	}
+}
+
+// dispatch starts the head-of-queue request if the FU is idle.
+func (a *AMU) dispatch() {
+	if a.busy || len(a.queue) == 0 {
+		return
+	}
+	a.busy = true
+	m := a.queue[0]
+	a.queue = a.queue[1:]
+	a.eng.Schedule(sim.Time(a.p.QueueCycles), func() { a.start(m) })
+}
+
+func (a *AMU) start(m network.Msg) {
+	if e := a.lookup(m.Addr); e != nil {
+		a.cacheHits++
+		a.eng.Schedule(sim.Time(a.p.OpCycles), func() { a.execute(m) })
+		return
+	}
+	// Miss: fetch the operand. MAOs read memory directly (non-coherent);
+	// AMOs perform a coherent fine-grained get through the directory.
+	if m.Flags&FlagMAO != 0 || m.Kind == network.KindMAORequest {
+		a.eng.Schedule(sim.Time(a.p.DRAMCycles), func() {
+			a.fill(m.Addr, a.mem.ReadWord(m.Addr), false)
+			a.eng.Schedule(sim.Time(a.p.OpCycles), func() { a.execute(m) })
+		})
+		return
+	}
+	a.dir.FineGet(m.Addr, func(val uint64) {
+		a.fill(m.Addr, val, true)
+		a.eng.Schedule(sim.Time(a.p.OpCycles), func() { a.execute(m) })
+	})
+}
+
+// execute performs the operation at the FU. The operand may have been
+// recalled between start and execute (a racing GETX); in that case restart
+// the request, which will re-acquire the word coherently.
+func (a *AMU) execute(m network.Msg) {
+	e := a.lookup(m.Addr)
+	if e == nil {
+		a.start(m)
+		return
+	}
+	a.ops++
+	old := e.val
+	e.val = Op(m.Op).Apply(old, m.Value, m.Aux)
+	a.reply(m, old)
+
+	wantPut := e.coherent &&
+		(m.Flags&FlagUpdateAlways != 0 ||
+			(m.Flags&FlagTest != 0 && e.val == m.Aux))
+	if wantPut {
+		a.puts++
+		addr := m.Addr
+		a.dir.FinePut(addr, func() (uint64, bool) {
+			if cur := a.lookup(addr); cur != nil {
+				return cur.val, true
+			}
+			return 0, false
+		}, func() {})
+	}
+	if a.transient && !wantPut {
+		// No operand cache: flush the latch. When a put is pending we keep
+		// the latch so the put reads the value; the put path flushes memory
+		// itself and FineDrop follows on the next fill's eviction.
+		a.evictAddr(m.Addr)
+	}
+	a.busy = false
+	a.eng.Schedule(0, a.dispatch)
+}
+
+// evictAddr flushes the entry holding addr, if any.
+func (a *AMU) evictAddr(addr uint64) {
+	for i := range a.cache {
+		if a.cache[i].valid && a.cache[i].addr == addr {
+			a.evict(i)
+			return
+		}
+	}
+}
+
+func (a *AMU) reply(m network.Msg, old uint64) {
+	kind := network.KindAMOReply
+	if m.Kind == network.KindMAORequest {
+		kind = network.KindMAOReply
+	}
+	a.net.Send(network.Msg{
+		Kind:      kind,
+		Src:       network.Hub(a.p.Node),
+		Dst:       m.Src,
+		Addr:      m.Addr,
+		Value:     old,
+		DataBytes: memsys.WordBytes,
+		Txn:       m.Txn,
+	})
+}
+
+// lookup finds a valid AMU cache entry for addr.
+func (a *AMU) lookup(addr uint64) *amuEntry {
+	for i := range a.cache {
+		if a.cache[i].valid && a.cache[i].addr == addr {
+			a.tick++
+			a.cache[i].lru = a.tick
+			return &a.cache[i]
+		}
+	}
+	return nil
+}
+
+// fill installs (addr, val), evicting the LRU entry if needed.
+func (a *AMU) fill(addr, val uint64, coherent bool) {
+	victim, oldest := -1, ^uint64(0)
+	for i := range a.cache {
+		if !a.cache[i].valid {
+			victim = i
+			break
+		}
+		if a.cache[i].lru < oldest {
+			oldest = a.cache[i].lru
+			victim = i
+		}
+	}
+	if a.cache[victim].valid {
+		a.evict(victim)
+	}
+	a.fillAt(victim, addr, val, coherent)
+}
+
+func (a *AMU) fillAt(i int, addr, val uint64, coherent bool) {
+	a.tick++
+	a.cache[i] = amuEntry{addr: addr, val: val, valid: true, coherent: coherent, lru: a.tick}
+}
+
+// evict flushes entry i. Coherent entries go through the directory's
+// FineEvict so cached sharers receive the final value (a silent flush would
+// strand spinners on a stale word); non-coherent (MAO) entries write memory
+// directly.
+func (a *AMU) evict(i int) {
+	e := &a.cache[i]
+	if e.coherent {
+		a.dir.FineEvict(e.addr, e.val)
+	} else {
+		a.mem.WriteWord(e.addr, e.val)
+	}
+	e.valid = false
+}
+
+// Recall implements directory.AMUPort: synchronously flush every AMU-held
+// word of block into memory and invalidate those entries. The directory
+// clears its own amu-sharer bookkeeping.
+func (a *AMU) Recall(block uint64) {
+	if a.blockBytes == 0 {
+		panic("core: Recall before SetBlockBytes")
+	}
+	a.recalls++
+	for i := range a.cache {
+		e := &a.cache[i]
+		if e.valid && e.coherent && memsys.BlockAddr(e.addr, a.blockBytes) == block {
+			a.mem.WriteWord(e.addr, e.val)
+			e.valid = false
+		}
+	}
+}
+
+// handleUncachedLoad serves a cache-bypassing load: the AMU cache is checked
+// first (it is the authoritative copy for MAO variables), then memory.
+func (a *AMU) handleUncachedLoad(m network.Msg) {
+	lat := sim.Time(a.p.OpCycles)
+	var val uint64
+	if e := a.lookup(m.Addr); e != nil {
+		val = e.val
+	} else {
+		lat = sim.Time(a.p.DRAMCycles)
+		val = a.mem.ReadWord(m.Addr)
+	}
+	a.eng.Schedule(lat, func() {
+		a.net.Send(network.Msg{
+			Kind:      network.KindUncachedLoadReply,
+			Src:       network.Hub(a.p.Node),
+			Dst:       m.Src,
+			Addr:      m.Addr,
+			Value:     val,
+			DataBytes: memsys.WordBytes,
+			Txn:       m.Txn,
+		})
+	})
+}
+
+// handleUncachedStore serves a cache-bypassing store (used to initialize
+// MAO variables). It updates the AMU cache copy if present.
+func (a *AMU) handleUncachedStore(m network.Msg) {
+	if e := a.lookup(m.Addr); e != nil {
+		e.val = m.Value
+	}
+	a.eng.Schedule(sim.Time(a.p.DRAMCycles), func() {
+		a.mem.WriteWord(m.Addr, m.Value)
+		a.net.Send(network.Msg{
+			Kind: network.KindUncachedStoreAck,
+			Src:  network.Hub(a.p.Node),
+			Dst:  m.Src,
+			Addr: m.Addr,
+			Txn:  m.Txn,
+		})
+	})
+}

@@ -1,0 +1,582 @@
+// Package directory implements the home-node directory controller of the
+// simulated CC-NUMA machine: a blocking MSI write-invalidate protocol with
+// interventions and invalidation-ack collection, extended with the paper's
+// fine-grained get/put mechanism. A "fine get" lets the node's Active Memory
+// Unit obtain the coherent value of a single word and become a
+// word-granularity sharer permitted to mutate it; a "fine put" writes the
+// word back to memory and pushes word updates to every CPU caching the
+// block, without invalidating anyone.
+//
+// Transactions are serialized per block: while one is in flight the block is
+// busy and later requests queue. Writebacks are exempt (processed
+// immediately) so that an eviction racing an intervention resolves instead
+// of deadlocking.
+package directory
+
+import (
+	"fmt"
+	"sort"
+
+	"amosim/internal/memsys"
+	"amosim/internal/network"
+	"amosim/internal/sim"
+)
+
+// state is the directory-side block state.
+type state int
+
+const (
+	unowned state = iota
+	shared
+	exclusive
+)
+
+func (s state) String() string {
+	switch s {
+	case unowned:
+		return "U"
+	case shared:
+		return "S"
+	case exclusive:
+		return "E"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// entry is the directory record for one block.
+type entry struct {
+	state    state
+	owner    int              // CPU id, valid when state == exclusive
+	sharers  map[int]struct{} // CPU ids, valid when state == shared
+	amuWords map[uint64]bool  // word addrs currently held by the local AMU
+	busy     bool
+	waitq    []func()
+	// txn is live while busy; interventions and inv-acks continue it.
+	txn *txn
+}
+
+type txn struct {
+	waitingAcks int
+	onAcks      func()
+	onIvnAck    func(m network.Msg)
+}
+
+// AMUPort is how the directory reaches the Active Memory Unit that shares
+// its hub. Recall must synchronously write every AMU-cached word of the
+// block back to memory and invalidate the AMU's copies.
+type AMUPort interface {
+	Recall(block uint64)
+}
+
+// Params carries the timing and geometry knobs the controller needs.
+type Params struct {
+	Node         int
+	ProcsPerNode int
+	BlockBytes   int
+	DirCycles    uint64
+	DRAMCycles   uint64
+	// InjectCycles serializes fan-out: the i-th message of an invalidation
+	// or word-update burst leaves the hub i*InjectCycles after the first
+	// (one network port, one packet at a time). This is the t_p term of the
+	// paper's AMO cost model.
+	InjectCycles uint64
+	// MulticastUpdates disables injection serialization for word-update
+	// bursts only (hardware multicast; the paper's footnote 2).
+	MulticastUpdates bool
+}
+
+// Controller is one node's directory controller.
+type Controller struct {
+	eng *sim.Engine
+	net *network.Network
+	mem *memsys.Memory
+	amu AMUPort
+	p   Params
+
+	entries map[uint64]*entry
+
+	// counters
+	interventions uint64
+	invalidations uint64
+	wordUpdates   uint64
+}
+
+// New creates a directory controller for node p.Node. The AMU port may be
+// set later with SetAMU (the AMU and directory reference each other).
+func New(eng *sim.Engine, net *network.Network, mem *memsys.Memory, p Params) *Controller {
+	if p.ProcsPerNode <= 0 {
+		panic("directory: ProcsPerNode must be positive")
+	}
+	return &Controller{
+		eng:     eng,
+		net:     net,
+		mem:     mem,
+		p:       p,
+		entries: make(map[uint64]*entry),
+	}
+}
+
+// SetAMU installs the AMU recall port.
+func (c *Controller) SetAMU(a AMUPort) { c.amu = a }
+
+// Node returns the home node id.
+func (c *Controller) Node() int { return c.p.Node }
+
+// Counters returns cumulative protocol action counts: interventions sent,
+// invalidations sent, and fine-grained word updates pushed.
+func (c *Controller) Counters() (interventions, invalidations, wordUpdates uint64) {
+	return c.interventions, c.invalidations, c.wordUpdates
+}
+
+func (c *Controller) entryOf(block uint64) *entry {
+	e := c.entries[block]
+	if e == nil {
+		e = &entry{sharers: make(map[int]struct{}), amuWords: make(map[uint64]bool)}
+		c.entries[block] = e
+	}
+	return e
+}
+
+func (c *Controller) block(addr uint64) uint64 {
+	return memsys.BlockAddr(addr, c.p.BlockBytes)
+}
+
+func (c *Controller) cpuEndpoint(cpu int) network.Endpoint {
+	return network.Endpoint{Node: cpu / c.p.ProcsPerNode, CPU: cpu}
+}
+
+// Handle processes one directory-protocol message. It runs in event context.
+func (c *Controller) Handle(m network.Msg) {
+	block := c.block(m.Addr)
+	e := c.entryOf(block)
+	switch m.Kind {
+	case network.KindWriteback:
+		// Never blocked: resolves eviction/intervention races.
+		c.applyWriteback(e, m)
+	case network.KindInvalidateAck:
+		c.applyInvAck(e)
+	case network.KindInterventionAck:
+		c.applyIvnAck(e, m)
+	case network.KindGetShared, network.KindGetExclusive, network.KindUpgrade:
+		c.submit(block, func() { c.processRequest(block, m) })
+	default:
+		panic(fmt.Sprintf("directory: unexpected message %v", m))
+	}
+}
+
+// submit runs job now if the block is idle, otherwise queues it.
+func (c *Controller) submit(block uint64, job func()) {
+	e := c.entryOf(block)
+	if e.busy {
+		e.waitq = append(e.waitq, job)
+		return
+	}
+	e.busy = true
+	job()
+}
+
+// complete ends the current transaction on block and starts the next queued
+// one, if any, after the directory's per-transaction occupancy charge.
+// The charge matters beyond fidelity: it gives each exclusive grantee a few
+// cycles of guaranteed residence before the next queued request's
+// intervention can be dispatched, which is what lets an LL/SC pair commit
+// under a full request queue instead of livelocking.
+func (c *Controller) complete(block uint64) {
+	e := c.entryOf(block)
+	if !e.busy {
+		panic("directory: complete on idle block")
+	}
+	e.txn = nil
+	if len(e.waitq) == 0 {
+		e.busy = false
+		return
+	}
+	next := e.waitq[0]
+	e.waitq = e.waitq[1:]
+	c.eng.Schedule(sim.Time(c.p.DirCycles), next)
+}
+
+// recallAMU flushes AMU-held words of block into memory so that memory is
+// current before the directory supplies data or grants exclusivity.
+func (c *Controller) recallAMU(e *entry, block uint64) {
+	if len(e.amuWords) == 0 {
+		return
+	}
+	if c.amu == nil {
+		panic("directory: AMU words held but no AMU port")
+	}
+	c.amu.Recall(block)
+	e.amuWords = make(map[uint64]bool)
+}
+
+// processRequest starts a CPU-originated transaction. The block is busy.
+func (c *Controller) processRequest(block uint64, m network.Msg) {
+	e := c.entryOf(block)
+	req := m.Src
+	switch m.Kind {
+	case network.KindGetShared:
+		switch e.state {
+		case unowned, shared:
+			// No AMU recall here: shared readers may observe the last
+			// fine-put value from memory while the AMU holds a newer one —
+			// the paper's release-consistency semantics for AMO variables
+			// (§3.2). Recalling on reads would also cancel queued fine-puts
+			// without invalidating sharers, losing their wake-up.
+			c.replyData(block, req, network.KindDataShared, func() {
+				e.state = shared
+				e.sharers[req.CPU] = struct{}{}
+				c.complete(block)
+			})
+		case exclusive:
+			c.intervene(block, e, false /*downgrade*/, func() {
+				prev := e.owner
+				e.state = shared
+				e.sharers = map[int]struct{}{prev: {}, req.CPU: {}}
+				c.replyData(block, req, network.KindDataShared, func() { c.complete(block) })
+			})
+		}
+	case network.KindGetExclusive:
+		c.grantExclusive(block, e, req)
+	case network.KindUpgrade:
+		if e.state == shared && len(e.amuWords) == 0 {
+			// A data-less grant is only safe when no word of the block is
+			// AMU-held: sharers may be stale with respect to the AMU's value
+			// (release consistency), so a block with AMU words must be
+			// recalled and re-supplied as a full GETX.
+			if _, ok := e.sharers[req.CPU]; ok {
+				// True upgrade: invalidate other sharers, grant without data.
+				c.recallAMU(e, block)
+				delete(e.sharers, req.CPU)
+				c.invalidateSharers(e, block, func() {
+					e.state = exclusive
+					e.owner = req.CPU
+					e.sharers = make(map[int]struct{})
+					c.send(network.Msg{
+						Kind: network.KindAckExclusive,
+						Src:  network.Hub(c.p.Node), Dst: req,
+						Addr: block,
+					})
+					c.complete(block)
+				})
+				return
+			}
+		}
+		// Requester lost its copy while the upgrade was in flight (or the
+		// block moved to exclusive): treat as a full GETX.
+		c.grantExclusive(block, e, req)
+	}
+}
+
+// grantExclusive implements GETX (and upgrade-turned-GETX).
+func (c *Controller) grantExclusive(block uint64, e *entry, req network.Endpoint) {
+	switch e.state {
+	case unowned:
+		c.recallAMU(e, block)
+		c.replyData(block, req, network.KindDataExclusive, func() {
+			e.state = exclusive
+			e.owner = req.CPU
+			c.complete(block)
+		})
+	case shared:
+		c.recallAMU(e, block)
+		delete(e.sharers, req.CPU)
+		c.invalidateSharers(e, block, func() {
+			c.replyData(block, req, network.KindDataExclusive, func() {
+				e.state = exclusive
+				e.owner = req.CPU
+				e.sharers = make(map[int]struct{})
+				c.complete(block)
+			})
+		})
+	case exclusive:
+		if e.owner == req.CPU {
+			// Owner re-requesting after its own writeback raced this GETX.
+			c.replyData(block, req, network.KindDataExclusive, func() { c.complete(block) })
+			return
+		}
+		c.intervene(block, e, true /*invalidate*/, func() {
+			c.replyData(block, req, network.KindDataExclusive, func() {
+				e.state = exclusive
+				e.owner = req.CPU
+				c.complete(block)
+			})
+		})
+	}
+}
+
+// replyData reads the block from memory (charging directory + DRAM latency)
+// and sends it to dst, then runs done.
+func (c *Controller) replyData(block uint64, dst network.Endpoint, kind network.Kind, done func()) {
+	c.eng.Schedule(sim.Time(c.p.DirCycles+c.p.DRAMCycles), func() {
+		words := c.mem.ReadBlock(block)
+		c.send(network.Msg{
+			Kind: kind,
+			Src:  network.Hub(c.p.Node), Dst: dst,
+			Addr:      block,
+			DataBytes: c.p.BlockBytes,
+			Data:      words,
+		})
+		done()
+	})
+}
+
+// invalidateSharers sends INV to every current sharer, then runs done once
+// all acks arrive. With no sharers it runs done immediately (after the
+// directory occupancy charge).
+func (c *Controller) invalidateSharers(e *entry, block uint64, done func()) {
+	n := len(e.sharers)
+	if n == 0 {
+		c.eng.Schedule(sim.Time(c.p.DirCycles), done)
+		return
+	}
+	e.txn = &txn{waitingAcks: n, onAcks: done}
+	for i, cpu := range sortedSharers(e) {
+		c.invalidations++
+		m := network.Msg{
+			Kind: network.KindInvalidate,
+			Src:  network.Hub(c.p.Node), Dst: c.cpuEndpoint(cpu),
+			Addr: block,
+		}
+		c.sendStaggered(i, m)
+	}
+	e.sharers = make(map[int]struct{})
+}
+
+// sendStaggered injects the i-th message of a fan-out burst after
+// i*InjectCycles, modeling the hub's single network port. With
+// MulticastUpdates, word-update bursts leave as one injection.
+func (c *Controller) sendStaggered(i int, m network.Msg) {
+	if c.p.MulticastUpdates && m.Kind == network.KindWordUpdate {
+		i = 0
+	}
+	if i == 0 || c.p.InjectCycles == 0 {
+		c.send(m)
+		return
+	}
+	c.eng.Schedule(sim.Time(uint64(i)*c.p.InjectCycles), func() { c.send(m) })
+}
+
+// sortedSharers returns the block's sharers in ascending CPU order, for
+// deterministic fan-out.
+func sortedSharers(e *entry) []int {
+	out := make([]int, 0, len(e.sharers))
+	for cpu := range e.sharers {
+		out = append(out, cpu)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (c *Controller) applyInvAck(e *entry) {
+	if e.txn == nil || e.txn.waitingAcks == 0 {
+		panic("directory: unexpected invalidation ack")
+	}
+	e.txn.waitingAcks--
+	if e.txn.waitingAcks == 0 {
+		done := e.txn.onAcks
+		e.txn = nil
+		done()
+	}
+}
+
+// intervene sends an intervention to the exclusive owner. If invalidate is
+// true the owner drops the block, otherwise it downgrades to Shared. When
+// the ack arrives, memory is updated from the owner's data (unless the
+// owner had already written back, in which case the out-of-band writeback
+// made memory current) and done runs.
+func (c *Controller) intervene(block uint64, e *entry, invalidate bool, done func()) {
+	c.interventions++
+	e.txn = &txn{onIvnAck: func(m network.Msg) {
+		e.txn = nil
+		if m.Flags&IvnAckStale == 0 {
+			c.mem.WriteBlock(block, m.Data)
+		}
+		done()
+	}}
+	flags := uint32(0)
+	if invalidate {
+		flags = IvnInvalidate
+	}
+	c.send(network.Msg{
+		Kind:  network.KindIntervention,
+		Src:   network.Hub(c.p.Node),
+		Dst:   c.cpuEndpoint(e.owner),
+		Addr:  block,
+		Flags: flags,
+	})
+}
+
+// Intervention flag bits.
+const (
+	// IvnInvalidate asks the owner to drop the block rather than downgrade.
+	IvnInvalidate uint32 = 1 << iota
+	// IvnAckStale marks an intervention ack from an owner that no longer
+	// held the block (writeback raced ahead).
+	IvnAckStale
+)
+
+func (c *Controller) applyIvnAck(e *entry, m network.Msg) {
+	if e.txn == nil || e.txn.onIvnAck == nil {
+		panic("directory: unexpected intervention ack")
+	}
+	e.txn.onIvnAck(m)
+}
+
+func (c *Controller) applyWriteback(e *entry, m network.Msg) {
+	block := c.block(m.Addr)
+	if e.state == exclusive && e.owner == m.Src.CPU {
+		c.mem.WriteBlock(block, m.Data)
+		e.state = unowned
+		e.owner = 0
+		return
+	}
+	// Stale writeback: the owner was already downgraded or invalidated by an
+	// intervention that raced past the writeback; the intervention path
+	// carried the same (or newer) data, so drop this one.
+}
+
+// --- fine-grained get/put (AMU side) -------------------------------------
+
+// FineGet asks for the coherent value of the word at addr on behalf of the
+// local AMU. The AMU becomes a word-granularity sharer. done receives the
+// value. May queue behind an in-flight transaction.
+func (c *Controller) FineGet(addr uint64, done func(val uint64)) {
+	block := c.block(addr)
+	c.submit(block, func() {
+		e := c.entryOf(block)
+		finish := func() {
+			e.amuWords[addr] = true
+			val := c.mem.ReadWord(addr)
+			c.complete(block)
+			done(val)
+		}
+		switch e.state {
+		case unowned, shared:
+			c.eng.Schedule(sim.Time(c.p.DirCycles+c.p.DRAMCycles), finish)
+		case exclusive:
+			c.intervene(block, e, false, func() {
+				prev := e.owner
+				e.state = shared
+				e.sharers = map[int]struct{}{prev: {}}
+				finish()
+			})
+		}
+	})
+}
+
+// FinePut flushes the AMU's current value of the word at addr: memory is
+// updated and a word update is pushed to every CPU caching the block. The
+// value is read from the AMU at execution time via read; if the AMU no
+// longer holds the word (a recall raced ahead), the put is a no-op — the
+// recall already flushed, and the recalling transaction's invalidations
+// supersede the updates. done runs when the put has been processed.
+func (c *Controller) FinePut(addr uint64, read func() (uint64, bool), done func()) {
+	block := c.block(addr)
+	c.submit(block, func() {
+		e := c.entryOf(block)
+		val, ok := read()
+		if !ok || !e.amuWords[addr] {
+			c.complete(block)
+			done()
+			return
+		}
+		c.eng.Schedule(sim.Time(c.p.DirCycles), func() {
+			c.mem.WriteWord(addr, val)
+			for i, cpu := range sortedSharers(e) {
+				c.wordUpdates++
+				c.sendStaggered(i, network.Msg{
+					Kind:      network.KindWordUpdate,
+					Src:       network.Hub(c.p.Node),
+					Dst:       c.cpuEndpoint(cpu),
+					Addr:      addr,
+					Value:     val,
+					DataBytes: memsys.WordBytes,
+				})
+			}
+			c.complete(block)
+			done()
+		})
+	})
+}
+
+// FineDrop records that the AMU evicted its copy of the word at addr after
+// flushing it to memory itself (capacity eviction, not recall).
+func (c *Controller) FineDrop(addr uint64) {
+	e := c.entryOf(c.block(addr))
+	delete(e.amuWords, addr)
+}
+
+// FineEvict handles an AMU capacity eviction of a coherent word: the final
+// value is written to memory and pushed to sharers exactly like a fine put,
+// so spinners waiting on that word are not left holding a stale copy with
+// no wake-up coming. The AMU has already dropped its entry; val is the
+// evicted value.
+func (c *Controller) FineEvict(addr, val uint64) {
+	block := c.block(addr)
+	e := c.entryOf(block)
+	delete(e.amuWords, addr)
+	c.submit(block, func() {
+		c.eng.Schedule(sim.Time(c.p.DirCycles), func() {
+			c.mem.WriteWord(addr, val)
+			for i, cpu := range sortedSharers(e) {
+				c.wordUpdates++
+				c.sendStaggered(i, network.Msg{
+					Kind:      network.KindWordUpdate,
+					Src:       network.Hub(c.p.Node),
+					Dst:       c.cpuEndpoint(cpu),
+					Addr:      addr,
+					Value:     val,
+					DataBytes: memsys.WordBytes,
+				})
+			}
+			c.complete(block)
+		})
+	})
+}
+
+// AMUHolds reports whether the AMU is registered for the word at addr.
+func (c *Controller) AMUHolds(addr uint64) bool {
+	return c.entryOf(c.block(addr)).amuWords[addr]
+}
+
+// Snapshot describes a block's directory record for invariant checking.
+type Snapshot struct {
+	State    string // "U", "S" or "E"
+	Owner    int
+	Sharers  []int
+	AMUWords []uint64
+	Busy     bool
+}
+
+// SnapshotOf returns the directory record for the block containing addr.
+func (c *Controller) SnapshotOf(addr uint64) Snapshot {
+	e := c.entryOf(c.block(addr))
+	s := Snapshot{State: e.state.String(), Owner: e.owner, Busy: e.busy}
+	s.Sharers = sortedSharers(e)
+	for w := range e.amuWords {
+		s.AMUWords = append(s.AMUWords, w)
+	}
+	return s
+}
+
+// Blocks returns every block address this controller has a record for.
+func (c *Controller) Blocks() []uint64 {
+	out := make([]uint64, 0, len(c.entries))
+	for b := range c.entries {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Sharers returns the CPUs currently recorded as sharing the block at addr
+// (for tests and introspection).
+func (c *Controller) Sharers(addr uint64) []int {
+	e := c.entryOf(c.block(addr))
+	out := make([]int, 0, len(e.sharers))
+	for cpu := range e.sharers {
+		out = append(out, cpu)
+	}
+	return out
+}
+
+func (c *Controller) send(m network.Msg) { c.net.Send(m) }

@@ -1,0 +1,133 @@
+// Package isa defines the instruction-word encoding of the AMO extension.
+//
+// The paper encodes AMO instructions "in an unused portion of the MIPS-IV
+// instruction set space" (§3). We model them as SPECIAL2-major-opcode
+// R-type instructions (major opcode 0x1C, unused by MIPS-IV):
+//
+//	 31    26 25  21 20  16 15  11 10    7  6       5      0
+//	+--------+------+------+------+-------+----+----------+
+//	| SPECIAL2| base | vreg | dreg |  amoop | TU |  AMOFUNC |
+//	+--------+------+------+------+-------+----+----------+
+//
+//	base    register holding the target physical address
+//	vreg    register holding the operand (delta / swap value)
+//	dreg    destination register receiving the old memory value
+//	amoop   operation selector (inc, fetchadd, swap, cswap)
+//	T       test-enable bit: fire the fine-grained update when the result
+//	        equals the test register's value (the test value rides in vreg's
+//	        pair register by convention)
+//	U       update-always bit
+//	AMOFUNC function field distinguishing AMOs from other SPECIAL2 encodings
+//
+// The simulator dispatches on the decoded form; the encoder/decoder pair
+// documents the ISA-level contract and round-trips every legal instruction.
+package isa
+
+import (
+	"fmt"
+
+	"amosim/internal/core"
+)
+
+// Instruction field constants.
+const (
+	// OpcodeSpecial2 is the MIPS SPECIAL2 major opcode (bits 31:26).
+	OpcodeSpecial2 = 0x1C
+	// AMOFunc is the function field (bits 5:0) designating AMO instructions
+	// within SPECIAL2 space.
+	AMOFunc = 0x3B
+)
+
+// Flag bits within the instruction word.
+const (
+	// BitTest is the T (test-enable) bit, instruction bit 7.
+	BitTest = 1 << 7
+	// BitUpdateAlways is the U (update-always) bit, instruction bit 6.
+	BitUpdateAlways = 1 << 6
+)
+
+// Instr is a decoded AMO instruction.
+type Instr struct {
+	// Op is the atomic operation.
+	Op core.Op
+	// Base is the register number holding the target address (0..31).
+	Base int
+	// Value is the register number holding the operand (0..31).
+	Value int
+	// Dest is the destination register number (0..31).
+	Dest int
+	// Test enables the test-value update trigger.
+	Test bool
+	// UpdateAlways pushes a fine-grained update after every operation.
+	UpdateAlways bool
+}
+
+// Encode packs the instruction into a 32-bit MIPS-style word.
+func Encode(i Instr) (uint32, error) {
+	if err := i.validate(); err != nil {
+		return 0, err
+	}
+	w := uint32(OpcodeSpecial2) << 26
+	w |= uint32(i.Base&0x1F) << 21
+	w |= uint32(i.Value&0x1F) << 16
+	w |= uint32(i.Dest&0x1F) << 11
+	w |= uint32(i.Op&0x7) << 8 // bits 10:8 hold the op selector
+	if i.Test {
+		w |= BitTest
+	}
+	if i.UpdateAlways {
+		w |= BitUpdateAlways
+	}
+	w |= AMOFunc
+	return w, nil
+}
+
+func (i Instr) validate() error {
+	switch {
+	case !i.Op.Valid():
+		return fmt.Errorf("isa: invalid amo op %d", int(i.Op))
+	case i.Base < 0 || i.Base > 31:
+		return fmt.Errorf("isa: base register %d out of range", i.Base)
+	case i.Value < 0 || i.Value > 31:
+		return fmt.Errorf("isa: value register %d out of range", i.Value)
+	case i.Dest < 0 || i.Dest > 31:
+		return fmt.Errorf("isa: dest register %d out of range", i.Dest)
+	}
+	return nil
+}
+
+// Decode unpacks a 32-bit word, rejecting words that are not AMO
+// instructions.
+func Decode(w uint32) (Instr, error) {
+	if w>>26 != OpcodeSpecial2 {
+		return Instr{}, fmt.Errorf("isa: major opcode %#x is not SPECIAL2", w>>26)
+	}
+	if w&0x3F != AMOFunc {
+		return Instr{}, fmt.Errorf("isa: function field %#x is not an AMO", w&0x3F)
+	}
+	i := Instr{
+		Base:         int(w >> 21 & 0x1F),
+		Value:        int(w >> 16 & 0x1F),
+		Dest:         int(w >> 11 & 0x1F),
+		Op:           core.Op(w >> 8 & 0x7),
+		Test:         w&BitTest != 0,
+		UpdateAlways: w&BitUpdateAlways != 0,
+	}
+	if err := i.validate(); err != nil {
+		return Instr{}, err
+	}
+	return i, nil
+}
+
+// Mnemonic returns the assembly form, e.g.
+// "amo.fetchadd.u $5, $3, ($7)".
+func (i Instr) Mnemonic() string {
+	suffix := ""
+	if i.Test {
+		suffix += ".t"
+	}
+	if i.UpdateAlways {
+		suffix += ".u"
+	}
+	return fmt.Sprintf("%s%s $%d, $%d, ($%d)", i.Op, suffix, i.Dest, i.Value, i.Base)
+}

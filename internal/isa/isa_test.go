@@ -1,0 +1,123 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amosim/internal/core"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: core.OpInc, Base: 4, Value: 0, Dest: 2, Test: true},
+		{Op: core.OpFetchAdd, Base: 31, Value: 30, Dest: 29, UpdateAlways: true},
+		{Op: core.OpSwap, Base: 0, Value: 0, Dest: 0},
+		{Op: core.OpCompareSwap, Base: 15, Value: 16, Dest: 17, Test: true, UpdateAlways: true},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#x): %v", w, err)
+		}
+		if out != in {
+			t.Fatalf("round trip: %+v -> %#x -> %+v", in, w, out)
+		}
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	bad := []Instr{
+		{Op: core.Op(9), Base: 1, Value: 1, Dest: 1},
+		{Op: core.OpInc, Base: 32, Value: 1, Dest: 1},
+		{Op: core.OpInc, Base: -1, Value: 1, Dest: 1},
+		{Op: core.OpInc, Base: 1, Value: 99, Dest: 1},
+		{Op: core.OpInc, Base: 1, Value: 1, Dest: 40},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) accepted", in)
+		}
+	}
+}
+
+func TestDecodeRejectsNonAMO(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Error("Decode(0) accepted")
+	}
+	// SPECIAL2 opcode but wrong function field.
+	if _, err := Decode(uint32(OpcodeSpecial2)<<26 | 0x01); err == nil {
+		t.Error("Decode with wrong function accepted")
+	}
+}
+
+func TestMajorOpcodeIsSpecial2(t *testing.T) {
+	w, err := Encode(Instr{Op: core.OpInc, Base: 1, Value: 2, Dest: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w>>26 != OpcodeSpecial2 {
+		t.Fatalf("major opcode = %#x, want %#x", w>>26, OpcodeSpecial2)
+	}
+	if w&0x3F != AMOFunc {
+		t.Fatalf("function field = %#x, want %#x", w&0x3F, AMOFunc)
+	}
+}
+
+func TestMnemonic(t *testing.T) {
+	i := Instr{Op: core.OpFetchAdd, Base: 7, Value: 3, Dest: 5, UpdateAlways: true}
+	m := i.Mnemonic()
+	for _, want := range []string{"amo.fetchadd", ".u", "$5", "$3", "($7)"} {
+		if !strings.Contains(m, want) {
+			t.Errorf("Mnemonic %q missing %q", m, want)
+		}
+	}
+	ti := Instr{Op: core.OpInc, Base: 1, Value: 2, Dest: 3, Test: true}
+	if !strings.Contains(ti.Mnemonic(), ".t") {
+		t.Errorf("Mnemonic %q missing test suffix", ti.Mnemonic())
+	}
+}
+
+// Property: every legal instruction round-trips through encode/decode.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(op, base, val, dest uint8, test, upd bool) bool {
+		in := Instr{
+			Op:           core.Op(op % 8),
+			Base:         int(base % 32),
+			Value:        int(val % 32),
+			Dest:         int(dest % 32),
+			Test:         test,
+			UpdateAlways: upd,
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct instructions encode to distinct words.
+func TestEncodingInjectiveProperty(t *testing.T) {
+	f := func(a, b [4]uint8, ta, ua, tb, ub bool) bool {
+		ia := Instr{Op: core.Op(a[0] % 8), Base: int(a[1] % 32), Value: int(a[2] % 32), Dest: int(a[3] % 32), Test: ta, UpdateAlways: ua}
+		ib := Instr{Op: core.Op(b[0] % 8), Base: int(b[1] % 32), Value: int(b[2] % 32), Dest: int(b[3] % 32), Test: tb, UpdateAlways: ub}
+		wa, err1 := Encode(ia)
+		wb, err2 := Encode(ib)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return (ia == ib) == (wa == wb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

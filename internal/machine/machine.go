@@ -1,0 +1,191 @@
+// Package machine assembles a complete simulated CC-NUMA multiprocessor:
+// the event engine, fat-tree network, per-node memory + directory + active
+// memory unit, and per-CPU core + cache, wired per the configuration. It is
+// the substrate every synchronization experiment runs on.
+package machine
+
+import (
+	"fmt"
+
+	"amosim/internal/cache"
+	"amosim/internal/config"
+	"amosim/internal/core"
+	"amosim/internal/directory"
+	"amosim/internal/memsys"
+	"amosim/internal/network"
+	"amosim/internal/proc"
+	"amosim/internal/sim"
+	"amosim/internal/topology"
+	"amosim/internal/trace"
+)
+
+// Machine is one simulated multiprocessor instance. Create with New, attach
+// programs with OnCPU (or OnAllCPUs), then call Run.
+type Machine struct {
+	Cfg  config.Config
+	Eng  *sim.Engine
+	Topo topology.Topology
+	Net  *network.Network
+	Mem  *memsys.Memory
+	Dirs []*directory.Controller
+	AMUs []*core.AMU
+	CPUs []*proc.CPU
+
+	// bodies/bodiesDone track attached programs so CPUs that finish early
+	// keep serving active messages until every program body has completed.
+	bodies     int
+	bodiesDone int
+}
+
+// New builds a machine for the given configuration.
+func New(cfg config.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	var topo topology.Topology
+	var err error
+	switch cfg.Interconnect {
+	case "", "fattree":
+		topo, err = topology.NewFatTree(cfg.Nodes(), cfg.RouterRadix)
+	case "torus":
+		topo, err = topology.NewTorus2D(cfg.Nodes())
+	default:
+		return nil, fmt.Errorf("machine: unknown interconnect %q", cfg.Interconnect)
+	}
+	if err != nil {
+		return nil, err
+	}
+	net := network.New(eng, topo, network.Params{
+		HopCycles:  cfg.HopCycles,
+		BusCycles:  cfg.BusCycles,
+		MinPacket:  cfg.MinPacketBytes,
+		HeaderSize: cfg.HeaderBytes,
+	})
+	mem := memsys.New(cfg.Nodes(), cfg.BlockBytes, cfg.DRAMCycles)
+
+	m := &Machine{Cfg: cfg, Eng: eng, Topo: topo, Net: net, Mem: mem}
+
+	for n := 0; n < cfg.Nodes(); n++ {
+		dir := directory.New(eng, net, mem, directory.Params{
+			Node:             n,
+			ProcsPerNode:     cfg.ProcsPerNode,
+			BlockBytes:       cfg.BlockBytes,
+			DirCycles:        cfg.DirCycles,
+			DRAMCycles:       cfg.DRAMCycles,
+			InjectCycles:     cfg.InjectCycles,
+			MulticastUpdates: cfg.MulticastUpdates,
+		})
+		amu := core.New(eng, net, mem, dir, core.Params{
+			Node:        n,
+			CacheWords:  cfg.AMUCacheWords,
+			OpCycles:    cfg.AMUOpCycles,
+			QueueCycles: cfg.AMUQueueCycles,
+			DRAMCycles:  cfg.DRAMCycles,
+		})
+		amu.SetBlockBytes(cfg.BlockBytes)
+		m.Dirs = append(m.Dirs, dir)
+		m.AMUs = append(m.AMUs, amu)
+		net.RegisterHub(n, m.hubHandler(dir, amu))
+	}
+
+	for id := 0; id < cfg.Processors; id++ {
+		cch := cache.New(cfg.CacheSets, cfg.CacheWays, cfg.BlockBytes)
+		cpu := proc.New(eng, net, cch, proc.Params{
+			ID:           id,
+			Node:         id / cfg.ProcsPerNode,
+			ProcsPerNode: cfg.ProcsPerNode,
+			BlockBytes:   cfg.BlockBytes,
+
+			L1HitCycles:     cfg.L1HitCycles,
+			IssueCycles:     cfg.IssueCycles,
+			SpinCheckCycles: cfg.SpinCheckCycles,
+			AtomicOpCycles:  cfg.L1HitCycles + 2,
+
+			ActMsgInvokeCycles:  cfg.ActMsgInvokeCycles,
+			ActMsgHandlerCycles: cfg.ActMsgHandlerCycles,
+			ActMsgQueueDepth:    cfg.ActMsgQueueDepth,
+			ActMsgTimeoutCycles: cfg.ActMsgTimeoutCycles,
+		})
+		m.CPUs = append(m.CPUs, cpu)
+	}
+	return m, nil
+}
+
+// hubHandler routes hub-bound messages to the node's directory or AMU.
+func (m *Machine) hubHandler(dir *directory.Controller, amu *core.AMU) network.Handler {
+	return func(msg network.Msg) {
+		switch msg.Kind {
+		case network.KindGetShared, network.KindGetExclusive, network.KindUpgrade,
+			network.KindWriteback, network.KindInvalidateAck, network.KindInterventionAck:
+			dir.Handle(msg)
+		case network.KindAMORequest, network.KindMAORequest,
+			network.KindUncachedLoad, network.KindUncachedStore:
+			amu.Handle(msg)
+		default:
+			panic(fmt.Sprintf("machine: hub %d got unexpected %v", dir.Node(), msg))
+		}
+	}
+}
+
+// AllocWord allocates one block-aligned word on the given home node,
+// returning its physical address. Distinct words never share a block.
+func (m *Machine) AllocWord(home int) uint64 { return m.Mem.AllocWord(home) }
+
+// OnCPU attaches a program to CPU id, started at cycle 0. After the program
+// body returns, the CPU keeps serving active messages until every attached
+// program has finished, so home CPUs stay responsive to stragglers.
+func (m *Machine) OnCPU(id int, program func(c *proc.CPU)) {
+	m.bodies++
+	m.CPUs[id].Run(0, func(c *proc.CPU) {
+		program(c)
+		m.bodiesDone++
+		if m.bodiesDone == m.bodies {
+			for _, other := range m.CPUs {
+				other.Poke()
+			}
+		}
+		c.ServeUntil(func() bool { return m.bodiesDone == m.bodies })
+	})
+}
+
+// OnAllCPUs attaches program to every CPU (see OnCPU for the serve tail).
+func (m *Machine) OnAllCPUs(program func(c *proc.CPU)) {
+	for id := range m.CPUs {
+		m.OnCPU(id, program)
+	}
+}
+
+// RegisterHandlerAll installs an active-message handler on every CPU.
+func (m *Machine) RegisterHandlerAll(id int, h proc.Handler) {
+	for _, c := range m.CPUs {
+		c.RegisterHandler(id, h)
+	}
+}
+
+// Run drives the simulation until every program finishes. It returns the
+// final cycle count, or an error on deadlock.
+func (m *Machine) Run() (sim.Time, error) {
+	if err := m.Eng.Run(); err != nil {
+		return m.Eng.Now(), err
+	}
+	return m.Eng.Now(), nil
+}
+
+// RunUntil drives the simulation up to the deadline.
+func (m *Machine) RunUntil(deadline sim.Time) (sim.Time, error) {
+	err := m.Eng.RunUntil(deadline)
+	return m.Eng.Now(), err
+}
+
+// Shutdown unwinds any parked program goroutines. Call when abandoning a
+// machine (after deadlock or deadline) so goroutines do not leak.
+func (m *Machine) Shutdown() { m.Eng.Shutdown() }
+
+// EnableTrace attaches a message tracer retaining the most recent capacity
+// records and returns it.
+func (m *Machine) EnableTrace(capacity int) *trace.Tracer {
+	t := trace.New(capacity)
+	m.Net.SetTracer(t)
+	return t
+}

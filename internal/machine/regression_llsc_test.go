@@ -1,0 +1,31 @@
+package machine
+
+import (
+	"testing"
+
+	"amosim/internal/proc"
+)
+
+// TestLLSCManyCPUsSingleFetchAdd reproduces the ticket-lock hang: many CPUs
+// do one LL/SC fetch-add each on the same word, starting simultaneously.
+func TestLLSCManyCPUsSingleFetchAdd(t *testing.T) {
+	const procs = 16
+	m := newMachine(t, procs)
+	addr := m.AllocWord(0)
+	done := 0
+	m.OnAllCPUs(func(c *proc.CPU) {
+		for {
+			v := c.LoadLinked(addr)
+			if c.StoreConditional(addr, v+1) {
+				break
+			}
+		}
+		done++
+	})
+	if _, err := m.RunUntil(10_000_000); err != nil {
+		t.Fatalf("RunUntil: %v (done=%d/%d)", err, done, procs)
+	}
+	if done != procs {
+		t.Fatalf("done = %d, want %d", done, procs)
+	}
+}

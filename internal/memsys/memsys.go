@@ -1,0 +1,136 @@
+// Package memsys models the physical memory of the simulated machine: a
+// global physical address space statically partitioned across nodes (the
+// home of an address is encoded in its high bits, as in Origin-style
+// CC-NUMA machines), a per-node bump allocator, and a sparse backing word
+// store with a fixed DRAM access latency.
+package memsys
+
+import "fmt"
+
+// NodeShift positions the home-node id in bits [NodeShift, 64). Each node
+// therefore owns a 2^NodeShift-byte slice of the physical address space.
+const NodeShift = 32
+
+// WordBytes is the machine word size. All synchronization variables are one
+// word.
+const WordBytes = 8
+
+// HomeNode returns the node owning addr.
+func HomeNode(addr uint64) int { return int(addr >> NodeShift) }
+
+// NodeBase returns the first physical address owned by node n.
+func NodeBase(n int) uint64 { return uint64(n) << NodeShift }
+
+// BlockAddr returns the base address of the coherence block containing addr.
+func BlockAddr(addr uint64, blockBytes int) uint64 {
+	return addr &^ (uint64(blockBytes) - 1)
+}
+
+// WordIndex returns the word offset of addr within its block.
+func WordIndex(addr uint64, blockBytes int) int {
+	return int(addr&(uint64(blockBytes)-1)) / WordBytes
+}
+
+// Memory is the machine-wide backing store plus per-node allocation state.
+// Reads of never-written addresses return zero, like zeroed DRAM.
+type Memory struct {
+	words      map[uint64]uint64 // keyed by word-aligned address
+	nextFree   []uint64          // per-node bump pointer (offset within node)
+	blockBytes int
+	dramCycles uint64
+	reads      uint64
+	writes     uint64
+}
+
+// New creates a Memory for nodes nodes with the given coherence block size
+// and DRAM latency (in CPU cycles).
+func New(nodes, blockBytes int, dramCycles uint64) *Memory {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("memsys: nodes must be positive, got %d", nodes))
+	}
+	if blockBytes <= 0 || blockBytes%WordBytes != 0 {
+		panic(fmt.Sprintf("memsys: bad block size %d", blockBytes))
+	}
+	return &Memory{
+		words:      make(map[uint64]uint64),
+		nextFree:   make([]uint64, nodes),
+		blockBytes: blockBytes,
+		dramCycles: dramCycles,
+	}
+}
+
+// DRAMCycles returns the per-access DRAM latency.
+func (m *Memory) DRAMCycles() uint64 { return m.dramCycles }
+
+// Alloc reserves size bytes on node home's memory, aligned to align bytes
+// (align must be a power of two >= WordBytes), and returns the base address.
+func (m *Memory) Alloc(home int, size, align int) uint64 {
+	if home < 0 || home >= len(m.nextFree) {
+		panic(fmt.Sprintf("memsys: Alloc on node %d of %d", home, len(m.nextFree)))
+	}
+	if align < WordBytes || align&(align-1) != 0 {
+		panic(fmt.Sprintf("memsys: bad alignment %d", align))
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("memsys: bad size %d", size))
+	}
+	off := m.nextFree[home]
+	a := uint64(align)
+	off = (off + a - 1) &^ (a - 1)
+	m.nextFree[home] = off + uint64(size)
+	return NodeBase(home) + off
+}
+
+// AllocWord reserves one block-aligned word on node home, so that distinct
+// AllocWord results never share a coherence block (the placement discipline
+// the paper's "optimized" codings require).
+func (m *Memory) AllocWord(home int) uint64 {
+	return m.Alloc(home, WordBytes, m.blockBytes)
+}
+
+// ReadWord returns the word at the word-aligned address addr.
+func (m *Memory) ReadWord(addr uint64) uint64 {
+	m.checkAligned(addr)
+	m.reads++
+	return m.words[addr]
+}
+
+// WriteWord stores val at the word-aligned address addr.
+func (m *Memory) WriteWord(addr, val uint64) {
+	m.checkAligned(addr)
+	m.writes++
+	m.words[addr] = val
+}
+
+// ReadBlock returns the words of the block containing addr.
+func (m *Memory) ReadBlock(addr uint64) []uint64 {
+	base := BlockAddr(addr, m.blockBytes)
+	n := m.blockBytes / WordBytes
+	out := make([]uint64, n)
+	m.reads++
+	for i := 0; i < n; i++ {
+		out[i] = m.words[base+uint64(i*WordBytes)]
+	}
+	return out
+}
+
+// WriteBlock stores words (len = block words) at the block containing addr.
+func (m *Memory) WriteBlock(addr uint64, words []uint64) {
+	base := BlockAddr(addr, m.blockBytes)
+	if len(words) != m.blockBytes/WordBytes {
+		panic(fmt.Sprintf("memsys: WriteBlock with %d words, want %d", len(words), m.blockBytes/WordBytes))
+	}
+	m.writes++
+	for i, w := range words {
+		m.words[base+uint64(i*WordBytes)] = w
+	}
+}
+
+// Accesses returns the cumulative DRAM read and write transaction counts.
+func (m *Memory) Accesses() (reads, writes uint64) { return m.reads, m.writes }
+
+func (m *Memory) checkAligned(addr uint64) {
+	if addr%WordBytes != 0 {
+		panic(fmt.Sprintf("memsys: unaligned word access %#x", addr))
+	}
+}

@@ -1,0 +1,201 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHomeNodeRoundTrip(t *testing.T) {
+	for n := 0; n < 128; n++ {
+		if HomeNode(NodeBase(n)) != n {
+			t.Fatalf("HomeNode(NodeBase(%d)) = %d", n, HomeNode(NodeBase(n)))
+		}
+		if HomeNode(NodeBase(n)+12345) != n {
+			t.Fatalf("offset address left node %d", n)
+		}
+	}
+}
+
+func TestBlockAddrAndWordIndex(t *testing.T) {
+	const bb = 128
+	if BlockAddr(0x1234, bb) != 0x1200 {
+		t.Errorf("BlockAddr(0x1234) = %#x", BlockAddr(0x1234, bb))
+	}
+	if WordIndex(0x1200, bb) != 0 {
+		t.Errorf("WordIndex(base) = %d", WordIndex(0x1200, bb))
+	}
+	if WordIndex(0x1208, bb) != 1 {
+		t.Errorf("WordIndex(base+8) = %d", WordIndex(0x1208, bb))
+	}
+	if WordIndex(0x1278, bb) != 15 {
+		t.Errorf("WordIndex(last) = %d", WordIndex(0x1278, bb))
+	}
+}
+
+func TestAllocSeparatesNodes(t *testing.T) {
+	m := New(4, 128, 60)
+	a := m.AllocWord(0)
+	b := m.AllocWord(3)
+	if HomeNode(a) != 0 || HomeNode(b) != 3 {
+		t.Fatalf("homes = %d, %d", HomeNode(a), HomeNode(b))
+	}
+}
+
+func TestAllocWordBlockAligned(t *testing.T) {
+	m := New(2, 128, 60)
+	prev := uint64(0)
+	for i := 0; i < 10; i++ {
+		a := m.AllocWord(1)
+		if a%128 != 0 {
+			t.Fatalf("AllocWord returned unaligned %#x", a)
+		}
+		if i > 0 && BlockAddr(a, 128) == BlockAddr(prev, 128) {
+			t.Fatalf("two AllocWords share a block: %#x, %#x", prev, a)
+		}
+		prev = a
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(1, 128, 60)
+	_ = m.Alloc(0, 8, 8)
+	a := m.Alloc(0, 64, 64)
+	if a%64 != 0 {
+		t.Fatalf("Alloc(align=64) returned %#x", a)
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	m := New(1, 128, 60)
+	for _, f := range []func(){
+		func() { m.Alloc(1, 8, 8) },  // bad node
+		func() { m.Alloc(0, 8, 4) },  // align < word
+		func() { m.Alloc(0, 8, 24) }, // non power of two
+		func() { m.Alloc(0, 0, 8) },  // zero size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReadWriteWord(t *testing.T) {
+	m := New(2, 128, 60)
+	a := m.AllocWord(1)
+	if m.ReadWord(a) != 0 {
+		t.Fatal("fresh word not zero")
+	}
+	m.WriteWord(a, 42)
+	if m.ReadWord(a) != 42 {
+		t.Fatalf("ReadWord = %d, want 42", m.ReadWord(a))
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := New(1, 128, 60)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.ReadWord(3)
+}
+
+func TestBlockIO(t *testing.T) {
+	m := New(1, 128, 60)
+	base := m.Alloc(0, 128, 128)
+	words := make([]uint64, 16)
+	for i := range words {
+		words[i] = uint64(i * 7)
+	}
+	m.WriteBlock(base, words)
+	got := m.ReadBlock(base + 24) // any addr within block
+	for i := range words {
+		if got[i] != words[i] {
+			t.Fatalf("ReadBlock[%d] = %d, want %d", i, got[i], words[i])
+		}
+	}
+	if m.ReadWord(base+8) != 7 {
+		t.Fatalf("word view disagrees with block view")
+	}
+}
+
+func TestWriteBlockSizeChecked(t *testing.T) {
+	m := New(1, 128, 60)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.WriteBlock(0, make([]uint64, 3))
+}
+
+func TestAccessCounters(t *testing.T) {
+	m := New(1, 128, 60)
+	a := m.AllocWord(0)
+	m.WriteWord(a, 1)
+	m.ReadWord(a)
+	m.ReadBlock(a)
+	r, w := m.Accesses()
+	if r != 2 || w != 1 {
+		t.Fatalf("Accesses = %d, %d; want 2, 1", r, w)
+	}
+}
+
+// Property: writes are isolated — writing one allocated word never changes
+// another.
+func TestWriteIsolationProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 || len(vals) > 64 {
+			return true
+		}
+		m := New(2, 128, 60)
+		addrs := make([]uint64, len(vals))
+		for i := range vals {
+			addrs[i] = m.AllocWord(i % 2)
+			m.WriteWord(addrs[i], vals[i])
+		}
+		for i := range vals {
+			if m.ReadWord(addrs[i]) != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct allocations never overlap.
+func TestAllocDisjointProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 || len(sizes) > 50 {
+			return true
+		}
+		m := New(1, 128, 60)
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		for _, s := range sizes {
+			size := int(s%200) + 1
+			a := m.Alloc(0, size, 8)
+			spans = append(spans, span{a, a + uint64(size)})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

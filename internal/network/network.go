@@ -1,0 +1,174 @@
+package network
+
+import (
+	"fmt"
+
+	"amosim/internal/sim"
+	"amosim/internal/topology"
+	"amosim/internal/trace"
+)
+
+// Handler consumes a delivered message. Handlers run in event context: they
+// may schedule work and send messages but must not block.
+type Handler func(Msg)
+
+// Network delivers messages between endpoints with fat-tree hop latency for
+// remote traffic and bus latency for CPU<->local-hub traffic, recording
+// traffic statistics as it goes.
+type Network struct {
+	eng  *sim.Engine
+	topo topology.Topology
+
+	hopCycles  sim.Time
+	busCycles  sim.Time
+	minPacket  int
+	headerSize int
+
+	hubs map[int]Handler
+	cpus map[int]Handler // keyed by global CPU id
+
+	stats  Stats
+	tracer *trace.Tracer
+}
+
+// Stats accumulates traffic counters. All counters are monotonically
+// non-decreasing; diff two snapshots to measure an interval.
+type Stats struct {
+	// NetMessages counts messages that crossed the network (hops > 0),
+	// total and per kind.
+	NetMessages       uint64
+	NetMessagesByKind [NumKinds]uint64
+	// LocalMessages counts CPU<->local-hub messages that never entered the
+	// network.
+	LocalMessages uint64
+	// NetBytes is the sum of packet sizes for network messages.
+	NetBytes uint64
+	// ByteHops is the sum over network messages of packetBytes x hops — the
+	// link-occupancy measure used for the paper's Figure 7 traffic plot.
+	ByteHops uint64
+	// Hops is the total hop count over network messages.
+	Hops uint64
+}
+
+// Sub returns s - o, counter by counter.
+func (s Stats) Sub(o Stats) Stats {
+	d := Stats{
+		NetMessages:   s.NetMessages - o.NetMessages,
+		LocalMessages: s.LocalMessages - o.LocalMessages,
+		NetBytes:      s.NetBytes - o.NetBytes,
+		ByteHops:      s.ByteHops - o.ByteHops,
+		Hops:          s.Hops - o.Hops,
+	}
+	for i := range s.NetMessagesByKind {
+		d.NetMessagesByKind[i] = s.NetMessagesByKind[i] - o.NetMessagesByKind[i]
+	}
+	return d
+}
+
+// Params configures a Network.
+type Params struct {
+	HopCycles  uint64
+	BusCycles  uint64
+	MinPacket  int
+	HeaderSize int
+}
+
+// New creates a network over the given topology.
+func New(eng *sim.Engine, topo topology.Topology, p Params) *Network {
+	return &Network{
+		eng:        eng,
+		topo:       topo,
+		hopCycles:  p.HopCycles,
+		busCycles:  p.BusCycles,
+		minPacket:  p.MinPacket,
+		headerSize: p.HeaderSize,
+		hubs:       make(map[int]Handler),
+		cpus:       make(map[int]Handler),
+	}
+}
+
+// RegisterHub installs the message handler for node n's hub.
+func (n *Network) RegisterHub(node int, h Handler) {
+	if _, dup := n.hubs[node]; dup {
+		panic(fmt.Sprintf("network: hub %d registered twice", node))
+	}
+	n.hubs[node] = h
+}
+
+// RegisterCPU installs the message handler for global CPU id c.
+func (n *Network) RegisterCPU(cpu int, h Handler) {
+	if _, dup := n.cpus[cpu]; dup {
+		panic(fmt.Sprintf("network: cpu %d registered twice", cpu))
+	}
+	n.cpus[cpu] = h
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetTracer installs an event tracer; every Send is recorded. Pass nil to
+// disable.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// PacketBytes returns the on-wire size of m: header plus payload, rounded up
+// to the minimum packet size.
+func (n *Network) PacketBytes(m Msg) int {
+	b := n.headerSize + m.DataBytes
+	if b < n.minPacket {
+		b = n.minPacket
+	}
+	return b
+}
+
+// Latency returns the delivery latency for a message from src to dst,
+// without sending anything.
+func (n *Network) Latency(src, dst Endpoint) sim.Time {
+	var lat sim.Time
+	if !src.IsHub() {
+		lat += sim.Time(n.busCycles) // CPU -> local hub
+	}
+	if src.Node != dst.Node {
+		lat += sim.Time(n.topo.Hops(src.Node, dst.Node)) * n.hopCycles
+	}
+	if !dst.IsHub() {
+		lat += sim.Time(n.busCycles) // hub -> CPU
+	}
+	return lat
+}
+
+// Send schedules delivery of m after the appropriate latency and records
+// traffic. Messages between distinct endpoints on the same node pay bus
+// latency only and are counted as local.
+func (n *Network) Send(m Msg) {
+	hops := 0
+	if m.Src.Node != m.Dst.Node {
+		hops = n.topo.Hops(m.Src.Node, m.Dst.Node)
+	}
+	bytes := n.PacketBytes(m)
+	if hops > 0 {
+		n.stats.NetMessages++
+		n.stats.NetMessagesByKind[m.Kind]++
+		n.stats.NetBytes += uint64(bytes)
+		n.stats.ByteHops += uint64(bytes) * uint64(hops)
+		n.stats.Hops += uint64(hops)
+	} else {
+		n.stats.LocalMessages++
+	}
+	n.tracer.Add(uint64(n.eng.Now()), "msg", "%-9s %-10s -> %-10s addr=%#x val=%d (%dB, %d hops)",
+		m.Kind, m.Src, m.Dst, m.Addr, m.Value, bytes, hops)
+	lat := n.Latency(m.Src, m.Dst)
+	n.eng.Schedule(lat, func() { n.deliver(m) })
+}
+
+func (n *Network) deliver(m Msg) {
+	var h Handler
+	if m.Dst.IsHub() {
+		h = n.hubs[m.Dst.Node]
+	} else {
+		h = n.cpus[m.Dst.CPU]
+	}
+	if h == nil {
+		panic(fmt.Sprintf("network: no handler for %s (msg %s)", m.Dst, m))
+	}
+	h(m)
+}

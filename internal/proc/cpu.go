@@ -1,0 +1,817 @@
+// Package proc models a simulated processor: an in-order core with a
+// private write-back cache, a link register for LL/SC, processor-side
+// atomic instructions, uncached accesses, AMO/MAO issue, and an active
+// message endpoint with a bounded handler queue.
+//
+// Each CPU executes one program as a sim.Process. Memory operations block
+// the program for their modeled latency; cache-state transitions triggered
+// by external protocol messages (invalidations, interventions, word
+// updates) are applied in event context at delivery time, so the cache is
+// always coherent with the directory's view regardless of where the program
+// happens to be suspended.
+package proc
+
+import (
+	"fmt"
+
+	"amosim/internal/cache"
+	"amosim/internal/core"
+	"amosim/internal/directory"
+	"amosim/internal/memsys"
+	"amosim/internal/network"
+	"amosim/internal/sim"
+)
+
+// Params carries the per-CPU timing knobs.
+type Params struct {
+	ID           int
+	Node         int
+	ProcsPerNode int
+	BlockBytes   int
+
+	L1HitCycles     uint64
+	IssueCycles     uint64
+	SpinCheckCycles uint64
+	AtomicOpCycles  uint64
+
+	ActMsgInvokeCycles  uint64
+	ActMsgHandlerCycles uint64
+	ActMsgQueueDepth    int
+	ActMsgTimeoutCycles uint64
+}
+
+// Handler is an active-message handler body. It runs in the context of the
+// home CPU's process and may perform memory operations on it. It returns
+// the value carried back to the sender.
+type Handler func(c *CPU, addr, arg uint64) uint64
+
+// opKind classifies the in-flight cache transaction.
+type opKind int
+
+const (
+	opNone opKind = iota
+	opLoad
+	opLoadLinked
+	opStore
+	opStoreConditional
+	opAtomicRMW
+)
+
+// pendingOp is the CPU's single outstanding cache transaction.
+type pendingOp struct {
+	kind   opKind
+	addr   uint64
+	val    uint64 // store value / RMW operand
+	aux    uint64 // RMW second operand (CAS expected value)
+	rmw    core.Op
+	result uint64
+	ok     bool // SC success
+	filled bool // reply processed
+}
+
+// CPU is one simulated processor.
+type CPU struct {
+	p   Params
+	eng *sim.Engine
+	net *network.Network
+	c   *cache.Cache
+
+	proc     *sim.Process
+	attached bool
+
+	pending     *pendingOp
+	pendingWake func()
+	wakeOnAmsg  bool
+
+	replyQ []network.Msg
+
+	linkAddr  uint64
+	linkValid bool
+
+	// lineEvents wakes spin loops whenever any line is invalidated or
+	// updated, or an active message arrives. Spinners re-check their
+	// predicate on every wake.
+	lineEvents *sim.Cond
+
+	amsgQ    []network.Msg
+	handlers map[int]Handler
+
+	// counters
+	scFailures  uint64
+	amsgNacks   uint64
+	amsgRetries uint64
+	amsgServed  uint64
+}
+
+// New creates a CPU with its private cache and registers its network
+// endpoint.
+func New(eng *sim.Engine, net *network.Network, cch *cache.Cache, p Params) *CPU {
+	c := &CPU{
+		p:          p,
+		eng:        eng,
+		net:        net,
+		c:          cch,
+		lineEvents: sim.NewCond(eng),
+		handlers:   make(map[int]Handler),
+	}
+	net.RegisterCPU(p.ID, c.deliver)
+	return c
+}
+
+// ID returns the global CPU id.
+func (c *CPU) ID() int { return c.p.ID }
+
+// Node returns the CPU's node id.
+func (c *CPU) Node() int { return c.p.Node }
+
+// Cache exposes the private cache for tests and stats.
+func (c *CPU) Cache() *cache.Cache { return c.c }
+
+// Counters returns cumulative SC failures, active-message NACKs received,
+// retransmissions sent, and handlers served.
+func (c *CPU) Counters() (scFail, nacks, retries, served uint64) {
+	return c.scFailures, c.amsgNacks, c.amsgRetries, c.amsgServed
+}
+
+// RegisterHandler installs the active-message handler with the given id.
+func (c *CPU) RegisterHandler(id int, h Handler) {
+	if _, dup := c.handlers[id]; dup {
+		panic(fmt.Sprintf("proc: handler %d registered twice on cpu %d", id, c.p.ID))
+	}
+	c.handlers[id] = h
+}
+
+// HasHandler reports whether a handler with the given id is installed.
+func (c *CPU) HasHandler(id int) bool {
+	_, ok := c.handlers[id]
+	return ok
+}
+
+// Run attaches a program to the CPU and starts it after delay cycles. A CPU
+// runs at most one program per simulation.
+func (c *CPU) Run(delay sim.Time, program func(c *CPU)) {
+	if c.attached {
+		panic(fmt.Sprintf("proc: cpu %d already has a program", c.p.ID))
+	}
+	c.attached = true
+	c.eng.Spawn(fmt.Sprintf("cpu%d", c.p.ID), delay, func(p *sim.Process) {
+		c.proc = p
+		program(c)
+		c.proc = nil
+	})
+}
+
+// Now returns the current simulated time.
+func (c *CPU) Now() sim.Time { return c.eng.Now() }
+
+// Think charges cycles of local computation.
+func (c *CPU) Think(cycles uint64) { c.proc.Sleep(sim.Time(cycles)) }
+
+func (c *CPU) endpoint() network.Endpoint {
+	return network.Endpoint{Node: c.p.Node, CPU: c.p.ID}
+}
+
+func (c *CPU) block(addr uint64) uint64 {
+	return memsys.BlockAddr(addr, c.p.BlockBytes)
+}
+
+func (c *CPU) home(addr uint64) network.Endpoint {
+	return network.Hub(memsys.HomeNode(addr))
+}
+
+// --- message delivery (event context) -------------------------------------
+
+func (c *CPU) deliver(m network.Msg) {
+	switch m.Kind {
+	case network.KindDataShared, network.KindDataExclusive, network.KindAckExclusive:
+		c.applyCacheReply(m)
+	case network.KindInvalidate:
+		c.applyInvalidate(m)
+	case network.KindIntervention:
+		c.applyIntervention(m)
+	case network.KindWordUpdate:
+		c.c.PatchWord(m.Addr, m.Value)
+		c.lineEvents.Broadcast()
+	case network.KindUncachedLoadReply, network.KindUncachedStoreAck,
+		network.KindMAOReply, network.KindAMOReply,
+		network.KindActiveMessageAck, network.KindActiveMessageNack,
+		network.KindActiveMessageReply:
+		c.pushReply(m)
+	case network.KindActiveMessage:
+		c.acceptActiveMessage(m)
+	default:
+		panic(fmt.Sprintf("proc: cpu %d got unexpected %v", c.p.ID, m))
+	}
+}
+
+// applyCacheReply completes the pending cache transaction at delivery time,
+// so a racing intervention a cycle later sees fully committed state.
+func (c *CPU) applyCacheReply(m network.Msg) {
+	op := c.pending
+	if op == nil || op.filled {
+		panic(fmt.Sprintf("proc: cpu %d cache reply with no pending op: %v", c.p.ID, m))
+	}
+	block := c.block(op.addr)
+	switch m.Kind {
+	case network.KindDataShared:
+		c.installLine(block, cache.Shared, m.Data)
+	case network.KindDataExclusive:
+		c.installLine(block, cache.Modified, m.Data)
+	case network.KindAckExclusive:
+		if !c.c.Promote(op.addr) {
+			// The line vanished between upgrade and grant; the directory
+			// only sends AckExclusive to a live sharer, so this is a bug.
+			panic(fmt.Sprintf("proc: cpu %d AckExclusive without line", c.p.ID))
+		}
+	}
+	switch op.kind {
+	case opLoad, opLoadLinked:
+		v, ok := c.c.ReadWord(op.addr)
+		if !ok {
+			panic("proc: load reply without line")
+		}
+		op.result = v
+		if op.kind == opLoadLinked {
+			c.linkAddr = block
+			c.linkValid = true
+		}
+	case opStore:
+		c.c.WriteWord(op.addr, op.val)
+	case opStoreConditional:
+		if c.linkValid && c.linkAddr == block {
+			c.c.WriteWord(op.addr, op.val)
+			op.ok = true
+			c.linkValid = false
+		} else {
+			op.ok = false
+		}
+	case opAtomicRMW:
+		v, _ := c.c.ReadWord(op.addr)
+		op.result = v
+		c.c.WriteWord(op.addr, op.rmw.Apply(v, op.val, op.aux))
+	}
+	op.filled = true
+	c.wakePending()
+}
+
+func (c *CPU) installLine(block uint64, st cache.State, data []uint64) {
+	words := make([]uint64, len(data))
+	copy(words, data)
+	victim, dirty := c.c.Insert(block, st, words)
+	if dirty {
+		c.writeback(victim)
+	}
+}
+
+func (c *CPU) writeback(v cache.Victim) {
+	c.net.Send(network.Msg{
+		Kind:      network.KindWriteback,
+		Src:       c.endpoint(),
+		Dst:       c.home(v.Addr),
+		Addr:      v.Addr,
+		DataBytes: c.p.BlockBytes,
+		Data:      v.Words,
+	})
+}
+
+func (c *CPU) applyInvalidate(m network.Msg) {
+	c.c.Invalidate(m.Addr)
+	if c.linkValid && c.linkAddr == c.block(m.Addr) {
+		c.linkValid = false
+	}
+	c.net.Send(network.Msg{
+		Kind: network.KindInvalidateAck,
+		Src:  c.endpoint(),
+		Dst:  m.Src,
+		Addr: m.Addr,
+	})
+	c.lineEvents.Broadcast()
+}
+
+func (c *CPU) applyIntervention(m network.Msg) {
+	reply := network.Msg{
+		Kind: network.KindInterventionAck,
+		Src:  c.endpoint(),
+		Dst:  m.Src,
+		Addr: m.Addr,
+	}
+	if m.Flags&directory.IvnInvalidate != 0 {
+		st, words := c.c.Invalidate(m.Addr)
+		if c.linkValid && c.linkAddr == c.block(m.Addr) {
+			c.linkValid = false
+		}
+		if st == cache.Modified {
+			reply.Data = copyWords(words)
+			reply.DataBytes = c.p.BlockBytes
+		} else {
+			// Already written back or only shared: the home's out-of-band
+			// writeback processing has (or will have) current data.
+			reply.Flags = directory.IvnAckStale
+		}
+		c.lineEvents.Broadcast()
+	} else {
+		if words, ok := c.c.Downgrade(m.Addr); ok {
+			reply.Data = copyWords(words)
+			reply.DataBytes = c.p.BlockBytes
+		} else {
+			reply.Flags = directory.IvnAckStale
+		}
+	}
+	c.net.Send(reply)
+}
+
+func copyWords(w []uint64) []uint64 {
+	out := make([]uint64, len(w))
+	copy(out, w)
+	return out
+}
+
+func (c *CPU) pushReply(m network.Msg) {
+	c.replyQ = append(c.replyQ, m)
+	c.wakePending()
+}
+
+func (c *CPU) acceptActiveMessage(m network.Msg) {
+	if len(c.amsgQ) >= c.p.ActMsgQueueDepth {
+		c.net.Send(network.Msg{
+			Kind: network.KindActiveMessageNack,
+			Src:  c.endpoint(), Dst: m.Src,
+			Addr: m.Addr, Txn: m.Txn,
+		})
+		return
+	}
+	c.amsgQ = append(c.amsgQ, m)
+	c.net.Send(network.Msg{
+		Kind: network.KindActiveMessageAck,
+		Src:  c.endpoint(), Dst: m.Src,
+		Addr: m.Addr, Txn: m.Txn,
+	})
+	if c.pendingWake != nil && c.wakeOnAmsg {
+		c.wakePending()
+	} else {
+		c.lineEvents.Broadcast()
+	}
+}
+
+func (c *CPU) wakePending() {
+	if c.pendingWake == nil {
+		return
+	}
+	w := c.pendingWake
+	c.pendingWake = nil
+	w()
+}
+
+// --- process-side waiting --------------------------------------------------
+
+// parkForReply suspends the program until wakePending fires.
+func (c *CPU) parkForReply() {
+	if c.pendingWake != nil {
+		panic(fmt.Sprintf("proc: cpu %d has two outstanding waits", c.p.ID))
+	}
+	c.proc.Await(func(wake func()) { c.pendingWake = wake })
+}
+
+// awaitCacheReply issues no messages itself; the caller has sent the request
+// and installed c.pending.
+func (c *CPU) awaitCacheReply() *pendingOp {
+	op := c.pending
+	for !op.filled {
+		c.parkForReply()
+	}
+	c.pending = nil
+	return op
+}
+
+// awaitMsg pops the next reply-class message, parking until one arrives. If
+// serveAmsg is set, queued active messages are served while waiting (this is
+// what prevents distributed home-CPU deadlock: two home CPUs RPC-ing each
+// other must keep draining their own handler queues).
+func (c *CPU) awaitMsg(serveAmsg bool) network.Msg {
+	for {
+		if len(c.replyQ) > 0 {
+			m := c.replyQ[0]
+			c.replyQ = c.replyQ[1:]
+			return m
+		}
+		if serveAmsg && len(c.amsgQ) > 0 {
+			c.serveOneActiveMessage()
+			continue
+		}
+		c.wakeOnAmsg = serveAmsg
+		c.parkForReply()
+		c.wakeOnAmsg = false
+	}
+}
+
+// --- cached memory operations ---------------------------------------------
+
+// Load performs a coherent load of the word at addr.
+func (c *CPU) Load(addr uint64) uint64 {
+	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	for {
+		if ln := c.c.Lookup(addr); ln != nil {
+			c.proc.Sleep(sim.Time(c.p.L1HitCycles))
+			// Re-check after the hit latency: an invalidation may have
+			// raced in while we slept.
+			if v, ok := c.c.ReadWord(addr); ok {
+				c.c.Touch(addr)
+				return v
+			}
+			continue
+		}
+		c.pending = &pendingOp{kind: opLoad, addr: addr}
+		c.net.Send(network.Msg{
+			Kind: network.KindGetShared,
+			Src:  c.endpoint(), Dst: c.home(addr),
+			Addr: c.block(addr),
+		})
+		op := c.awaitCacheReply()
+		return op.result
+	}
+}
+
+// LoadLinked performs the LL half of LL/SC. Like the R10K/Origin lineage it
+// fetches the block with write intent (exclusive), so an uncontended SC
+// completes locally; contended LL/SC then serializes through block
+// migration rather than upgrade storms — the behaviour Figure 1(a) of the
+// paper depicts ("all three processors request exclusive ownership").
+func (c *CPU) LoadLinked(addr uint64) uint64 {
+	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	for {
+		ln := c.c.Lookup(addr)
+		if ln != nil && ln.State == cache.Modified {
+			c.proc.Sleep(sim.Time(c.p.L1HitCycles))
+			if cur := c.c.Lookup(addr); cur != nil && cur.State == cache.Modified {
+				v, _ := c.c.ReadWord(addr)
+				c.linkAddr = c.block(addr)
+				c.linkValid = true
+				return v
+			}
+			continue
+		}
+		kind := network.KindGetExclusive
+		if ln != nil { // shared: upgrade to exclusive
+			kind = network.KindUpgrade
+		}
+		c.pending = &pendingOp{kind: opLoadLinked, addr: addr}
+		c.net.Send(network.Msg{
+			Kind: kind,
+			Src:  c.endpoint(), Dst: c.home(addr),
+			Addr: c.block(addr),
+		})
+		op := c.awaitCacheReply()
+		return op.result
+	}
+}
+
+// Store performs a coherent store. The write commits at ownership-grant
+// time, so it never retries.
+func (c *CPU) Store(addr, val uint64) {
+	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	for {
+		ln := c.c.Lookup(addr)
+		if ln != nil && ln.State == cache.Modified {
+			c.proc.Sleep(sim.Time(c.p.L1HitCycles))
+			if cur := c.c.Lookup(addr); cur != nil && cur.State == cache.Modified {
+				c.c.WriteWord(addr, val)
+				return
+			}
+			continue
+		}
+		kind := network.KindGetExclusive
+		if ln != nil { // shared: upgrade
+			kind = network.KindUpgrade
+		}
+		c.pending = &pendingOp{kind: opStore, addr: addr, val: val}
+		c.net.Send(network.Msg{
+			Kind: kind,
+			Src:  c.endpoint(), Dst: c.home(addr),
+			Addr: c.block(addr),
+		})
+		c.awaitCacheReply()
+		return
+	}
+}
+
+// StoreConditional attempts the SC half of LL/SC. It reports success; it
+// fails fast when the link is already broken.
+func (c *CPU) StoreConditional(addr, val uint64) bool {
+	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	if !c.linkValid || c.linkAddr != c.block(addr) {
+		c.scFailures++
+		return false
+	}
+	ln := c.c.Lookup(addr)
+	if ln == nil {
+		// Line evicted (or invalidation raced the link check): fail.
+		c.linkValid = false
+		c.scFailures++
+		return false
+	}
+	if ln.State == cache.Modified {
+		c.proc.Sleep(sim.Time(c.p.L1HitCycles))
+		if cur := c.c.Lookup(addr); cur != nil && cur.State == cache.Modified && c.linkValid && c.linkAddr == c.block(addr) {
+			c.c.WriteWord(addr, val)
+			c.linkValid = false
+			return true
+		}
+		c.scFailures++
+		return false
+	}
+	c.pending = &pendingOp{kind: opStoreConditional, addr: addr, val: val}
+	c.net.Send(network.Msg{
+		Kind: network.KindUpgrade,
+		Src:  c.endpoint(), Dst: c.home(addr),
+		Addr: c.block(addr),
+	})
+	op := c.awaitCacheReply()
+	if !op.ok {
+		c.scFailures++
+	}
+	return op.ok
+}
+
+// AtomicFetchAdd is the processor-side atomic fetch-and-add: a single
+// exclusive-ownership transaction whose read-modify-write commits at grant
+// time. It returns the previous value.
+func (c *CPU) AtomicFetchAdd(addr, delta uint64) uint64 {
+	return c.atomicRMW(core.OpFetchAdd, addr, delta, 0)
+}
+
+// AtomicSwap atomically exchanges the word at addr with val, returning the
+// previous value.
+func (c *CPU) AtomicSwap(addr, val uint64) uint64 {
+	return c.atomicRMW(core.OpSwap, addr, val, 0)
+}
+
+// AtomicCompareSwap atomically replaces the word at addr with val if it
+// equals expect, returning the previous value (success iff result ==
+// expect).
+func (c *CPU) AtomicCompareSwap(addr, expect, val uint64) uint64 {
+	return c.atomicRMW(core.OpCompareSwap, addr, val, expect)
+}
+
+// atomicRMW implements the processor-side atomic instructions: the RMW
+// commits at ownership-grant time, so it never retries.
+func (c *CPU) atomicRMW(op core.Op, addr, operand, aux uint64) uint64 {
+	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	for {
+		ln := c.c.Lookup(addr)
+		if ln != nil && ln.State == cache.Modified {
+			c.proc.Sleep(sim.Time(c.p.AtomicOpCycles))
+			if cur := c.c.Lookup(addr); cur != nil && cur.State == cache.Modified {
+				v, _ := c.c.ReadWord(addr)
+				c.c.WriteWord(addr, op.Apply(v, operand, aux))
+				return v
+			}
+			continue
+		}
+		kind := network.KindGetExclusive
+		if ln != nil {
+			kind = network.KindUpgrade
+		}
+		c.pending = &pendingOp{kind: opAtomicRMW, addr: addr, val: operand, aux: aux, rmw: op}
+		c.net.Send(network.Msg{
+			Kind: kind,
+			Src:  c.endpoint(), Dst: c.home(addr),
+			Addr: c.block(addr),
+		})
+		done := c.awaitCacheReply()
+		return done.result
+	}
+}
+
+// --- uncached and memory-side operations -----------------------------------
+
+// UncachedLoad reads a word directly from its home node, bypassing the
+// cache (the access mode MAO spinning requires).
+func (c *CPU) UncachedLoad(addr uint64) uint64 {
+	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.net.Send(network.Msg{
+		Kind: network.KindUncachedLoad,
+		Src:  c.endpoint(), Dst: c.home(addr),
+		Addr: addr,
+	})
+	return c.awaitMsg(false).Value
+}
+
+// UncachedStore writes a word directly at its home node.
+func (c *CPU) UncachedStore(addr, val uint64) {
+	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.net.Send(network.Msg{
+		Kind: network.KindUncachedStore,
+		Src:  c.endpoint(), Dst: c.home(addr),
+		Addr:  addr,
+		Value: val,
+	})
+	c.awaitMsg(false)
+}
+
+// MAOFetchAdd issues a conventional memory-side atomic fetch-and-add
+// (uncached, no coherence interaction) and returns the previous value.
+func (c *CPU) MAOFetchAdd(addr, delta uint64) uint64 {
+	return c.mao(core.OpFetchAdd, addr, delta, 0)
+}
+
+// MAOSwap issues a memory-side atomic exchange.
+func (c *CPU) MAOSwap(addr, val uint64) uint64 {
+	return c.mao(core.OpSwap, addr, val, 0)
+}
+
+// MAOCompareSwap issues a memory-side compare-and-swap; returns the
+// previous value.
+func (c *CPU) MAOCompareSwap(addr, expect, val uint64) uint64 {
+	return c.mao(core.OpCompareSwap, addr, val, expect)
+}
+
+func (c *CPU) mao(op core.Op, addr, operand, aux uint64) uint64 {
+	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.net.Send(network.Msg{
+		Kind: network.KindMAORequest,
+		Src:  c.endpoint(), Dst: c.home(addr),
+		Addr:  addr,
+		Value: operand,
+		Aux:   aux,
+		Op:    int(op),
+		Flags: core.FlagMAO,
+	})
+	return c.awaitMsg(false).Value
+}
+
+// AMO issues an active memory operation and returns the previous value of
+// the word. test is compared against the operation result when
+// core.FlagTest is set; core.FlagUpdateAlways pushes a word update after
+// every operation.
+func (c *CPU) AMO(op core.Op, addr, operand, test uint64, flags uint32) uint64 {
+	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.net.Send(network.Msg{
+		Kind: network.KindAMORequest,
+		Src:  c.endpoint(), Dst: c.home(addr),
+		Addr:  addr,
+		Value: operand,
+		Aux:   test,
+		Op:    int(op),
+		Flags: flags,
+	})
+	return c.awaitMsg(false).Value
+}
+
+// AMOInc is the paper's amo.inc: increment with a test value that triggers
+// the fine-grained update when the count reaches target.
+func (c *CPU) AMOInc(addr, target uint64) uint64 {
+	return c.AMO(core.OpInc, addr, 0, target, core.FlagTest)
+}
+
+// AMOFetchAdd is the paper's amo.fetchadd: add delta and immediately push
+// the new value into sharers' caches.
+func (c *CPU) AMOFetchAdd(addr, delta uint64) uint64 {
+	return c.AMO(core.OpFetchAdd, addr, delta, 0, core.FlagUpdateAlways)
+}
+
+// --- active messages --------------------------------------------------------
+
+// homeCPU returns the CPU id that executes active message handlers for the
+// given address: CPU 0 of the home node.
+func (c *CPU) homeCPU(addr uint64) int {
+	return memsys.HomeNode(addr) * c.p.ProcsPerNode
+}
+
+// ActiveMessageCall ships (handler, addr, arg) to the home CPU of addr and
+// blocks until the handler's result returns. NACKed sends (queue overflow at
+// the home) are retransmitted after a deterministic linear backoff.
+// Self-directed calls run the handler inline, as a local invocation.
+func (c *CPU) ActiveMessageCall(handler int, addr, arg uint64) uint64 {
+	target := c.homeCPU(addr)
+	if target == c.p.ID {
+		c.proc.Sleep(sim.Time(c.p.ActMsgInvokeCycles))
+		return c.runHandler(handler, addr, arg)
+	}
+	for attempt := uint64(1); ; attempt++ {
+		c.proc.Sleep(sim.Time(c.p.IssueCycles))
+		c.net.Send(network.Msg{
+			Kind:  network.KindActiveMessage,
+			Src:   c.endpoint(),
+			Dst:   network.Endpoint{Node: target / c.p.ProcsPerNode, CPU: target},
+			Addr:  addr,
+			Value: arg,
+			Op:    handler,
+			Txn:   uint64(c.p.ID),
+		})
+		m := c.awaitMsg(true)
+		switch m.Kind {
+		case network.KindActiveMessageNack:
+			c.amsgNacks++
+			c.amsgRetries++
+			// Deterministic linear backoff with a per-CPU phase offset.
+			c.proc.Sleep(sim.Time(c.p.ActMsgTimeoutCycles*attempt + uint64(c.p.ID%13)*64))
+		case network.KindActiveMessageAck:
+			// Accepted; now wait for the handler's reply (serving our own
+			// queue meanwhile).
+			r := c.awaitMsg(true)
+			if r.Kind != network.KindActiveMessageReply {
+				panic(fmt.Sprintf("proc: cpu %d expected AMSG reply, got %v", c.p.ID, r))
+			}
+			return r.Value
+		default:
+			panic(fmt.Sprintf("proc: cpu %d unexpected %v during active message call", c.p.ID, m))
+		}
+	}
+}
+
+// serveOneActiveMessage runs the oldest queued handler. Called from process
+// context.
+func (c *CPU) serveOneActiveMessage() {
+	m := c.amsgQ[0]
+	c.amsgQ = c.amsgQ[1:]
+	c.amsgServed++
+	c.proc.Sleep(sim.Time(c.p.ActMsgInvokeCycles))
+	result := c.runHandler(m.Op, m.Addr, m.Value)
+	c.net.Send(network.Msg{
+		Kind:  network.KindActiveMessageReply,
+		Src:   c.endpoint(),
+		Dst:   m.Src,
+		Addr:  m.Addr,
+		Value: result,
+		Txn:   m.Txn,
+	})
+}
+
+func (c *CPU) runHandler(id int, addr, arg uint64) uint64 {
+	h := c.handlers[id]
+	if h == nil {
+		panic(fmt.Sprintf("proc: cpu %d has no handler %d", c.p.ID, id))
+	}
+	c.proc.Sleep(sim.Time(c.p.ActMsgHandlerCycles))
+	return h(c, addr, arg)
+}
+
+// ServeActiveMessages drains queued handlers; spin loops call this so home
+// CPUs keep making progress while they wait. Reports whether any ran.
+func (c *CPU) ServeActiveMessages() bool {
+	ran := false
+	for len(c.amsgQ) > 0 {
+		c.serveOneActiveMessage()
+		ran = true
+	}
+	return ran
+}
+
+// ServeUntil keeps the CPU serving active messages until done reports true.
+// The machine parks finished programs here so home CPUs remain responsive
+// while other CPUs still need their handlers. Poke wakes the loop.
+func (c *CPU) ServeUntil(done func() bool) {
+	for !done() {
+		if c.ServeActiveMessages() {
+			continue
+		}
+		c.lineEvents.Wait(c.proc)
+	}
+	c.ServeActiveMessages() // final drain (queues are empty by construction)
+}
+
+// Poke wakes the CPU's spin/serve loops so they re-check their predicates.
+func (c *CPU) Poke() { c.lineEvents.Broadcast() }
+
+// --- spinning ----------------------------------------------------------------
+
+// SpinUntil loads addr coherently until pred holds, parking between checks
+// and waking on any line event (invalidation, word update) or incoming
+// active message. Returns the satisfying value.
+func (c *CPU) SpinUntil(addr uint64, pred func(uint64) bool) uint64 {
+	for {
+		v := c.Load(addr)
+		c.proc.Sleep(sim.Time(c.p.SpinCheckCycles))
+		if pred(v) {
+			return v
+		}
+		if c.ServeActiveMessages() {
+			continue
+		}
+		// Re-check the line after serving/sleeping: if it vanished, go load
+		// again rather than waiting for a wake that may never come.
+		if _, ok := c.c.ReadWord(addr); !ok {
+			continue
+		}
+		if cur, _ := c.c.ReadWord(addr); pred(cur) {
+			return cur
+		}
+		c.lineEvents.Wait(c.proc)
+	}
+}
+
+// SpinUntilUncached polls addr with uncached loads (the MAO spin mode),
+// with a fixed delay between polls. Returns the satisfying value.
+func (c *CPU) SpinUntilUncached(addr uint64, pred func(uint64) bool, pollGap uint64) uint64 {
+	for {
+		v := c.UncachedLoad(addr)
+		c.proc.Sleep(sim.Time(c.p.SpinCheckCycles))
+		if pred(v) {
+			return v
+		}
+		c.ServeActiveMessages()
+		if pollGap > 0 {
+			c.proc.Sleep(sim.Time(pollGap))
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package proc_test
+
+// Behavioural tests for the CPU model, run against a full machine (the
+// external test package breaks the machine->proc import cycle). The deeper
+// protocol interaction tests live in internal/machine; these cover the
+// CPU-local semantics and counters.
+
+import (
+	"testing"
+
+	"amosim/internal/config"
+	"amosim/internal/machine"
+	"amosim/internal/proc"
+)
+
+func newMachine(t *testing.T, procs int) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(config.Default(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+func run(t *testing.T, m *machine.Machine) {
+	t.Helper()
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := newMachine(t, 4)
+	addr := m.AllocWord(1)
+	var got uint64
+	m.OnCPU(0, func(c *proc.CPU) {
+		c.Store(addr, 123)
+		got = c.Load(addr)
+	})
+	run(t, m)
+	if got != 123 {
+		t.Fatalf("got %d, want 123", got)
+	}
+}
+
+func TestLLSCBasic(t *testing.T) {
+	m := newMachine(t, 4)
+	addr := m.AllocWord(0)
+	var v uint64
+	var ok bool
+	m.OnCPU(2, func(c *proc.CPU) {
+		v = c.LoadLinked(addr)
+		ok = c.StoreConditional(addr, v+1)
+	})
+	run(t, m)
+	if !ok || v != 0 {
+		t.Fatalf("LL/SC: v=%d ok=%v", v, ok)
+	}
+}
+
+func TestAtomicOpsFamily(t *testing.T) {
+	m := newMachine(t, 4)
+	addr := m.AllocWord(0)
+	var fa, sw, cs uint64
+	m.OnCPU(0, func(c *proc.CPU) {
+		fa = c.AtomicFetchAdd(addr, 5) // 0 -> 5
+		sw = c.AtomicSwap(addr, 9)     // 5 -> 9
+		cs = c.AtomicCompareSwap(addr, 9, 2)
+	})
+	run(t, m)
+	if fa != 0 || sw != 5 || cs != 9 {
+		t.Fatalf("olds = %d, %d, %d", fa, sw, cs)
+	}
+}
+
+func TestMAOFamily(t *testing.T) {
+	m := newMachine(t, 4)
+	addr := m.AllocWord(1)
+	var fa, sw, cs, final uint64
+	m.OnCPU(0, func(c *proc.CPU) {
+		fa = c.MAOFetchAdd(addr, 3)
+		sw = c.MAOSwap(addr, 10)
+		cs = c.MAOCompareSwap(addr, 10, 1)
+		final = c.UncachedLoad(addr)
+	})
+	run(t, m)
+	if fa != 0 || sw != 3 || cs != 10 || final != 1 {
+		t.Fatalf("values = %d, %d, %d, %d", fa, sw, cs, final)
+	}
+}
+
+func TestAMOFamily(t *testing.T) {
+	m := newMachine(t, 4)
+	addr := m.AllocWord(0)
+	var inc, fa uint64
+	m.OnCPU(1, func(c *proc.CPU) {
+		inc = c.AMOInc(addr, 100)
+		fa = c.AMOFetchAdd(addr, 4)
+	})
+	run(t, m)
+	if inc != 0 || fa != 1 {
+		t.Fatalf("olds = %d, %d", inc, fa)
+	}
+}
+
+func TestThinkAdvancesOnlyTime(t *testing.T) {
+	m := newMachine(t, 2)
+	var before, after uint64
+	m.OnCPU(0, func(c *proc.CPU) {
+		before = uint64(c.Now())
+		c.Think(500)
+		after = uint64(c.Now())
+	})
+	run(t, m)
+	if after-before != 500 {
+		t.Fatalf("Think advanced %d cycles, want 500", after-before)
+	}
+	if n := m.Net.Stats().NetMessages; n != 0 {
+		t.Fatalf("Think generated %d messages", n)
+	}
+}
+
+func TestCPUAccessors(t *testing.T) {
+	m := newMachine(t, 4)
+	c := m.CPUs[3]
+	if c.ID() != 3 || c.Node() != 1 {
+		t.Fatalf("ID/Node = %d/%d", c.ID(), c.Node())
+	}
+	if c.Cache() == nil {
+		t.Fatal("nil cache")
+	}
+	if c.HasHandler(1) {
+		t.Fatal("phantom handler")
+	}
+	scf, nacks, retries, served := c.Counters()
+	if scf+nacks+retries+served != 0 {
+		t.Fatal("fresh counters nonzero")
+	}
+}
+
+func TestSpinUntilImmediateSatisfaction(t *testing.T) {
+	m := newMachine(t, 2)
+	addr := m.AllocWord(0)
+	m.Mem.WriteWord(addr, 7)
+	var got uint64
+	m.OnCPU(0, func(c *proc.CPU) {
+		got = c.SpinUntil(addr, func(v uint64) bool { return v == 7 })
+	})
+	run(t, m)
+	if got != 7 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestActiveMessageArgumentPlumbing(t *testing.T) {
+	m := newMachine(t, 4)
+	addr := m.AllocWord(1)
+	m.RegisterHandlerAll(5, func(c *proc.CPU, a, arg uint64) uint64 {
+		return a + arg // echo computed from both fields
+	})
+	var got uint64
+	m.OnCPU(0, func(c *proc.CPU) {
+		got = c.ActiveMessageCall(5, addr, 11)
+	})
+	m.OnCPU(2, func(c *proc.CPU) { c.Think(1) })
+	run(t, m)
+	if got != addr+11 {
+		t.Fatalf("handler result = %d, want %d", got, addr+11)
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// Kernel microbenchmarks: the simulator's host-side speed bounds how large
+// an experiment is practical, so we track the cost of the two hot paths —
+// event scheduling/dispatch and process context switches.
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProcessSwitch(b *testing.B) {
+	e := NewEngine()
+	const hops = 1000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Spawn("p", 0, func(p *Process) {
+			for j := 0; j < hops; j++ {
+				p.Sleep(1)
+			}
+		})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	e.Shutdown()
+}
+
+func BenchmarkCondBroadcast(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		c := NewCond(e)
+		for j := 0; j < 64; j++ {
+			e.Spawn("w", 0, func(p *Process) { c.Wait(p) })
+		}
+		e.Schedule(10, c.Broadcast)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		e.Shutdown()
+	}
+}

@@ -1,0 +1,154 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock measured in CPU cycles and executes
+// events in (time, sequence) order, so identical inputs always produce
+// identical schedules. Two styles of simulated activity coexist:
+//
+//   - event handlers: plain callbacks scheduled with Engine.Schedule, used by
+//     hardware models (caches, directories, network, AMU);
+//   - processes: coroutines started with Engine.Spawn, used by simulated
+//     CPUs running synchronization algorithms. A process may sleep for a
+//     number of cycles or park on a Cond; while it runs, no other process or
+//     event handler runs, so simulated state needs no locking.
+//
+// The engine detects deadlock (live processes but no pending events) and
+// supports bounded runs via RunUntil.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in CPU cycles.
+type Time = uint64
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	procs   int // live (spawned, not yet finished) processes
+	stopped bool
+	// done is closed by Shutdown to unwind parked process goroutines.
+	done chan struct{}
+	// stepping guards against re-entrant Run calls from event handlers.
+	running bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{done: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at now+delay. Events scheduled at the same instant run in
+// scheduling order. Schedule may be called from event handlers and from
+// processes.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// LiveProcesses reports the number of spawned processes that have not yet
+// returned.
+func (e *Engine) LiveProcesses() int { return e.procs }
+
+// ErrDeadlock is returned by Run when live processes remain but no event can
+// ever wake them.
+type ErrDeadlock struct {
+	At    Time
+	Procs int
+}
+
+func (err *ErrDeadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d: %d process(es) parked with no pending events", err.At, err.Procs)
+}
+
+// Run executes events until the queue drains. It returns nil when the queue
+// is empty and no processes remain parked, or an *ErrDeadlock if parked
+// processes can never be woken.
+func (e *Engine) Run() error {
+	return e.RunUntil(^Time(0))
+}
+
+// RunUntil executes events with timestamps <= deadline. It returns nil if the
+// simulation quiesced (possibly before the deadline), an *ErrDeadlock on
+// deadlock, or ErrDeadline if the deadline fired with work remaining.
+func (e *Engine) RunUntil(deadline Time) error {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			return ErrDeadline
+		}
+		ev := heap.Pop(&e.queue).(event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.procs > 0 && !e.stopped {
+		return &ErrDeadlock{At: e.now, Procs: e.procs}
+	}
+	return nil
+}
+
+// ErrDeadline is returned by RunUntil when the deadline passes with events
+// still pending.
+var ErrDeadline = fmt.Errorf("sim: deadline reached with pending events")
+
+// Stop makes Run return after the current event completes. Parked processes
+// remain parked; call Shutdown to unwind them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Shutdown unwinds every parked process goroutine. After Shutdown the engine
+// must not be used. It is safe to call Shutdown multiple times. Shutdown must
+// not be called from inside a process or event handler.
+func (e *Engine) Shutdown() {
+	select {
+	case <-e.done:
+		return
+	default:
+		close(e.done)
+	}
+}

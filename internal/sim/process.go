@@ -1,0 +1,143 @@
+package sim
+
+// Process is a simulated thread of control backed by a goroutine. Exactly one
+// process (or event handler) executes at a time, handing control back to the
+// kernel whenever it sleeps or parks, so the simulation stays deterministic
+// and shared simulated state needs no locking.
+type Process struct {
+	eng  *Engine
+	name string
+	// resume carries control kernel->process, yield carries it back.
+	resume chan struct{}
+	yield  chan struct{}
+}
+
+// shutdownSentinel is panicked inside a process goroutine when the engine is
+// shut down, unwinding the stack so the goroutine exits.
+type shutdownSentinel struct{}
+
+// Spawn starts fn as a new process after delay cycles. The process runs to
+// completion unless the engine is shut down first. name is used in debugging
+// output only.
+func (e *Engine) Spawn(name string, delay Time, fn func(p *Process)) *Process {
+	p := &Process{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(shutdownSentinel); ok {
+					return // engine shut down; exit quietly
+				}
+				panic(r)
+			}
+		}()
+		p.parkInitial()
+		fn(p)
+		e.procs--
+		p.yield <- struct{}{} // final handoff back to the kernel
+	}()
+	e.Schedule(delay, func() { p.dispatch() })
+	return p
+}
+
+// dispatch transfers control from the kernel to the process and waits until
+// the process parks again or finishes. Called only from event context.
+func (p *Process) dispatch() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// parkInitial blocks the fresh goroutine until its start event dispatches it.
+func (p *Process) parkInitial() {
+	select {
+	case <-p.resume:
+	case <-p.eng.done:
+		panic(shutdownSentinel{})
+	}
+}
+
+// park returns control to the kernel and blocks until dispatched again.
+// Whoever wakes this process must do so by scheduling p.dispatch (via
+// Wake/Sleep/Cond), never by touching the channels directly.
+func (p *Process) park() {
+	p.yield <- struct{}{}
+	select {
+	case <-p.resume:
+	case <-p.eng.done:
+		panic(shutdownSentinel{})
+	}
+}
+
+// Name returns the debugging name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for d cycles. Sleep(0) yields to other work
+// scheduled at the current instant.
+func (p *Process) Sleep(d Time) {
+	p.eng.Schedule(d, func() { p.dispatch() })
+	p.park()
+}
+
+// Park suspends the process indefinitely; it runs again only when another
+// event calls the returned wake function. Calling wake more than once is a
+// bug and panics.
+func (p *Process) parkWaiting() (wake func()) {
+	woken := false
+	return func() {
+		if woken {
+			panic("sim: process woken twice")
+		}
+		woken = true
+		p.eng.Schedule(0, func() { p.dispatch() })
+	}
+}
+
+// Await parks the process until wake() is invoked by some event handler. The
+// register callback receives the wake function and must arrange for it to be
+// called exactly once; register itself runs in the process before parking.
+func (p *Process) Await(register func(wake func())) {
+	register(p.parkWaiting())
+	p.park()
+}
+
+// Cond is a broadcast-only condition variable for processes. Waiters park
+// until the next Broadcast after they began waiting. There is no Signal: the
+// simulated hardware wakes all spinners and each re-checks its predicate,
+// mirroring how cache-line events wake all local spin loops.
+type Cond struct {
+	eng     *Engine
+	waiters []func()
+}
+
+// NewCond returns a condition variable bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait parks the calling process until the next Broadcast.
+func (c *Cond) Wait(p *Process) {
+	c.waiters = append(c.waiters, p.parkWaiting())
+	p.park()
+}
+
+// Broadcast wakes every currently parked waiter. Processes that call Wait
+// after Broadcast returns wait for the next one.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Waiters reports how many processes are parked on c.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,109 @@
+// Package stats holds experiment result records and plain-text table
+// rendering for the benchmark harness that regenerates the paper's tables
+// and figures.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarrierResult is one barrier experiment (one mechanism at one scale).
+type BarrierResult struct {
+	Mechanism string
+	Procs     int
+	Episodes  int
+	// Branching is the tree branching factor, 0 for flat barriers.
+	Branching int
+
+	TotalCycles      uint64 // measurement window
+	CyclesPerBarrier float64
+	CyclesPerProc    float64 // Figures 5 and 6
+
+	NetMessagesPerBarrier float64
+	ByteHopsPerBarrier    float64
+}
+
+// LockResult is one lock experiment.
+type LockResult struct {
+	Mechanism string
+	Kind      string // "ticket" or "array"
+	Procs     int
+	Acquires  int // per CPU
+
+	TotalCycles     uint64
+	CyclesPerPass   float64 // acquire+release+CS, per lock passing
+	NetMessages     uint64
+	ByteHops        uint64
+	MessagesPerPass float64
+}
+
+// Speedup returns base/x given two cycle costs (how many times faster x is
+// than base).
+func Speedup(baseCycles, xCycles float64) float64 {
+	if xCycles == 0 {
+		return 0
+	}
+	return baseCycles / xCycles
+}
+
+// Table renders aligned plain-text tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// F1 formats a float with one decimal, F2 with two.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// U formats a uint64.
+func U(v uint64) string { return fmt.Sprintf("%d", v) }

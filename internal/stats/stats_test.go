@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100, 50); got != 2 {
+		t.Errorf("Speedup(100, 50) = %v, want 2", got)
+	}
+	if got := Speedup(50, 100); got != 0.5 {
+		t.Errorf("Speedup(50, 100) = %v, want 0.5", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Errorf("Speedup(100, 0) = %v, want 0 (guarded)", got)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"CPUs", "speedup"},
+	}
+	tb.AddRow("4", "2.10")
+	tb.AddRow("256", "61.94")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "CPUs") || !strings.Contains(lines[1], "speedup") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	// All data lines must have equal width (right-aligned columns).
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[3], lines[4])
+	}
+	if !strings.Contains(lines[4], "61.94") {
+		t.Errorf("row content missing: %q", lines[4])
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tb := &Table{Header: []string{"a"}}
+	tb.AddRow("1")
+	out := tb.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("leading blank line without title: %q", out)
+	}
+	if !strings.HasPrefix(out, "a") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F1(3.14159) != "3.1" {
+		t.Errorf("F1 = %q", F1(3.14159))
+	}
+	if F2(3.14159) != "3.14" {
+		t.Errorf("F2 = %q", F2(3.14159))
+	}
+	if I(42) != "42" {
+		t.Errorf("I = %q", I(42))
+	}
+	if U(7) != "7" {
+		t.Errorf("U = %q", U(7))
+	}
+}
+
+// Property: rendering never loses cells — every cell string appears in the
+// output, and wide cells widen their column for all rows.
+func TestRenderContainsAllCellsProperty(t *testing.T) {
+	f := func(cells [][2]uint16) bool {
+		if len(cells) == 0 || len(cells) > 20 {
+			return true
+		}
+		tb := &Table{Header: []string{"x", "y"}}
+		for _, c := range cells {
+			tb.AddRow(I(int(c[0])), I(int(c[1])))
+		}
+		out := tb.Render()
+		for _, c := range cells {
+			if !strings.Contains(out, I(int(c[0]))) || !strings.Contains(out, I(int(c[1]))) {
+				return false
+			}
+		}
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		width := len(lines[0])
+		for _, l := range lines {
+			if len(l) != width {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupRoundTripProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a == 0 || b == 0 {
+			return true
+		}
+		s := Speedup(float64(a), float64(b))
+		inv := Speedup(float64(b), float64(a))
+		return s > 0 && inv > 0 && s*inv > 0.999 && s*inv < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

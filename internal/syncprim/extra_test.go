@@ -1,0 +1,225 @@
+package syncprim
+
+import (
+	"testing"
+
+	"amosim/internal/proc"
+)
+
+func TestMCSLockAllMechanisms(t *testing.T) {
+	for _, mech := range Mechanisms {
+		t.Run(mech.String(), func(t *testing.T) {
+			m := newMachine(t, 8)
+			l := NewMCSLock(m, mech, 8, 0)
+			exerciseLock(t, m, func(c *proc.CPU) func() {
+				l.Acquire(c)
+				return func() { l.Release(c) }
+			}, 3)
+		})
+	}
+}
+
+func TestMCSLockUncontended(t *testing.T) {
+	m := newMachine(t, 4)
+	l := NewMCSLock(m, Atomic, 4, 0)
+	done := false
+	m.OnCPU(0, func(c *proc.CPU) {
+		for i := 0; i < 5; i++ {
+			l.Acquire(c)
+			c.Think(10)
+			l.Release(c)
+		}
+		done = true
+	})
+	mustRun(t, m)
+	if !done {
+		t.Fatal("uncontended MCS did not complete")
+	}
+}
+
+func TestMCSLockHandoffChain(t *testing.T) {
+	// Staggered arrivals exercise both release paths: known successor and
+	// tail-CAS reset.
+	const procs = 6
+	m := newMachine(t, procs)
+	l := NewMCSLock(m, AMO, procs, 0)
+	var order []int
+	m.OnAllCPUs(func(c *proc.CPU) {
+		c.Think(uint64(c.ID()) * 800)
+		l.Acquire(c)
+		order = append(order, c.ID())
+		c.Think(3000) // long CS: later arrivals must queue
+		l.Release(c)
+	})
+	mustRun(t, m)
+	if len(order) != procs {
+		t.Fatalf("grants = %v", order)
+	}
+	seen := map[int]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("cpu %d granted twice: %v", id, order)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSenseBarrierAllMechanisms(t *testing.T) {
+	const procs = 8
+	const episodes = 4
+	for _, mech := range Mechanisms {
+		t.Run(mech.String(), func(t *testing.T) {
+			m := newMachine(t, procs)
+			b := NewSenseBarrier(m, mech, procs, 0)
+			arrived := make([]int, episodes)
+			violations := 0
+			m.OnAllCPUs(func(c *proc.CPU) {
+				for e := 0; e < episodes; e++ {
+					c.Think(uint64(c.ID()*31 + e*17))
+					arrived[e]++
+					b.Wait(c)
+					if arrived[e] != procs {
+						violations++
+					}
+				}
+			})
+			mustRun(t, m)
+			if violations != 0 {
+				t.Fatalf("%d sense-barrier violations", violations)
+			}
+		})
+	}
+}
+
+func TestDisseminationBarrier(t *testing.T) {
+	for _, amo := range []bool{false, true} {
+		name := "stores"
+		if amo {
+			name = "amo"
+		}
+		t.Run(name, func(t *testing.T) {
+			const procs = 8
+			const episodes = 3
+			m := newMachine(t, procs)
+			b := NewDisseminationBarrier(m, procs, amo)
+			if b.Rounds() != 3 {
+				t.Fatalf("Rounds = %d, want 3", b.Rounds())
+			}
+			arrived := make([]int, episodes)
+			violations := 0
+			m.OnAllCPUs(func(c *proc.CPU) {
+				for e := 0; e < episodes; e++ {
+					c.Think(uint64(c.ID()*23 + e*11))
+					arrived[e]++
+					b.Wait(c)
+					if arrived[e] != procs {
+						violations++
+					}
+				}
+			})
+			mustRun(t, m)
+			if violations != 0 {
+				t.Fatalf("%d dissemination violations", violations)
+			}
+		})
+	}
+}
+
+func TestDisseminationNonPowerOfTwo(t *testing.T) {
+	const procs = 6 // rounds = 3, wrap-around partners
+	m := newMachine(t, procs)
+	b := NewDisseminationBarrier(m, procs, false)
+	passed := 0
+	m.OnAllCPUs(func(c *proc.CPU) {
+		b.Wait(c)
+		passed++
+	})
+	mustRun(t, m)
+	if passed != procs {
+		t.Fatalf("passed = %d, want %d", passed, procs)
+	}
+}
+
+func TestAtomicSwapAndCAS(t *testing.T) {
+	m := newMachine(t, 4)
+	addr := m.AllocWord(0)
+	var swOld, casHit, casMiss uint64
+	m.OnCPU(1, func(c *proc.CPU) {
+		swOld = c.AtomicSwap(addr, 7)
+		casHit = c.AtomicCompareSwap(addr, 7, 9)
+		casMiss = c.AtomicCompareSwap(addr, 7, 11)
+		if got := c.Load(addr); got != 9 {
+			t.Errorf("final value = %d, want 9", got)
+		}
+	})
+	mustRun(t, m)
+	if swOld != 0 || casHit != 7 || casMiss != 9 {
+		t.Fatalf("olds = %d, %d, %d; want 0, 7, 9", swOld, casHit, casMiss)
+	}
+}
+
+func TestMAOSwapAndCAS(t *testing.T) {
+	m := newMachine(t, 4)
+	addr := m.AllocWord(1)
+	var swOld, casHit uint64
+	m.OnCPU(0, func(c *proc.CPU) {
+		swOld = c.MAOSwap(addr, 5)
+		casHit = c.MAOCompareSwap(addr, 5, 8)
+		if got := c.UncachedLoad(addr); got != 8 {
+			t.Errorf("final MAO value = %d, want 8", got)
+		}
+	})
+	mustRun(t, m)
+	if swOld != 0 || casHit != 5 {
+		t.Fatalf("olds = %d, %d; want 0, 5", swOld, casHit)
+	}
+}
+
+// TestBarrierWithExtremeStraggler injects a pathological straggler: one CPU
+// arrives ~100x later than everyone else, every episode. No mechanism may
+// time out, double-release, or wedge.
+func TestBarrierWithExtremeStraggler(t *testing.T) {
+	const procs = 8
+	const episodes = 3
+	for _, mech := range Mechanisms {
+		t.Run(mech.String(), func(t *testing.T) {
+			m := newMachine(t, procs)
+			b := NewBarrier(m, mech, procs, 0)
+			arrived := make([]int, episodes)
+			violations := 0
+			m.OnAllCPUs(func(c *proc.CPU) {
+				for e := 0; e < episodes; e++ {
+					if c.ID() == procs-1 {
+						c.Think(50_000) // the straggler
+					} else {
+						c.Think(uint64(100 + c.ID()))
+					}
+					arrived[e]++
+					b.Wait(c)
+					if arrived[e] != procs {
+						violations++
+					}
+				}
+			})
+			mustRun(t, m)
+			if violations != 0 {
+				t.Fatalf("%d violations with straggler", violations)
+			}
+		})
+	}
+}
+
+// TestLockStormAllAtOnce injects the worst arrival pattern: every CPU
+// acquires at cycle zero with no gap and an empty critical section.
+func TestLockStormAllAtOnce(t *testing.T) {
+	for _, mech := range Mechanisms {
+		t.Run(mech.String(), func(t *testing.T) {
+			m := newMachine(t, 16)
+			l := NewTicketLock(m, mech, 0)
+			exerciseLock(t, m, func(c *proc.CPU) func() {
+				ticket := l.Acquire(c)
+				return func() { l.Release(c, ticket) }
+			}, 2)
+		})
+	}
+}

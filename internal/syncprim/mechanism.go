@@ -1,0 +1,131 @@
+// Package syncprim implements the paper's synchronization algorithms —
+// centralized barriers, two-level software combining-tree barriers, ticket
+// locks and Anderson array-based queuing locks — each parameterized by the
+// atomic-primitive mechanism used to build it:
+//
+//	LLSC    load-linked/store-conditional retry loops (the baseline)
+//	Atomic  processor-side atomic instructions (single-ownership RMW)
+//	ActMsg  active messages handled by the home node's CPU 0
+//	MAO     conventional memory-side atomics (uncached, T3E/Origin style)
+//	AMO     the paper's active memory operations with fine-grained updates
+//
+// Conventional mechanisms use the paper's "optimized" coding (a separate
+// cache-resident spin variable, Figure 3b); AMO uses the naive coding
+// (Figure 3c), which is the point: AMOs make the simple code fast.
+package syncprim
+
+import (
+	"fmt"
+
+	"amosim/internal/core"
+	"amosim/internal/machine"
+	"amosim/internal/proc"
+)
+
+// AMO opcode/flag aliases used by the algorithms in this package.
+const (
+	amoOpInc        = core.OpInc
+	amoOpSwap       = core.OpSwap
+	amoOpCSwap      = core.OpCompareSwap
+	amoUpdateAlways = core.FlagUpdateAlways
+	amoFlagTest     = core.FlagTest
+)
+
+// Mechanism selects the atomic-primitive implementation.
+type Mechanism int
+
+// The five mechanisms compared in the paper's evaluation.
+const (
+	LLSC Mechanism = iota
+	Atomic
+	ActMsg
+	MAO
+	AMO
+)
+
+// Mechanisms lists all mechanisms in the paper's presentation order.
+var Mechanisms = []Mechanism{LLSC, Atomic, ActMsg, MAO, AMO}
+
+func (m Mechanism) String() string {
+	switch m {
+	case LLSC:
+		return "LL/SC"
+	case Atomic:
+		return "Atomic"
+	case ActMsg:
+		return "ActMsg"
+	case MAO:
+		return "MAO"
+	case AMO:
+		return "AMO"
+	}
+	return fmt.Sprintf("Mechanism(%d)", int(m))
+}
+
+// Active-message handler ids used by the ActMsg mechanism.
+const (
+	// HandlerFetchAdd atomically adds arg to *addr at the home CPU and
+	// returns the old value.
+	HandlerFetchAdd = 1
+	// HandlerBarrierInc increments *addr; when the count reaches arg (the
+	// barrier target) it releases waiters by storing arg to the flag word
+	// one block above addr. Returns the old count.
+	HandlerBarrierInc = 2
+)
+
+// RegisterHandlers installs the active-message handlers this package needs
+// on every CPU of m. It is idempotent.
+func RegisterHandlers(m *machine.Machine) {
+	if m.CPUs[0].HasHandler(HandlerFetchAdd) {
+		return
+	}
+	m.RegisterHandlerAll(HandlerFetchAdd, func(c *proc.CPU, addr, arg uint64) uint64 {
+		v := c.Load(addr)
+		c.Store(addr, v+arg)
+		return v
+	})
+	blockBytes := uint64(m.Cfg.BlockBytes)
+	m.RegisterHandlerAll(HandlerBarrierInc, func(c *proc.CPU, addr, arg uint64) uint64 {
+		v := c.Load(addr)
+		c.Store(addr, v+1)
+		if v+1 == arg {
+			c.Store(addr+blockBytes, arg) // release the spinners
+		}
+		return v
+	})
+}
+
+// LLSCFetchAdd is the classic retry loop over LL/SC, with the small
+// per-CPU-skewed backoff real library routines use: without it, contenders
+// in a deterministic machine can phase-lock, each SC invalidating the other
+// links forever. Because LoadLinked fetches the block exclusive, failures
+// only happen when an intervention lands inside the tiny LL-to-SC window,
+// so the backoff is short.
+func LLSCFetchAdd(c *proc.CPU, addr, delta uint64) uint64 {
+	for attempt := uint64(0); ; attempt++ {
+		v := c.LoadLinked(addr)
+		if c.StoreConditional(addr, v+delta) {
+			return v
+		}
+		c.Think(backoffCycles(attempt, c.ID()))
+	}
+}
+
+// FetchAdd performs an atomic fetch-and-add on addr using the given
+// mechanism, returning the previous value. For AMO the new value is pushed
+// to sharers' caches (amo.fetchadd semantics).
+func FetchAdd(c *proc.CPU, mech Mechanism, addr, delta uint64) uint64 {
+	switch mech {
+	case LLSC:
+		return LLSCFetchAdd(c, addr, delta)
+	case Atomic:
+		return c.AtomicFetchAdd(addr, delta)
+	case ActMsg:
+		return c.ActiveMessageCall(HandlerFetchAdd, addr, delta)
+	case MAO:
+		return c.MAOFetchAdd(addr, delta)
+	case AMO:
+		return c.AMOFetchAdd(addr, delta)
+	}
+	panic(fmt.Sprintf("syncprim: unknown mechanism %d", int(mech)))
+}

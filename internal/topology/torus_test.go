@@ -1,0 +1,91 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTorus2DErrors(t *testing.T) {
+	if _, err := NewTorus2D(0); err == nil {
+		t.Error("NewTorus2D(0) accepted")
+	}
+	if _, err := NewTorus2D(-1); err == nil {
+		t.Error("NewTorus2D(-1) accepted")
+	}
+}
+
+func TestTorusDims(t *testing.T) {
+	cases := []struct{ nodes, w, h int }{
+		{1, 1, 1},
+		{4, 2, 2},
+		{8, 4, 2},
+		{16, 4, 4},
+		{12, 4, 3},
+		{128, 16, 8},
+		{7, 7, 1}, // prime: degenerate ring
+	}
+	for _, c := range cases {
+		tor, err := NewTorus2D(c.nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, h := tor.Dims()
+		if w != c.w || h != c.h {
+			t.Errorf("NewTorus2D(%d) dims = %dx%d, want %dx%d", c.nodes, w, h, c.w, c.h)
+		}
+		if tor.Nodes() != c.nodes {
+			t.Errorf("Nodes = %d, want %d", tor.Nodes(), c.nodes)
+		}
+	}
+}
+
+func TestTorusHopsKnownValues(t *testing.T) {
+	tor, _ := NewTorus2D(16) // 4x4
+	cases := []struct{ a, b, hops int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},  // wrap-around in x
+		{0, 4, 1},  // one step in y
+		{0, 12, 1}, // wrap-around in y
+		{0, 5, 2},
+		{0, 10, 4}, // opposite corner: 2+2
+	}
+	for _, c := range cases {
+		if got := tor.Hops(c.a, c.b); got != c.hops {
+			t.Errorf("Hops(%d, %d) = %d, want %d", c.a, c.b, got, c.hops)
+		}
+	}
+	if tor.Diameter() != 4 {
+		t.Errorf("Diameter = %d, want 4", tor.Diameter())
+	}
+}
+
+func TestTorusHopsProperties(t *testing.T) {
+	tor, _ := NewTorus2D(64)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%64, int(b)%64, int(c)%64
+		if tor.Hops(x, y) != tor.Hops(y, x) {
+			return false
+		}
+		if (tor.Hops(x, y) == 0) != (x == y) {
+			return false
+		}
+		if tor.Hops(x, y) > tor.Diameter() {
+			return false
+		}
+		return tor.Hops(x, z) <= tor.Hops(x, y)+tor.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusOutOfRangePanics(t *testing.T) {
+	tor, _ := NewTorus2D(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tor.Hops(0, 4)
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"amosim/internal/config"
+	"amosim/internal/syncprim"
+)
+
+func TestStencilAllMechanisms(t *testing.T) {
+	for _, mech := range syncprim.Mechanisms {
+		t.Run(mech.String(), func(t *testing.T) {
+			r, err := Stencil(config.Default(8), mech, 4, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Cycles == 0 || r.NetMessages == 0 {
+				t.Fatalf("implausible result %+v", r)
+			}
+		})
+	}
+}
+
+func TestStencilSingleIteration(t *testing.T) {
+	if _, err := Stencil(config.Default(4), syncprim.AMO, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStencilRejectsBadParams(t *testing.T) {
+	if _, err := Stencil(config.Default(4), syncprim.AMO, 0, 1); err == nil {
+		t.Error("chunk 0 accepted")
+	}
+	if _, err := Stencil(config.Default(4), syncprim.AMO, 2, 0); err == nil {
+		t.Error("iters 0 accepted")
+	}
+}
+
+func TestPrefixSumAllMechanisms(t *testing.T) {
+	for _, mech := range syncprim.Mechanisms {
+		t.Run(mech.String(), func(t *testing.T) {
+			if _, err := PrefixSum(config.Default(8), mech); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPrefixSumNonPowerOfTwoCPUs(t *testing.T) {
+	// 6 CPUs: rounds d = 1, 2, 4 with partial participation.
+	if _, err := PrefixSum(config.Default(6), syncprim.Atomic); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramAllMechanisms(t *testing.T) {
+	for _, mech := range syncprim.Mechanisms {
+		t.Run(mech.String(), func(t *testing.T) {
+			if _, err := Histogram(config.Default(8), mech, 5, 10); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHistogramContendedSingleBin(t *testing.T) {
+	// One bin: maximum contention; counts must still be exact.
+	r, err := Histogram(config.Default(16), syncprim.AMO, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 {
+		t.Fatal("zero cycles")
+	}
+}
+
+func TestHistogramRejectsBadParams(t *testing.T) {
+	if _, err := Histogram(config.Default(4), syncprim.AMO, 0, 1); err == nil {
+		t.Error("bins 0 accepted")
+	}
+}
+
+func TestAMOAppsFasterThanLLSC(t *testing.T) {
+	// The headline claim, end to end: the same application binary gets
+	// faster by swapping the synchronization mechanism.
+	llsc, err := Stencil(config.Default(16), syncprim.LLSC, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amo, err := Stencil(config.Default(16), syncprim.AMO, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amo.Cycles >= llsc.Cycles {
+		t.Fatalf("AMO stencil (%d cycles) not faster than LL/SC (%d)", amo.Cycles, llsc.Cycles)
+	}
+	t.Logf("stencil 16p: LL/SC %d cycles, AMO %d cycles (%.2fx)",
+		llsc.Cycles, amo.Cycles, float64(llsc.Cycles)/float64(amo.Cycles))
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	r1, err := Histogram(config.Default(8), syncprim.MAO, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Histogram(config.Default(8), syncprim.MAO, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("nondeterministic: %+v vs %+v", r1, r2)
+	}
+}

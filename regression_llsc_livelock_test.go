@@ -1,0 +1,59 @@
+package amosim
+
+import (
+	"testing"
+
+	"amosim/internal/machine"
+	"amosim/internal/proc"
+	"amosim/internal/syncprim"
+)
+
+// TestLockHangRepro is the regression for the deterministic LL/SC livelock:
+// three contenders once phase-locked, each SC invalidating the others'
+// links forever. Fixed by exclusive-fetch LL + directory residence +
+// per-CPU-skewed backoff. It replicates RunLock's structure with a deadline
+// so a wedge surfaces as a failure with state instead of a test timeout.
+func TestLockHangRepro(t *testing.T) {
+	cfg := DefaultConfig(16)
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	l := syncprim.NewTicketLock(m, syncprim.LLSC, 0)
+	align := syncprim.NewBarrier(m, syncprim.AMO, cfg.Processors, cfg.Nodes()-1)
+	progress := make([]int, cfg.Processors)
+	m.OnAllCPUs(func(c *proc.CPU) {
+		tk := l.Acquire(c)
+		l.Release(c, tk)
+		progress[c.ID()] = 1
+		align.Wait(c)
+		progress[c.ID()] = 2
+		for i := 0; i < 3; i++ {
+			c.Think(uint64((c.ID()*29 + i*17) % 64))
+			tk := l.Acquire(c)
+			c.Think(25)
+			l.Release(c, tk)
+			progress[c.ID()] = 3 + i
+		}
+		align.Wait(c)
+		progress[c.ID()] = 100
+	})
+	if _, err := m.RunUntil(20_000_000); err != nil {
+		for id, c := range m.CPUs {
+			scf, _, _, _ := c.Counters()
+			ln := c.Cache().Lookup(l.NextAddr())
+			st := "absent"
+			if ln != nil {
+				st = ln.State.String()
+			}
+			t.Logf("cpu%d progress=%d scFail=%d nextLine=%s", id, progress[id], scf, st)
+		}
+		t.Fatalf("wedged: %v\npendingEvents=%d", err, m.Eng.Pending())
+	}
+	for id, p := range progress {
+		if p != 100 {
+			t.Errorf("cpu %d stopped at progress %d", id, p)
+		}
+	}
+}

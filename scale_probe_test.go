@@ -1,0 +1,28 @@
+package amosim
+
+import (
+	"testing"
+)
+
+// TestScaleProbe prints cycles-per-barrier across scales for all
+// mechanisms; used to calibrate against the paper's Table 2. Run with -v.
+func TestScaleProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, p := range []int{4, 16, 64, 256} {
+		cfg := DefaultConfig(p)
+		base := 0.0
+		for _, mech := range Mechanisms {
+			r, err := RunBarrier(cfg, mech, BarrierOptions{Episodes: 4, Warmup: 1})
+			if err != nil {
+				t.Fatalf("p=%d %v: %v", p, mech, err)
+			}
+			if mech == LLSC {
+				base = r.CyclesPerBarrier
+			}
+			t.Logf("p=%3d %-7s %10.0f cyc/barrier %8.1f cyc/proc  speedup=%6.2f msgs=%8.1f",
+				p, mech, r.CyclesPerBarrier, r.CyclesPerProc, base/r.CyclesPerBarrier, r.NetMessagesPerBarrier)
+		}
+	}
+}

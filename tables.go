@@ -1,0 +1,484 @@
+package amosim
+
+import (
+	"fmt"
+
+	"amosim/internal/stats"
+	"amosim/internal/syncprim"
+	"amosim/internal/workload"
+)
+
+// Paper-standard processor-count sweeps.
+var (
+	// Table2Procs are the scales of Table 2 / Figure 5.
+	Table2Procs = []int{4, 8, 16, 32, 64, 128, 256}
+	// Table3Procs are the scales of Table 3 / Figure 6.
+	Table3Procs = []int{16, 32, 64, 128, 256}
+	// Figure7Procs are the scales of Figure 7.
+	Figure7Procs = []int{128, 256}
+)
+
+// BarrierSweep runs the flat barrier for every mechanism at every scale and
+// returns results keyed [procs][mechanism].
+func BarrierSweep(procs []int, opts BarrierOptions) (map[int]map[Mechanism]BarrierResult, error) {
+	out := make(map[int]map[Mechanism]BarrierResult)
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		out[p] = make(map[Mechanism]BarrierResult)
+		for _, mech := range Mechanisms {
+			r, err := RunBarrier(cfg, mech, opts)
+			if err != nil {
+				return nil, err
+			}
+			out[p][mech] = r
+		}
+	}
+	return out, nil
+}
+
+// Table2 reproduces the paper's Table 2: speedups of ActMsg, Atomic, MAO
+// and AMO barriers over the LL/SC baseline at each scale.
+func Table2(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	res, err := BarrierSweep(procs, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:  "Table 2: speedup of barriers over the LL/SC barrier",
+		Header: []string{"CPUs", "ActMsg", "Atomic", "MAO", "AMO"},
+	}
+	for _, p := range procs {
+		base := res[p][LLSC].CyclesPerBarrier
+		t.AddRow(
+			stats.I(p),
+			stats.F2(Speedup(base, res[p][ActMsg].CyclesPerBarrier)),
+			stats.F2(Speedup(base, res[p][Atomic].CyclesPerBarrier)),
+			stats.F2(Speedup(base, res[p][MAO].CyclesPerBarrier)),
+			stats.F2(Speedup(base, res[p][AMO].CyclesPerBarrier)),
+		)
+	}
+	return t, nil
+}
+
+// Figure5 reproduces the paper's Figure 5: cycles-per-processor of each
+// flat barrier versus scale.
+func Figure5(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	res, err := BarrierSweep(procs, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:  "Figure 5: cycles per processor, flat barriers",
+		Header: []string{"CPUs", "LL/SC", "ActMsg", "Atomic", "MAO", "AMO"},
+	}
+	for _, p := range procs {
+		t.AddRow(
+			stats.I(p),
+			stats.F1(res[p][LLSC].CyclesPerProc),
+			stats.F1(res[p][ActMsg].CyclesPerProc),
+			stats.F1(res[p][Atomic].CyclesPerProc),
+			stats.F1(res[p][MAO].CyclesPerProc),
+			stats.F1(res[p][AMO].CyclesPerProc),
+		)
+	}
+	return t, nil
+}
+
+// TreeSweep runs the best-branching tree barrier for every mechanism plus
+// the flat AMO reference at every scale.
+func TreeSweep(procs []int, opts BarrierOptions) (map[int]map[Mechanism]BarrierResult, map[int]BarrierResult, map[int]BarrierResult, error) {
+	tree := make(map[int]map[Mechanism]BarrierResult)
+	flatLLSC := make(map[int]BarrierResult)
+	flatAMO := make(map[int]BarrierResult)
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		tree[p] = make(map[Mechanism]BarrierResult)
+		for _, mech := range Mechanisms {
+			r, err := BestTreeBarrier(cfg, mech, opts)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			tree[p][mech] = r
+		}
+		fl, err := RunBarrier(cfg, LLSC, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		flatLLSC[p] = fl
+		fa, err := RunBarrier(cfg, AMO, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		flatAMO[p] = fa
+	}
+	return tree, flatLLSC, flatAMO, nil
+}
+
+// Table3 reproduces the paper's Table 3: speedups of tree-based barriers
+// (best branching factor per cell) over the flat LL/SC baseline, with flat
+// AMO as the final column.
+func Table3(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	tree, flatLLSC, flatAMO, err := TreeSweep(procs, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:  "Table 3: speedup of tree-based barriers over the LL/SC barrier",
+		Header: []string{"CPUs", "LL/SC+tree", "ActMsg+tree", "Atomic+tree", "MAO+tree", "AMO+tree", "AMO"},
+	}
+	for _, p := range procs {
+		base := flatLLSC[p].CyclesPerBarrier
+		t.AddRow(
+			stats.I(p),
+			stats.F2(Speedup(base, tree[p][LLSC].CyclesPerBarrier)),
+			stats.F2(Speedup(base, tree[p][ActMsg].CyclesPerBarrier)),
+			stats.F2(Speedup(base, tree[p][Atomic].CyclesPerBarrier)),
+			stats.F2(Speedup(base, tree[p][MAO].CyclesPerBarrier)),
+			stats.F2(Speedup(base, tree[p][AMO].CyclesPerBarrier)),
+			stats.F2(Speedup(base, flatAMO[p].CyclesPerBarrier)),
+		)
+	}
+	return t, nil
+}
+
+// Figure6 reproduces the paper's Figure 6: cycles-per-processor of
+// tree-based barriers versus scale.
+func Figure6(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	tree, _, _, err := TreeSweep(procs, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:  "Figure 6: cycles per processor, tree-based barriers (best branching)",
+		Header: []string{"CPUs", "LL/SC+tree", "ActMsg+tree", "Atomic+tree", "MAO+tree", "AMO+tree"},
+	}
+	for _, p := range procs {
+		t.AddRow(
+			stats.I(p),
+			stats.F1(tree[p][LLSC].CyclesPerProc),
+			stats.F1(tree[p][ActMsg].CyclesPerProc),
+			stats.F1(tree[p][Atomic].CyclesPerProc),
+			stats.F1(tree[p][MAO].CyclesPerProc),
+			stats.F1(tree[p][AMO].CyclesPerProc),
+		)
+	}
+	return t, nil
+}
+
+// LockSweep runs ticket and array locks for every mechanism at every scale,
+// keyed [procs][mechanism][kind].
+func LockSweep(procs []int, opts LockOptions) (map[int]map[Mechanism]map[LockKind]LockResult, error) {
+	out := make(map[int]map[Mechanism]map[LockKind]LockResult)
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		out[p] = make(map[Mechanism]map[LockKind]LockResult)
+		for _, mech := range Mechanisms {
+			out[p][mech] = make(map[LockKind]LockResult)
+			for _, kind := range []LockKind{Ticket, Array} {
+				r, err := RunLock(cfg, kind, mech, opts)
+				if err != nil {
+					return nil, err
+				}
+				out[p][mech][kind] = r
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table4 reproduces the paper's Table 4: speedups of ticket and array locks
+// under each mechanism over the LL/SC ticket lock.
+func Table4(procs []int, opts LockOptions) (*stats.Table, error) {
+	res, err := LockSweep(procs, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:  "Table 4: speedup of locks over the LL/SC ticket lock",
+		Header: []string{"CPUs", "LL/SC tkt", "LL/SC arr", "ActMsg tkt", "ActMsg arr", "Atomic tkt", "Atomic arr", "MAO tkt", "MAO arr", "AMO tkt", "AMO arr"},
+	}
+	for _, p := range procs {
+		base := res[p][LLSC][Ticket].CyclesPerPass
+		row := []string{stats.I(p)}
+		for _, mech := range []Mechanism{LLSC, ActMsg, Atomic, MAO, AMO} {
+			for _, kind := range []LockKind{Ticket, Array} {
+				row = append(row, stats.F2(Speedup(base, res[p][mech][kind].CyclesPerPass)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure7 reproduces the paper's Figure 7: network traffic of ticket locks
+// normalized to the LL/SC version, at large scales.
+func Figure7(procs []int, opts LockOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Figure 7: ticket-lock network traffic (byte-hops) normalized to LL/SC",
+		Header: []string{"CPUs", "LL/SC", "ActMsg", "Atomic", "MAO", "AMO"},
+	}
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		row := []string{stats.I(p)}
+		var base float64
+		for _, mech := range []Mechanism{LLSC, ActMsg, Atomic, MAO, AMO} {
+			r, err := RunLock(cfg, Ticket, mech, opts)
+			if err != nil {
+				return nil, err
+			}
+			traffic := float64(r.ByteHops)
+			if mech == LLSC {
+				base = traffic
+			}
+			row = append(row, stats.F2(traffic/base))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure1 reproduces the paper's Figure 1 message-count comparison: one-way
+// network messages for a three-processor barrier arrival phase.
+func Figure1() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Figure 1: one-way network messages, 3-CPU barrier arrival (paper: LL/SC 18, AMO 6)",
+		Header: []string{"Mechanism", "Messages"},
+	}
+	for _, mech := range Mechanisms {
+		n, err := IncrementMessageCount(mech)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mech.String(), stats.U(n))
+	}
+	return t, nil
+}
+
+// AblationAMUCache compares AMO barrier latency with the AMU operand cache
+// disabled, one word, and the default eight words (design point A1).
+func AblationAMUCache(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Ablation A1: AMO barrier cycles/barrier vs AMU cache size",
+		Header: []string{"CPUs", "0 words", "1 word", "8 words"},
+	}
+	for _, p := range procs {
+		row := []string{stats.I(p)}
+		for _, words := range []int{0, 1, 8} {
+			cfg := DefaultConfig(p)
+			cfg.AMUCacheWords = words
+			r, err := RunBarrier(cfg, AMO, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.F1(r.CyclesPerBarrier))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationUpdate compares the paper's delayed (test-value) update against
+// updating on every amo.inc (design point A2): the barrier variable is
+// incremented with FlagUpdateAlways so each arrival pushes word updates to
+// all spinners.
+func AblationUpdate(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Ablation A2: AMO barrier, delayed vs always update (cycles/barrier)",
+		Header: []string{"CPUs", "delayed", "always", "msgs delayed", "msgs always"},
+	}
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		delayed, err := RunBarrier(cfg, AMO, opts)
+		if err != nil {
+			return nil, err
+		}
+		aopts := opts
+		aopts.AMOUpdateAlways = true
+		always, err := RunBarrier(cfg, AMO, aopts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(stats.I(p),
+			stats.F1(delayed.CyclesPerBarrier), stats.F1(always.CyclesPerBarrier),
+			stats.F1(delayed.NetMessagesPerBarrier), stats.F1(always.NetMessagesPerBarrier))
+	}
+	return t, nil
+}
+
+// ApplicationTable (experiment E8, ours) runs three verified parallel
+// kernels — a 1-D stencil, a Hillis–Steele prefix sum, and a contended
+// histogram — end to end under LL/SC, MAO and AMO synchronization, and
+// reports total application cycles. This is the paper's motivation
+// measured directly: the same program gets faster by swapping the
+// synchronization mechanism.
+func ApplicationTable(procs []int) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Applications: total cycles (verified kernels)",
+		Header: []string{"app", "CPUs", "LL/SC", "MAO", "AMO", "AMO speedup"},
+	}
+	mechs := []syncprim.Mechanism{LLSC, MAO, AMO}
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		apps := []struct {
+			name string
+			run  func(Mechanism) (workload.Result, error)
+		}{
+			{"stencil", func(m Mechanism) (workload.Result, error) { return workload.Stencil(cfg, m, 4, 4) }},
+			{"prefixsum", func(m Mechanism) (workload.Result, error) { return workload.PrefixSum(cfg, m) }},
+			{"histogram", func(m Mechanism) (workload.Result, error) { return workload.Histogram(cfg, m, 8, 12) }},
+		}
+		for _, app := range apps {
+			var cycles [3]uint64
+			for i, mech := range mechs {
+				r, err := app.run(mech)
+				if err != nil {
+					return nil, err
+				}
+				cycles[i] = r.Cycles
+			}
+			t.AddRow(app.name, stats.I(p),
+				stats.U(cycles[0]), stats.U(cycles[1]), stats.U(cycles[2]),
+				stats.F2(float64(cycles[0])/float64(cycles[2])))
+		}
+	}
+	return t, nil
+}
+
+// AblationNaiveCoding (A5) measures the value of the paper's Figure 3(b)
+// spin-variable optimization: conventional barriers coded naively (spin on
+// the barrier variable itself) versus optimized, with AMO's naive coding
+// as the reference that needs no such trick.
+func AblationNaiveCoding(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Ablation A5: naive (Fig 3a) vs optimized (Fig 3b) conventional barriers, cycles/barrier",
+		Header: []string{"CPUs", "LL/SC naive", "LL/SC opt", "MAO naive", "MAO opt", "AMO"},
+	}
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		row := []string{stats.I(p)}
+		for _, mech := range []Mechanism{LLSC, MAO} {
+			n := opts
+			n.NaiveConventional = true
+			naive, err := RunBarrier(cfg, mech, n)
+			if err != nil {
+				return nil, err
+			}
+			optimized, err := RunBarrier(cfg, mech, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.F1(naive.CyclesPerBarrier), stats.F1(optimized.CyclesPerBarrier))
+		}
+		amo, err := RunBarrier(cfg, AMO, opts)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, stats.F1(amo.CyclesPerBarrier))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationMulticast (A6) measures the paper's footnote 2: AMO barriers on
+// a network with hardware multicast for the update wave.
+func AblationMulticast(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Ablation A6: AMO barrier with serialized vs multicast updates, cycles/barrier",
+		Header: []string{"CPUs", "serialized", "multicast"},
+	}
+	for _, p := range procs {
+		base := DefaultConfig(p)
+		serial, err := RunBarrier(base, AMO, opts)
+		if err != nil {
+			return nil, err
+		}
+		mc := DefaultConfig(p)
+		mc.MulticastUpdates = true
+		multi, err := RunBarrier(mc, AMO, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(stats.I(p), stats.F1(serial.CyclesPerBarrier), stats.F1(multi.CyclesPerBarrier))
+	}
+	return t, nil
+}
+
+// appStencil runs the standard stencil kernel configuration for benchmarks.
+func appStencil(cfg Config, mech Mechanism) (uint64, error) {
+	r, err := workload.Stencil(cfg, mech, 4, 4)
+	return r.Cycles, err
+}
+
+// ExtensionMCS compares the MCS queue lock against ticket and array locks
+// for the LL/SC and AMO mechanisms (our extension table): the paper argues
+// complex queue locks become unnecessary with AMOs.
+func ExtensionMCS(procs []int, opts LockOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Extension: cycles per lock pass — ticket vs array vs MCS",
+		Header: []string{"CPUs", "LL/SC tkt", "LL/SC arr", "LL/SC mcs", "AMO tkt", "AMO arr", "AMO mcs"},
+	}
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		row := []string{stats.I(p)}
+		for _, mech := range []Mechanism{LLSC, AMO} {
+			for _, kind := range []LockKind{Ticket, Array, MCS} {
+				r, err := RunLock(cfg, kind, mech, opts)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, stats.F1(r.CyclesPerPass))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationInterconnect compares the AMO and LL/SC barriers on the paper's
+// radix-8 fat tree against a Cray-T3E-style 2D torus (design point A4):
+// AMO latency is dominated by one network round trip plus the update wave,
+// so topology shifts both mechanisms without changing who wins.
+func AblationInterconnect(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Ablation A4: barrier cycles/barrier, fat tree vs 2D torus",
+		Header: []string{"CPUs", "LL/SC fattree", "LL/SC torus", "AMO fattree", "AMO torus"},
+	}
+	for _, p := range procs {
+		row := []string{stats.I(p)}
+		for _, mech := range []Mechanism{LLSC, AMO} {
+			for _, ic := range []string{"fattree", "torus"} {
+				cfg := DefaultConfig(p)
+				cfg.Interconnect = ic
+				r, err := RunBarrier(cfg, mech, opts)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, stats.F1(r.CyclesPerBarrier))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationTree reports the tree-barrier branching-factor grid for one
+// mechanism (design point A3).
+func AblationTree(mech Mechanism, procs []int, opts BarrierOptions) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Ablation A3: %s tree barrier cycles/barrier by branching factor", mech),
+		Header: []string{"CPUs", "branching", "cycles/barrier", "cycles/proc"},
+	}
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		for _, b := range TreeBranchings(p) {
+			o := opts
+			o.Branching = b
+			r, err := RunBarrier(cfg, mech, o)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(stats.I(p), stats.I(b), stats.F1(r.CyclesPerBarrier), stats.F1(r.CyclesPerProc))
+		}
+	}
+	return t, nil
+}

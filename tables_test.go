@@ -1,0 +1,151 @@
+package amosim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Exercise every table generator at a small scale; we check structure, not
+// values (the values are covered by the shape tests and goldens).
+
+func TestTable2Structure(t *testing.T) {
+	tb, err := Table2([]int{4, 8}, BarrierOptions{Episodes: 2, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 || len(tb.Rows[0]) != 5 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "AMO") || !strings.Contains(out, "MAO") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}
+
+func TestFigure5Structure(t *testing.T) {
+	tb, err := Figure5([]int{4}, BarrierOptions{Episodes: 2, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 6 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestTable3AndFigure6Structure(t *testing.T) {
+	tb, err := Table3([]int{8}, BarrierOptions{Episodes: 2, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 7 {
+		t.Fatalf("table3 rows = %v", tb.Rows)
+	}
+	fg, err := Figure6([]int{8}, BarrierOptions{Episodes: 2, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Rows) != 1 || len(fg.Rows[0]) != 6 {
+		t.Fatalf("figure6 rows = %v", fg.Rows)
+	}
+}
+
+func TestTable4Structure(t *testing.T) {
+	tb, err := Table4([]int{4}, LockOptions{Acquires: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 11 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	// The LL/SC ticket column is the baseline: exactly 1.00.
+	if tb.Rows[0][1] != "1.00" {
+		t.Fatalf("baseline cell = %q", tb.Rows[0][1])
+	}
+}
+
+func TestFigure7Structure(t *testing.T) {
+	tb, err := Figure7([]int{8}, LockOptions{Acquires: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || tb.Rows[0][1] != "1.00" {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	tb, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(Mechanisms) {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestAblationTables(t *testing.T) {
+	opts := BarrierOptions{Episodes: 2, Warmup: 1}
+	if _, err := AblationAMUCache([]int{8}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationUpdate([]int{8}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationTree(LLSC, []int{8}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationInterconnect([]int{8}, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtensionMCSTable(t *testing.T) {
+	tb, err := ExtensionMCS([]int{8}, LockOptions{Acquires: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 7 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestApplicationTable(t *testing.T) {
+	tb, err := ApplicationTable([]int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 { // three apps at one scale
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestRunLockMCSKind(t *testing.T) {
+	r, err := RunLock(DefaultConfig(8), MCS, AMO, LockOptions{Acquires: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != "mcs" || r.CyclesPerPass <= 0 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestMachineTrace(t *testing.T) {
+	cfg := DefaultConfig(4)
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Shutdown()
+	tr := m.EnableTrace(64)
+	addr := m.AllocWord(1)
+	m.OnCPU(0, func(c *CPU) { c.Store(addr, 1) })
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("no trace records")
+	}
+	if !strings.Contains(tr.String(), "GETX") {
+		t.Fatalf("trace missing GETX:\n%s", tr)
+	}
+}
