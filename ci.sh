@@ -1,0 +1,31 @@
+#!/bin/sh
+# ci.sh — the repository's full verification gate.
+# Formatting, vet, build, determinism lint, tests, and a short race pass.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== amolint"
+go run ./cmd/amolint ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (short)"
+go test -race -short ./internal/sim/... ./internal/machine/... ./internal/syncprim/...
+
+echo "CI PASS"

@@ -1,0 +1,121 @@
+// Command amolint runs the repository's simulator-specific static analysis
+// over the whole module: map-iteration determinism, enum-switch
+// exhaustiveness, banned host-nondeterminism sources, and discarded cycle
+// costs. It uses only the standard library (the source importer resolves
+// stdlib imports from GOROOT), so it runs offline as part of tier-1 verify.
+//
+// Usage:
+//
+//	amolint [-rules maprange,exhaustive,banned,latency] [packages]
+//
+// Package arguments are module-relative filters: "./..." (or no argument)
+// lints every package; "./internal/sim" or "internal/sim/..." restrict the
+// reported findings to matching packages (the whole module is still loaded
+// and type-checked). Exits 1 when findings exist, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"amosim/internal/analysis"
+)
+
+func main() {
+	rulesFlag := flag.String("rules", "", "comma-separated rule subset (default: all of "+
+		analysis.RuleNames(analysis.AllRules())+")")
+	listFlag := flag.Bool("list-rules", false, "list available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: amolint [-rules r1,r2] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, r := range analysis.AllRules() {
+			fmt.Println(r.Name())
+		}
+		return
+	}
+
+	rules, err := analysis.SelectRules(*rulesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amolint:", err)
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amolint:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amolint:", err)
+		os.Exit(2)
+	}
+	mod, err := analysis.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amolint:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(mod, rules)
+	diags = filterByPatterns(mod, diags, flag.Args(), cwd)
+
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Rule, d.Msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "amolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// filterByPatterns keeps diagnostics whose file falls under one of the
+// package patterns, resolved relative to cwd. No patterns or "./..." from
+// the module root keeps everything.
+func filterByPatterns(mod *analysis.Module, diags []analysis.Diagnostic, patterns []string, cwd string) []analysis.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		recursive := false
+		if strings.HasSuffix(p, "/...") {
+			recursive = true
+			p = strings.TrimSuffix(p, "/...")
+		}
+		if p == "." && recursive {
+			p = ""
+		}
+		dir := filepath.Clean(filepath.Join(cwd, p))
+		if !recursive {
+			// Exact package directory: match files directly inside it.
+			prefixes = append(prefixes, dir+string(filepath.Separator))
+			continue
+		}
+		if dir == mod.Root || p == "" {
+			return diags
+		}
+		prefixes = append(prefixes, dir+string(filepath.Separator))
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		for _, pre := range prefixes {
+			if strings.HasPrefix(d.Pos.Filename, pre) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package analysis implements amolint, the repository's custom static
+// analyzer. It loads and type-checks every package of the module using only
+// the standard library (go/parser, go/types and the source importer — no
+// golang.org/x/tools dependency, so the analyzer runs offline) and applies
+// simulator-specific correctness rules:
+//
+//   - maprange: no raw `for … range` over a map inside the simulation
+//     packages — map iteration order is randomized by the runtime, and a
+//     single unordered fan-out desynchronizes the event stream between
+//     runs, breaking the golden tables. Iterations must go through a
+//     sorted-key helper or carry a //lint:order-independent annotation.
+//   - exhaustive: a switch over an enum-like constant type (cache states,
+//     directory states, message kinds, AMO opcodes) must either cover every
+//     declared constant or have a default case, so adding a new protocol
+//     message or opcode surfaces every dispatch site that needs a decision.
+//   - banned: simulation code must not consult wall-clock time (time.Now),
+//     the global math/rand source, or spawn goroutines outside the event
+//     kernel (internal/sim) — all three smuggle host nondeterminism into
+//     the simulated machine.
+//   - latency: the cycle-cost result of timed memory-system accessors must
+//     not be silently discarded; dropping it charges zero cycles and skews
+//     every downstream table.
+//
+// Diagnostics carry the rule name and a position; Run returns them in
+// deterministic (file, line, column) order.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Msg)
+}
+
+// Rule is one analysis pass. Check inspects a single package and returns
+// its violations; the driver handles ordering and aggregation.
+type Rule interface {
+	// Name is the short rule identifier used in diagnostics and -rules.
+	Name() string
+	// Check returns the rule's findings for pkg.
+	Check(mod *Module, pkg *Package) []Diagnostic
+}
+
+// simPackages lists the module-relative import paths of the packages whose
+// event handlers feed the deterministic simulation schedule. The maprange
+// and banned rules apply only here; exhaustive and latency apply
+// module-wide.
+var simPackages = map[string]bool{
+	"internal/sim":       true,
+	"internal/directory": true,
+	"internal/network":   true,
+	"internal/machine":   true,
+	"internal/core":      true,
+	"internal/cache":     true,
+}
+
+// inSimPackages reports whether pkg is one of the simulation packages.
+func inSimPackages(mod *Module, pkg *Package) bool {
+	return simPackages[mod.RelPath(pkg)]
+}
+
+// AllRules returns every rule, in a fixed order.
+func AllRules() []Rule {
+	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}}
+}
+
+// RuleNames returns the names of rules, comma-joined, for usage text.
+func RuleNames(rules []Rule) string {
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+// SelectRules filters AllRules down to the comma-separated names in spec.
+// An empty spec selects every rule.
+func SelectRules(spec string) ([]Rule, error) {
+	all := AllRules()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]Rule, len(all))
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var out []Rule
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have %s)", name, RuleNames(all))
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Run applies rules to every package of mod and returns the combined
+// diagnostics sorted by position.
+func Run(mod *Module, rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range mod.Packages {
+		for _, r := range rules {
+			out = append(out, r.Check(mod, pkg)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// OrderIndependentAnnotation is the comment that suppresses the maprange
+// rule for the range statement on the same or the following line. It
+// asserts that the loop body commutes: executing iterations in any order
+// produces identical simulator state and no per-iteration side effects
+// (sends, schedules) escape in iteration order.
+const OrderIndependentAnnotation = "//lint:order-independent"
+
+// annotatedLines returns the set of line numbers in file carrying an
+// order-independence annotation.
+func annotatedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, OrderIndependentAnnotation) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// annotationCovers reports whether an annotation on one of lines applies to
+// a statement beginning at stmtLine: same line (trailing comment) or the
+// line directly above (leading comment).
+func annotationCovers(lines map[int]bool, stmtLine int) bool {
+	return lines[stmtLine] || lines[stmtLine-1]
+}

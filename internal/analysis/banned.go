@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BannedRule flags host-nondeterminism sources inside the simulation
+// packages:
+//
+//   - time.Now — simulated time is Engine.Now; consulting the wall clock
+//     makes event timing depend on host load;
+//   - the global math/rand source (rand.Intn etc.) — it is seeded per
+//     process and, since Go 1.20, unseedable to a fixed value; randomness
+//     must flow through an explicitly seeded *rand.Rand;
+//   - goroutine spawns outside internal/sim — the event kernel owns all
+//     concurrency (sim.Process coroutines hand control back explicitly);
+//     a stray goroutine racing the kernel schedules events in host-
+//     scheduler order.
+//
+// Constructors that build deterministic sources (rand.New, rand.NewSource,
+// rand.NewPCG, …) are allowed.
+type BannedRule struct{}
+
+// Name implements Rule.
+func (BannedRule) Name() string { return "banned" }
+
+// deterministicRandFuncs are package-level math/rand functions that do not
+// touch the global source.
+var deterministicRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// Check implements Rule.
+func (BannedRule) Check(mod *Module, pkg *Package) []Diagnostic {
+	if !inSimPackages(mod, pkg) {
+		return nil
+	}
+	allowGoroutines := mod.RelPath(pkg) == "internal/sim"
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !allowGoroutines {
+					out = append(out, Diagnostic{
+						Pos:  mod.Fset.Position(n.Pos()),
+						Rule: "banned",
+						Msg:  "goroutine spawn outside internal/sim: simulated concurrency must go through the event kernel (sim.Engine.Spawn)",
+					})
+				}
+			case *ast.SelectorExpr:
+				obj, ok := pkg.Info.Uses[n.Sel]
+				if !ok {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods (e.g. (*rand.Rand).Intn) are fine
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" {
+						out = append(out, Diagnostic{
+							Pos:  mod.Fset.Position(n.Pos()),
+							Rule: "banned",
+							Msg:  "time.Now in simulation code: use the engine's virtual clock (sim.Engine.Now)",
+						})
+					}
+				case "math/rand", "math/rand/v2":
+					if !deterministicRandFuncs[fn.Name()] {
+						out = append(out, Diagnostic{
+							Pos:  mod.Fset.Position(n.Pos()),
+							Rule: "banned",
+							Msg:  "global " + fn.Pkg().Path() + "." + fn.Name() + " in simulation code: use an explicitly seeded *rand.Rand",
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

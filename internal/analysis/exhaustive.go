@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveRule flags a switch over an enum-like constant type that
+// neither covers every declared constant of the type nor has a default
+// case. The simulator's protocol dispatch is built on such switches
+// (network message kinds, cache and directory states, AMO opcodes); when a
+// new constant is added, every switch missing it must either handle it or
+// state explicitly — via default — what happens to unlisted values.
+//
+// A type is enum-like when it is a defined integer type with at least two
+// package-level constants declared in the same package. Sentinel constants
+// (count markers like kindCount/numOps, or names starting with "_") do not
+// count toward the enum and are not required in switches.
+type ExhaustiveRule struct{}
+
+// Name implements Rule.
+func (ExhaustiveRule) Name() string { return "exhaustive" }
+
+// sentinelRE matches constant names that delimit an enum rather than
+// belonging to it: trailing count markers and blank-prefixed padding.
+var sentinelRE = regexp.MustCompile(`^_|^(num|max)[A-Z0-9_]|(Count|count|Sentinel|sentinel)$`)
+
+// enumConst is one declared member of an enum type.
+type enumConst struct {
+	name string
+	val  constant.Value
+}
+
+// enumsOf collects the enum-like types declared in pkg, keyed by their
+// *types.TypeName.
+func enumsOf(pkg *Package) map[*types.TypeName][]enumConst {
+	enums := make(map[*types.TypeName][]enumConst)
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		basic, ok := named.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			continue
+		}
+		tn := named.Obj()
+		if tn.Pkg() != pkg.Types {
+			continue
+		}
+		if sentinelRE.MatchString(c.Name()) {
+			continue
+		}
+		enums[tn] = append(enums[tn], enumConst{name: c.Name(), val: c.Val()})
+	}
+	for tn, consts := range enums {
+		if len(consts) < 2 {
+			delete(enums, tn)
+		}
+	}
+	return enums
+}
+
+// Check implements Rule.
+func (ExhaustiveRule) Check(mod *Module, pkg *Package) []Diagnostic {
+	// Index enums from every module package: a switch here may dispatch on
+	// an enum declared elsewhere (e.g. network.Kind used in internal/proc).
+	enums := make(map[*types.TypeName][]enumConst)
+	for _, p := range mod.Packages {
+		for tn, cs := range enumsOf(p) {
+			enums[tn] = cs
+		}
+	}
+
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			consts, ok := enums[named.Obj()]
+			if !ok {
+				return true
+			}
+			covered := make(map[string]bool)
+			hasDefault := false
+			analyzable := true
+			for _, stmt := range sw.Body.List {
+				clause := stmt.(*ast.CaseClause)
+				if clause.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, expr := range clause.List {
+					ctv, ok := pkg.Info.Types[expr]
+					if !ok || ctv.Value == nil {
+						// Non-constant case expression: the covered set is
+						// not statically known, so stay silent.
+						analyzable = false
+						continue
+					}
+					covered[ctv.Value.ExactString()] = true
+				}
+			}
+			if hasDefault || !analyzable {
+				return true
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[c.val.ExactString()] {
+					missing = append(missing, c.name)
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			sort.Strings(missing)
+			out = append(out, Diagnostic{
+				Pos:  mod.Fset.Position(sw.Pos()),
+				Rule: "exhaustive",
+				Msg: fmt.Sprintf("switch over %s misses %s and has no default",
+					named.Obj().Name(), strings.Join(missing, ", ")),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LatencyRule flags call statements that discard the result of a timed
+// memory-system accessor. These methods exist to be charged into the
+// simulated schedule or folded into a value; calling one as a bare
+// statement silently accounts zero cycles (or performs a counted DRAM
+// access whose value goes nowhere) and skews latency and traffic tables.
+// An explicit `_ =` assignment is treated as a deliberate opt-out.
+type LatencyRule struct{}
+
+// Name implements Rule.
+func (LatencyRule) Name() string { return "latency" }
+
+// timedMethod identifies a method by module-relative package path, receiver
+// type name, and method name, so the rule applies equally to this module
+// and to fixture modules mirroring its layout.
+type timedMethod struct {
+	relPkg, recv, method string
+}
+
+// timedMethods is the curated set of pure cost/value accessors whose only
+// purpose is their return value.
+var timedMethods = map[timedMethod]string{
+	{"internal/network", "Network", "Latency"}:     "delivery latency",
+	{"internal/network", "Network", "PacketBytes"}: "packet size",
+	{"internal/memsys", "Memory", "DRAMCycles"}:    "DRAM latency",
+	{"internal/memsys", "Memory", "ReadWord"}:      "loaded word (a counted DRAM read)",
+	{"internal/memsys", "Memory", "ReadBlock"}:     "loaded block (a counted DRAM read)",
+	{"internal/cache", "Cache", "ReadWord"}:        "loaded word",
+}
+
+// Check implements Rule.
+func (LatencyRule) Check(mod *Module, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	flag := func(call *ast.CallExpr, how string) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj, ok := pkg.Info.Uses[sel.Sel]
+		if !ok {
+			return
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return
+		}
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return
+		}
+		declPkg := fn.Pkg().Path()
+		rel := declPkg
+		if declPkg == mod.Path {
+			rel = ""
+		} else if p := mod.Lookup(declPkg); p != nil {
+			rel = mod.RelPath(p)
+		}
+		key := timedMethod{relPkg: rel, recv: named.Obj().Name(), method: fn.Name()}
+		what, ok := timedMethods[key]
+		if !ok {
+			return
+		}
+		out = append(out, Diagnostic{
+			Pos:  mod.Fset.Position(call.Pos()),
+			Rule: "latency",
+			Msg: fmt.Sprintf("%s of %s.%s discarded%s: charge it into the schedule or assign it",
+				what, named.Obj().Name(), fn.Name(), how),
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					flag(call, "")
+				}
+			case *ast.GoStmt:
+				flag(n.Call, " (go statement)")
+			case *ast.DeferStmt:
+				flag(n.Call, " (defer statement)")
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the full import path (module path + relative directory).
+	Path string
+	// Dir is the absolute directory the package was read from.
+	Dir string
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression and object facts.
+	Info *types.Info
+}
+
+// Module is a fully loaded Go module: every package, type-checked, sharing
+// one FileSet.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset maps AST positions back to files for every package.
+	Fset *token.FileSet
+	// Packages is sorted by import path.
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// RelPath returns pkg's import path relative to the module path ("" for the
+// module root package).
+func (m *Module) RelPath(pkg *Package) string {
+	if pkg.Path == m.Path {
+		return ""
+	}
+	return strings.TrimPrefix(pkg.Path, m.Path+"/")
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				rest = p
+			}
+			if rest == "" {
+				break
+			}
+			return rest, nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// Load parses and type-checks every package under the module rooted at
+// root. Test files (_test.go), testdata, vendor and hidden directories are
+// skipped. Type errors in any package abort the load: lint rules need
+// well-typed code.
+func Load(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	parsed := make(map[string]*Package) // import path -> parsed (not yet checked)
+	for _, dir := range dirs {
+		pkg, err := parseDir(mod, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			parsed[pkg.Path] = pkg
+		}
+	}
+
+	order, err := topoOrder(mod, parsed)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		mod:    mod,
+		source: importer.ForCompiler(mod.Fset, "source", nil).(types.ImporterFrom),
+	}
+	for _, pkg := range order {
+		if err := typeCheck(mod, imp, pkg); err != nil {
+			return nil, err
+		}
+		mod.byPath[pkg.Path] = pkg
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	sort.Slice(mod.Packages, func(i, j int) bool {
+		return mod.Packages[i].Path < mod.Packages[j].Path
+	})
+	return mod, nil
+}
+
+// packageDirs returns every directory under root that may hold a package,
+// in sorted order.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test Go files of dir, returning nil if dir holds
+// no buildable non-test files.
+func parseDir(mod *Module, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(mod.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(mod.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := mod.Path
+	if rel != "." {
+		path = mod.Path + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: path, Dir: dir, Files: files}, nil
+}
+
+// imports returns the module-local import paths of pkg.
+func moduleImports(mod *Module, pkg *Package) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range pkg.Files {
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			if p == mod.Path || strings.HasPrefix(p, mod.Path+"/") {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoOrder sorts the parsed packages so every package follows its
+// module-local imports, detecting import cycles.
+func topoOrder(mod *Module, parsed map[string]*Package) ([]*Package, error) {
+	paths := make([]string, 0, len(parsed))
+	for p := range parsed { //lint:order-independent (sorted below)
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(parsed))
+	var order []*Package
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		pkg, ok := parsed[path]
+		if !ok {
+			return fmt.Errorf("package %s imports %s, which has no buildable files in this module",
+				stack[len(stack)-1], path)
+		}
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle: %s -> %s", strings.Join(stack, " -> "), path)
+		}
+		state[path] = visiting
+		for _, dep := range moduleImports(mod, pkg) {
+			if err := visit(dep, append(stack, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-local imports from the loaded set and
+// everything else (the standard library) through the source importer, which
+// type-checks GOROOT source directly and therefore needs no pre-compiled
+// export data and no network.
+type moduleImporter struct {
+	mod    *Module
+	source types.ImporterFrom
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	return mi.ImportFrom(path, "", 0)
+}
+
+func (mi *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == mi.mod.Path || strings.HasPrefix(path, mi.mod.Path+"/") {
+		pkg := mi.mod.byPath[path]
+		if pkg == nil {
+			return nil, fmt.Errorf("module package %s not loaded (import ordering bug)", path)
+		}
+		return pkg.Types, nil
+	}
+	return mi.source.ImportFrom(path, dir, mode)
+}
+
+// typeCheck runs go/types over pkg, filling pkg.Types and pkg.Info.
+func typeCheck(mod *Module, imp types.ImporterFrom, pkg *Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(pkg.Path, mod.Fset, pkg.Files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for i, e := range errs {
+			if i == 10 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(errs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return fmt.Errorf("type errors in %s:\n  %s", pkg.Path, strings.Join(msgs, "\n  "))
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}

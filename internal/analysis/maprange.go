@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeRule flags `for … range m` over a map inside the simulation
+// packages. Go randomizes map iteration order per run, so any map-ordered
+// fan-out (messages, schedules, state mutations) produces a different event
+// stream on every execution and breaks run-to-run reproducibility. Loops
+// must iterate a sorted key slice instead (see sortedSharers in
+// internal/directory), or — when the body genuinely commutes, e.g. it only
+// collects keys for later sorting — carry a //lint:order-independent
+// annotation on the same or the preceding line.
+type MapRangeRule struct{}
+
+// Name implements Rule.
+func (MapRangeRule) Name() string { return "maprange" }
+
+// Check implements Rule.
+func (MapRangeRule) Check(mod *Module, pkg *Package) []Diagnostic {
+	if !inSimPackages(mod, pkg) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		annotated := annotatedLines(mod.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pos := mod.Fset.Position(rng.Pos())
+			if annotationCovers(annotated, pos.Line) {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:  pos,
+				Rule: "maprange",
+				Msg: "nondeterministic iteration over " + types.TypeString(tv.Type, types.RelativeTo(pkg.Types)) +
+					": range a sorted key slice, or annotate " + OrderIndependentAnnotation +
+					" if the body is order-independent",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Package cache is an exhaustive-rule fixture: switches over the enum-like
+// State type must cover every constant or carry a default.
+package cache
+
+// State is an enum-like MSI line state.
+type State int
+
+// Line states; stateCount is a sentinel and not a member of the enum.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+
+	stateCount
+)
+
+var _ = stateCount
+
+// Describe misses Modified with no default: the true positive.
+func Describe(s State) string {
+	switch s { // want "switch over State misses Modified and has no default"
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	}
+	return "?"
+}
+
+// Defaulted misses constants but declares a default: not flagged.
+func Defaulted(s State) string {
+	switch s {
+	case Invalid:
+		return "I"
+	default:
+		return "other"
+	}
+}
+
+// Covered lists every enum constant (the sentinel is not required).
+func Covered(s State) bool {
+	switch s {
+	case Invalid:
+		return false
+	case Shared, Modified:
+		return true
+	}
+	return false
+}
+
+// NonEnum switches over a plain int: out of scope.
+func NonEnum(n int) bool {
+	switch n {
+	case 0:
+		return false
+	}
+	return true
+}
+
+// NonConstantCase compares against a variable: the covered set is unknown,
+// so the rule stays silent.
+func NonConstantCase(s, other State) bool {
+	switch s {
+	case other:
+		return true
+	}
+	return false
+}

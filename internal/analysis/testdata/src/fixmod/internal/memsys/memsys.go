@@ -1,0 +1,27 @@
+// Package memsys is a latency-rule fixture for the Memory accessors.
+package memsys
+
+// Memory mirrors the real backing store.
+type Memory struct {
+	words map[uint64]uint64
+	reads uint64
+}
+
+// ReadWord performs a counted DRAM read and returns the word.
+func (m *Memory) ReadWord(addr uint64) uint64 {
+	m.reads++
+	return m.words[addr]
+}
+
+// DRAMCycles returns the per-access latency.
+func (m *Memory) DRAMCycles() uint64 { return 80 }
+
+// WarmupWrong performs reads whose values (and accounting intent) vanish.
+func WarmupWrong(m *Memory) {
+	m.ReadWord(0) // want `loaded word \(a counted DRAM read\) of Memory.ReadWord discarded`
+}
+
+// ChargeDRAM uses the latency: not flagged.
+func ChargeDRAM(m *Memory, schedule func(uint64)) {
+	schedule(m.DRAMCycles())
+}

@@ -1,0 +1,42 @@
+// Package network is a latency-rule fixture: Network.Latency and
+// Network.PacketBytes mirror the real module's timed accessors.
+package network
+
+// Endpoint names a message source or destination.
+type Endpoint struct{ Node int }
+
+// Msg is a protocol message.
+type Msg struct{ DataBytes int }
+
+// Network mirrors the real interconnect model.
+type Network struct{ hopCycles uint64 }
+
+// Latency returns the delivery cost in cycles.
+func (n *Network) Latency(src, dst Endpoint) uint64 {
+	return n.hopCycles
+}
+
+// PacketBytes returns the on-wire size of m.
+func (n *Network) PacketBytes(m Msg) int {
+	return m.DataBytes
+}
+
+// DropCost calls Latency as a bare statement: the true positive.
+func DropCost(n *Network, a, b Endpoint) {
+	n.Latency(a, b) // want `delivery latency of Network.Latency discarded`
+}
+
+// DeferredDrop discards the cost in a defer: also flagged.
+func DeferredDrop(n *Network, a, b Endpoint) {
+	defer n.PacketBytes(Msg{}) // want `packet size of Network.PacketBytes discarded`
+}
+
+// ChargeCost consumes the result: the true negative.
+func ChargeCost(n *Network, a, b Endpoint, schedule func(uint64)) {
+	schedule(n.Latency(a, b))
+}
+
+// ExplicitDrop opts out with a blank assignment: allowed.
+func ExplicitDrop(n *Network, a, b Endpoint) {
+	_ = n.Latency(a, b)
+}

@@ -228,10 +228,19 @@ func (c *Controller) processRequest(block uint64, m network.Msg) {
 				c.complete(block)
 			})
 		case exclusive:
-			c.intervene(block, e, false /*downgrade*/, func() {
-				prev := e.owner
+			c.intervene(block, e, false /*downgrade*/, func(stale bool) {
+				// A stale ack means the owner's writeback raced ahead: its
+				// copy is gone (and e.owner was cleared when the writeback
+				// was applied), so only the requester becomes a sharer.
+				// Recording the departed owner here would create a phantom
+				// sharer that could later be granted a data-less upgrade
+				// for a line it no longer holds.
+				sharers := map[int]struct{}{req.CPU: {}}
+				if !stale {
+					sharers[e.owner] = struct{}{}
+				}
 				e.state = shared
-				e.sharers = map[int]struct{}{prev: {}, req.CPU: {}}
+				e.sharers = sharers
 				c.replyData(block, req, network.KindDataShared, func() { c.complete(block) })
 			})
 		}
@@ -264,6 +273,8 @@ func (c *Controller) processRequest(block uint64, m network.Msg) {
 		// Requester lost its copy while the upgrade was in flight (or the
 		// block moved to exclusive): treat as a full GETX.
 		c.grantExclusive(block, e, req)
+	default:
+		panic(fmt.Sprintf("directory: processRequest on non-request %v", m))
 	}
 }
 
@@ -294,7 +305,7 @@ func (c *Controller) grantExclusive(block uint64, e *entry, req network.Endpoint
 			c.replyData(block, req, network.KindDataExclusive, func() { c.complete(block) })
 			return
 		}
-		c.intervene(block, e, true /*invalidate*/, func() {
+		c.intervene(block, e, true /*invalidate*/, func(bool) {
 			c.replyData(block, req, network.KindDataExclusive, func() {
 				e.state = exclusive
 				e.owner = req.CPU
@@ -360,10 +371,21 @@ func (c *Controller) sendStaggered(i int, m network.Msg) {
 // deterministic fan-out.
 func sortedSharers(e *entry) []int {
 	out := make([]int, 0, len(e.sharers))
-	for cpu := range e.sharers {
+	for cpu := range e.sharers { //lint:order-independent (keys sorted below)
 		out = append(out, cpu)
 	}
 	sort.Ints(out)
+	return out
+}
+
+// sortedWords returns the AMU-held word addresses of the block in ascending
+// order, for deterministic recall and introspection.
+func sortedWords(e *entry) []uint64 {
+	out := make([]uint64, 0, len(e.amuWords))
+	for w := range e.amuWords { //lint:order-independent (keys sorted below)
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -383,15 +405,19 @@ func (c *Controller) applyInvAck(e *entry) {
 // true the owner drops the block, otherwise it downgrades to Shared. When
 // the ack arrives, memory is updated from the owner's data (unless the
 // owner had already written back, in which case the out-of-band writeback
-// made memory current) and done runs.
-func (c *Controller) intervene(block uint64, e *entry, invalidate bool, done func()) {
+// made memory current) and done runs with stale reporting whether the
+// owner still held the block. On a stale ack the former owner retains no
+// copy — callers must not record it as a sharer (and e.owner has already
+// been cleared by the raced writeback).
+func (c *Controller) intervene(block uint64, e *entry, invalidate bool, done func(stale bool)) {
 	c.interventions++
 	e.txn = &txn{onIvnAck: func(m network.Msg) {
 		e.txn = nil
-		if m.Flags&IvnAckStale == 0 {
+		stale := m.Flags&IvnAckStale != 0
+		if !stale {
 			c.mem.WriteBlock(block, m.Data)
 		}
-		done()
+		done(stale)
 	}}
 	flags := uint32(0)
 	if invalidate {
@@ -454,10 +480,15 @@ func (c *Controller) FineGet(addr uint64, done func(val uint64)) {
 		case unowned, shared:
 			c.eng.Schedule(sim.Time(c.p.DirCycles+c.p.DRAMCycles), finish)
 		case exclusive:
-			c.intervene(block, e, false, func() {
-				prev := e.owner
+			c.intervene(block, e, false, func(stale bool) {
+				// As with a GETS intervention, a stale ack means the owner
+				// already wrote back and keeps no copy: record no sharer.
+				if stale {
+					finish()
+					return
+				}
 				e.state = shared
-				e.sharers = map[int]struct{}{prev: {}}
+				e.sharers = map[int]struct{}{e.owner: {}}
 				finish()
 			})
 		}
@@ -553,30 +584,25 @@ func (c *Controller) SnapshotOf(addr uint64) Snapshot {
 	e := c.entryOf(c.block(addr))
 	s := Snapshot{State: e.state.String(), Owner: e.owner, Busy: e.busy}
 	s.Sharers = sortedSharers(e)
-	for w := range e.amuWords {
-		s.AMUWords = append(s.AMUWords, w)
-	}
+	s.AMUWords = sortedWords(e)
 	return s
 }
 
-// Blocks returns every block address this controller has a record for.
+// Blocks returns every block address this controller has a record for, in
+// ascending order.
 func (c *Controller) Blocks() []uint64 {
 	out := make([]uint64, 0, len(c.entries))
-	for b := range c.entries {
+	for b := range c.entries { //lint:order-independent (keys sorted below)
 		out = append(out, b)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Sharers returns the CPUs currently recorded as sharing the block at addr
-// (for tests and introspection).
+// Sharers returns the CPUs currently recorded as sharing the block at addr,
+// in ascending order (for tests and introspection).
 func (c *Controller) Sharers(addr uint64) []int {
-	e := c.entryOf(c.block(addr))
-	out := make([]int, 0, len(e.sharers))
-	for cpu := range e.sharers {
-		out = append(out, cpu)
-	}
-	return out
+	return sortedSharers(c.entryOf(c.block(addr)))
 }
 
 func (c *Controller) send(m network.Msg) { c.net.Send(m) }

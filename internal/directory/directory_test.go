@@ -415,3 +415,26 @@ func TestNewRejectsZeroProcsPerNode(t *testing.T) {
 	}()
 	New(sim.NewEngine(), nil, nil, Params{})
 }
+
+// TestStaleDowngradeAckAddsNoPhantomSharer: when a GETS intervention is
+// answered with a stale ack, the former owner holds no copy and must not
+// be recorded as a sharer. The phantom entry (found by the modelcheck
+// package) would make a later upgrade from that CPU look like a live
+// sharer hit, granting data-less ownership of a line it no longer holds.
+func TestStaleDowngradeAckAddsNoPhantomSharer(t *testing.T) {
+	r := newRig(t, 4)
+	addr := r.mem.AllocWord(0)
+	r.mem.WriteWord(addr, 11)
+	r.request(1, network.KindGetExclusive, addr)
+	r.run(t)
+	// CPU 2's GETS finds CPU 1 registered as owner, but fake CPU 1 answers
+	// the downgrade intervention with a stale ack (its copy is gone).
+	r.request(2, network.KindGetShared, addr)
+	r.run(t)
+	if got := r.ctrl.Sharers(addr); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("sharers after stale downgrade ack = %v, want [2] (no phantom)", got)
+	}
+	if got := r.mem.ReadWord(addr); got != 11 {
+		t.Fatalf("memory = %d, want 11 (stale ack carries no data)", got)
+	}
+}

@@ -32,7 +32,13 @@ func (m *Machine) CheckCoherence() error {
 			copies[block] = append(copies[block], copyInfo{cpu: cpu.ID(), state: ln.State, words: ln.Words})
 		}
 	}
-	for block, cs := range copies {
+	blocks := make([]uint64, 0, len(copies))
+	for block := range copies { //lint:order-independent (keys sorted below)
+		blocks = append(blocks, block)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, block := range blocks {
+		cs := copies[block]
 		home := memsys.HomeNode(block)
 		dir := m.Dirs[home]
 		snap := dir.SnapshotOf(block)
@@ -47,6 +53,8 @@ func (m *Machine) CheckCoherence() error {
 				modified = append(modified, c)
 			case cache.Shared:
 				shared = append(shared, c)
+			default:
+				return fmt.Errorf("block %#x: cpu %d resident in state %v", block, c.cpu, c.state)
 			}
 		}
 		if len(modified) > 1 {

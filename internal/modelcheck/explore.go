@@ -1,0 +1,715 @@
+package modelcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Step is one action along a counterexample trace.
+type Step struct {
+	// Action is the transition label, e.g. "cpu1: issue GETX" or
+	// "deliver cpu0->dir WB".
+	Action string
+	// State is the compact dump of the state the action produced.
+	State string
+}
+
+// Violation describes an invariant failure with its shortest trace.
+type Violation struct {
+	Invariant string // SWMR, AMUExclusion, DataValue, SharerSync, DirSync
+	Detail    string
+	Trace     []Step
+}
+
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant %s violated: %s\n", v.Invariant, v.Detail)
+	for i, st := range v.Trace {
+		fmt.Fprintf(&b, "  %2d. %-28s %s\n", i+1, st.Action, st.State)
+	}
+	return b.String()
+}
+
+// Result summarises an exploration.
+type Result struct {
+	States      int // distinct reachable states (including the initial one)
+	Transitions int // transitions examined
+	Violation   *Violation
+}
+
+// succ is one labelled successor during enumeration.
+type succ struct {
+	action string
+	next   state
+}
+
+// edge records how a state was first reached, for trace reconstruction.
+type edge struct {
+	prev   state
+	action string
+}
+
+// Explore enumerates every reachable state of the configured model
+// breadth-first and checks the safety invariants in each. If an invariant
+// fails, the returned Result carries a minimal-length counterexample trace.
+func Explore(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	var init state
+	visited := map[state]struct{}{init: {}}
+	parents := map[state]edge{}
+	queue := []state{init}
+	res := Result{States: 1}
+
+	if name, detail := checkInvariants(&cfg, &init); name != "" {
+		res.Violation = &Violation{Invariant: name, Detail: detail}
+		return res, nil
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, sc := range successors(&cfg, &s) {
+			res.Transitions++
+			if _, seen := visited[sc.next]; seen {
+				continue
+			}
+			visited[sc.next] = struct{}{}
+			parents[sc.next] = edge{prev: s, action: sc.action}
+			res.States++
+			if res.States > cfg.MaxStates {
+				return res, fmt.Errorf("modelcheck: state space exceeds %d states", cfg.MaxStates)
+			}
+			if name, detail := checkInvariants(&cfg, &sc.next); name != "" {
+				res.Violation = &Violation{
+					Invariant: name,
+					Detail:    detail,
+					Trace:     buildTrace(parents, sc.next),
+				}
+				return res, nil
+			}
+			queue = append(queue, sc.next)
+		}
+	}
+	return res, nil
+}
+
+// buildTrace unwinds parent edges from the violating state to the root.
+func buildTrace(parents map[state]edge, bad state) []Step {
+	var rev []Step
+	cur := bad
+	for {
+		e, ok := parents[cur]
+		if !ok {
+			break
+		}
+		rev = append(rev, Step{Action: e.action, State: cur.String()})
+		cur = e.prev
+	}
+	steps := make([]Step, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		steps = append(steps, rev[i])
+	}
+	return steps
+}
+
+// successors enumerates every enabled transition of s in a fixed order:
+// CPU-local actions, AMU actions, then one message delivery per FIFO
+// channel head.
+func successors(cfg *Config, s *state) []succ {
+	var out []succ
+	add := func(action string, ns state) { out = append(out, succ{action, ns}) }
+	writesLeft := cfg.MaxWrites - int(s.writes)
+	nextVal := s.writes + 1
+
+	for i := 0; i < cfg.CPUs; i++ {
+		cpu := uint8(i)
+		c := &s.cpus[i]
+		if c.pend == pNone {
+			switch c.st {
+			case cI:
+				ns := *s
+				ns.cpus[i].pend = pGetS
+				ns.toDir[i].push(msg{kind: mGetS})
+				add(fmt.Sprintf("cpu%d: issue GETS", i), ns)
+				if writesLeft > 0 {
+					ns = *s
+					ns.cpus[i].pend = pGetX
+					ns.toDir[i].push(msg{kind: mGetX})
+					add(fmt.Sprintf("cpu%d: issue GETX", i), ns)
+				}
+			case cS:
+				if writesLeft > 0 {
+					ns := *s
+					ns.cpus[i].pend = pUpg
+					ns.toDir[i].push(msg{kind: mUpg})
+					add(fmt.Sprintf("cpu%d: issue UPGRADE", i), ns)
+				}
+				// Clean lines are evicted silently.
+				ns := *s
+				ns.cpus[i] = cpuRec{st: cI}
+				add(fmt.Sprintf("cpu%d: evict S", i), ns)
+			case cM:
+				if writesLeft > 0 {
+					for w := 0; w < cfg.Words; w++ {
+						ns := *s
+						ns.cpus[i].data[w] = nextVal
+						ns.ghost[w] = nextVal
+						ns.writes++
+						add(fmt.Sprintf("cpu%d: store w%d=%d", i, w, nextVal), ns)
+					}
+				}
+				// Dirty eviction: write the block back to home.
+				ns := *s
+				ns.toDir[i].push(msg{kind: mWB, data: c.data, hasData: true})
+				ns.cpus[i] = cpuRec{st: cI}
+				add(fmt.Sprintf("cpu%d: evict M (WB)", i), ns)
+			}
+		}
+		_ = cpu
+	}
+
+	if cfg.AMU && !s.amu.busy {
+		for w := 0; w < cfg.Words; w++ {
+			held := s.dir.amuMask&bit(uint8(w)) != 0
+			if !held {
+				ns := *s
+				ns.amu.busy = true
+				submitReq(cfg, &ns, qreq{kind: qFineGet, word: uint8(w)})
+				add(fmt.Sprintf("amu: fine-get w%d", w), ns)
+				continue
+			}
+			if writesLeft > 0 {
+				ns := *s
+				ns.amu.vals[w] = nextVal
+				ns.amu.dirty |= bit(uint8(w))
+				ns.ghost[w] = nextVal
+				ns.writes++
+				add(fmt.Sprintf("amu: amo w%d=%d", w, nextVal), ns)
+			}
+			if s.amu.dirty&bit(uint8(w)) != 0 {
+				ns := *s
+				ns.amu.busy = true
+				submitReq(cfg, &ns, qreq{kind: qFinePut, word: uint8(w)})
+				add(fmt.Sprintf("amu: fine-put w%d", w), ns)
+			}
+		}
+	}
+
+	for i := 0; i < cfg.CPUs; i++ {
+		if s.toDir[i].n > 0 {
+			ns := *s
+			m := ns.toDir[i].pop()
+			dirReceive(cfg, &ns, uint8(i), m)
+			add(fmt.Sprintf("deliver cpu%d->dir %s", i, msgNames[m.kind]), ns)
+		}
+		if s.toCPU[i].n > 0 {
+			ns := *s
+			m := ns.toCPU[i].pop()
+			cpuReceive(cfg, &ns, uint8(i), m)
+			add(fmt.Sprintf("deliver dir->cpu%d %s", i, msgNames[m.kind]), ns)
+		}
+	}
+	return out
+}
+
+// --- directory side -------------------------------------------------------
+//
+// These mirror internal/directory: a busy/wait-queue blocking protocol
+// where writebacks and collected acks are processed even while a
+// transaction is in flight, and everything else queues.
+
+// dirReceive dispatches one message arriving at the home hub from cpu src.
+func dirReceive(cfg *Config, s *state, src uint8, m msg) {
+	switch m.kind {
+	case mGetS:
+		submitReq(cfg, s, qreq{kind: qGetS, cpu: src})
+	case mGetX:
+		submitReq(cfg, s, qreq{kind: qGetX, cpu: src})
+	case mUpg:
+		submitReq(cfg, s, qreq{kind: qUpg, cpu: src})
+	case mWB:
+		applyWriteback(s, src, m)
+	case mInvAck:
+		applyInvAck(cfg, s)
+	case mIvnAck:
+		applyIvnAck(cfg, s, m)
+	default:
+		panic(fmt.Sprintf("modelcheck: directory received %s", msgNames[m.kind]))
+	}
+}
+
+// submitReq starts q immediately if the block is idle, else queues it.
+func submitReq(cfg *Config, s *state, q qreq) {
+	if s.dir.busy {
+		if int(s.dir.qn) >= maxQueue {
+			panic("modelcheck: directory queue overflow (raise maxQueue)")
+		}
+		s.dir.queue[s.dir.qn] = q
+		s.dir.qn++
+		return
+	}
+	s.dir.busy = true
+	processReq(cfg, s, q)
+}
+
+// complete finishes the current transaction and starts the next queued one.
+func complete(cfg *Config, s *state) {
+	s.dir.phase = phIdle
+	s.dir.cont = contNone
+	s.dir.contCPU = 0
+	s.dir.contWord = 0
+	s.dir.acksLeft = 0
+	if s.dir.qn == 0 {
+		s.dir.busy = false
+		return
+	}
+	q := s.dir.queue[0]
+	copy(s.dir.queue[:], s.dir.queue[1:s.dir.qn])
+	s.dir.qn--
+	s.dir.queue[s.dir.qn] = qreq{}
+	processReq(cfg, s, q)
+}
+
+// processReq runs one request to its first blocking point (or completion).
+func processReq(cfg *Config, s *state, q qreq) {
+	d := &s.dir
+	switch q.kind {
+	case qGetS:
+		switch d.st {
+		case dirU, dirS:
+			s.toCPU[q.cpu].push(msg{kind: mDataS, data: s.mem, hasData: true})
+			d.st = dirS
+			d.sharers |= bit(q.cpu)
+			complete(cfg, s)
+		case dirE:
+			d.phase = phIvnAck
+			d.cont = contGetS
+			d.contCPU = q.cpu
+			s.toCPU[d.owner].push(msg{kind: mIvn}) // downgrade intervention
+		}
+	case qGetX:
+		grantExclusive(cfg, s, q.cpu)
+	case qUpg:
+		// An upgrade is only honoured when the block is Shared, the AMU
+		// holds none of its words, and the requester is still a sharer;
+		// otherwise it is handled as a full GETX.
+		if d.st == dirS && d.amuMask == 0 && d.sharers&bit(q.cpu) != 0 {
+			d.sharers &^= bit(q.cpu)
+			startInvalidate(cfg, s, contUpg, q.cpu)
+			return
+		}
+		grantExclusive(cfg, s, q.cpu)
+	case qFineGet:
+		switch d.st {
+		case dirU, dirS:
+			finishFineGet(cfg, s, q.word)
+		case dirE:
+			d.phase = phIvnAck
+			d.cont = contFineGet
+			d.contWord = q.word
+			s.toCPU[d.owner].push(msg{kind: mIvn}) // downgrade intervention
+		}
+	case qFinePut:
+		// The put may have been overtaken by a recall: then it is a no-op.
+		if d.amuMask&bit(q.word) != 0 {
+			s.mem[q.word] = s.amu.vals[q.word]
+			s.amu.dirty &^= bit(q.word)
+			for c := uint8(0); c < uint8(cfg.CPUs); c++ {
+				if d.sharers&bit(c) != 0 {
+					s.toCPU[c].push(msg{kind: mWUPD, word: q.word, val: s.mem[q.word]})
+				}
+			}
+		}
+		s.amu.busy = false
+		complete(cfg, s)
+	}
+}
+
+// grantExclusive services a GETX (or demoted upgrade) from any state.
+func grantExclusive(cfg *Config, s *state, req uint8) {
+	d := &s.dir
+	switch d.st {
+	case dirU:
+		recallAMU(cfg, s)
+		s.toCPU[req].push(msg{kind: mDataX, data: s.mem, hasData: true})
+		d.st = dirE
+		d.owner = req
+		complete(cfg, s)
+	case dirS:
+		recallAMU(cfg, s)
+		d.sharers &^= bit(req)
+		startInvalidate(cfg, s, contGetX, req)
+	case dirE:
+		if d.owner == req {
+			// Raced its own writeback; treat as a miss fill.
+			s.toCPU[req].push(msg{kind: mDataX, data: s.mem, hasData: true})
+			complete(cfg, s)
+			return
+		}
+		d.phase = phIvnAck
+		d.cont = contGetX
+		d.contCPU = req
+		s.toCPU[d.owner].push(msg{kind: mIvn, flags: fInvalidate})
+	}
+}
+
+// startInvalidate fans out invalidations to the remaining sharers and
+// records the continuation (grant data or ack the upgrade) to run once all
+// acks return. With no sharers left the continuation runs immediately.
+func startInvalidate(cfg *Config, s *state, cont uint8, req uint8) {
+	d := &s.dir
+	if cfg.Bug == BugNoInvalidate {
+		// Injected defect: grant without invalidating; stale sharers keep
+		// their copies.
+		finishExclusive(cfg, s, cont, req)
+		return
+	}
+	n := popcount(d.sharers)
+	if n == 0 {
+		finishExclusive(cfg, s, cont, req)
+		return
+	}
+	d.phase = phInvAcks
+	d.cont = cont
+	d.contCPU = req
+	d.acksLeft = n
+	for c := uint8(0); c < uint8(cfg.CPUs); c++ {
+		if d.sharers&bit(c) != 0 {
+			s.toCPU[c].push(msg{kind: mInv})
+		}
+	}
+	d.sharers = 0
+}
+
+// finishExclusive hands the block to req in Exclusive state.
+func finishExclusive(cfg *Config, s *state, cont uint8, req uint8) {
+	d := &s.dir
+	if cont == contUpg {
+		s.toCPU[req].push(msg{kind: mAckX})
+	} else {
+		s.toCPU[req].push(msg{kind: mDataX, data: s.mem, hasData: true})
+	}
+	d.st = dirE
+	d.owner = req
+	if cfg.Bug != BugNoInvalidate {
+		d.sharers = 0
+	}
+	complete(cfg, s)
+}
+
+// finishFineGet latches one word into the AMU.
+func finishFineGet(cfg *Config, s *state, w uint8) {
+	s.dir.amuMask |= bit(w)
+	s.amu.vals[w] = s.mem[w]
+	s.amu.busy = false
+	complete(cfg, s)
+}
+
+// recallAMU flushes every AMU-held word back to memory before an exclusive
+// grant, ending the release-consistency window.
+func recallAMU(cfg *Config, s *state) {
+	if cfg.Bug == BugNoRecall {
+		return
+	}
+	d := &s.dir
+	for w := uint8(0); w < uint8(cfg.Words); w++ {
+		if d.amuMask&bit(w) != 0 {
+			s.mem[w] = s.amu.vals[w]
+		}
+	}
+	d.amuMask = 0
+	s.amu.dirty = 0
+}
+
+// applyWriteback accepts a dirty eviction; a writeback that raced an
+// intervention (ownership already moved) is dropped.
+func applyWriteback(s *state, src uint8, m msg) {
+	d := &s.dir
+	if d.st != dirE || d.owner != src {
+		return
+	}
+	s.mem = m.data
+	d.st = dirU
+	d.owner = 0
+}
+
+// applyInvAck collects one invalidation ack and runs the continuation when
+// the count drains.
+func applyInvAck(cfg *Config, s *state) {
+	d := &s.dir
+	if d.phase != phInvAcks || d.acksLeft == 0 {
+		panic("modelcheck: unexpected INV_ACK")
+	}
+	d.acksLeft--
+	if d.acksLeft > 0 {
+		return
+	}
+	d.phase = phIdle
+	finishExclusive(cfg, s, d.cont, d.contCPU)
+}
+
+// applyIvnAck finishes an intervention. A data-carrying ack updates home
+// memory; a stale ack means the owner's copy was already gone (its
+// writeback, processed earlier on the same FIFO, updated memory).
+func applyIvnAck(cfg *Config, s *state, m msg) {
+	d := &s.dir
+	if d.phase != phIvnAck {
+		panic("modelcheck: unexpected IVN_ACK")
+	}
+	stale := m.flags&fStale != 0
+	if !stale && m.hasData && cfg.Bug != BugDropInterventionData {
+		s.mem = m.data
+	}
+	cont, req, w := d.cont, d.contCPU, d.contWord
+	d.phase = phIdle
+	switch cont {
+	case contGetS:
+		// On a stale ack the former owner wrote back and keeps no copy;
+		// recording it would create a phantom sharer.
+		d.st = dirS
+		d.sharers = bit(req)
+		if !stale {
+			d.sharers |= bit(d.owner)
+		}
+		s.toCPU[req].push(msg{kind: mDataS, data: s.mem, hasData: true})
+		complete(cfg, s)
+	case contGetX:
+		s.toCPU[req].push(msg{kind: mDataX, data: s.mem, hasData: true})
+		d.st = dirE
+		d.owner = req
+		complete(cfg, s)
+	case contFineGet:
+		if !stale {
+			d.st = dirS
+			d.sharers = bit(d.owner)
+		}
+		finishFineGet(cfg, s, w)
+	default:
+		panic("modelcheck: IVN_ACK with no continuation")
+	}
+}
+
+// --- CPU side -------------------------------------------------------------
+//
+// These mirror internal/proc's cache-reply and probe handling.
+
+// cpuReceive dispatches one message arriving at cpu i from the home hub.
+func cpuReceive(cfg *Config, s *state, i uint8, m msg) {
+	c := &s.cpus[i]
+	switch m.kind {
+	case mInv:
+		// Invalidations are acked unconditionally, even if the line was
+		// already evicted.
+		c.st = cI
+		c.data = [maxWords]uint8{}
+		s.toDir[i].push(msg{kind: mInvAck})
+	case mIvn:
+		if m.flags&fInvalidate != 0 {
+			reply := msg{kind: mIvnAck}
+			if c.st == cM {
+				reply.data = c.data
+				reply.hasData = true
+			} else {
+				reply.flags = fStale
+			}
+			c.st = cI
+			c.data = [maxWords]uint8{}
+			s.toDir[i].push(reply)
+			return
+		}
+		// Downgrade: only a Modified copy yields data; otherwise the
+		// eviction already happened and the ack is stale.
+		if c.st == cM {
+			c.st = cS
+			s.toDir[i].push(msg{kind: mIvnAck, data: c.data, hasData: true})
+			return
+		}
+		s.toDir[i].push(msg{kind: mIvnAck, flags: fStale})
+	case mDataS:
+		if c.pend != pGetS {
+			panic(fmt.Sprintf("modelcheck: cpu%d DATA_S with pend=%d", i, c.pend))
+		}
+		c.st = cS
+		c.data = m.data
+		c.pend = pNone
+	case mDataX:
+		if c.pend != pGetX && c.pend != pUpg {
+			panic(fmt.Sprintf("modelcheck: cpu%d DATA_X with pend=%d", i, c.pend))
+		}
+		c.st = cM
+		c.data = m.data
+		c.pend = pNone
+	case mAckX:
+		if c.pend != pUpg {
+			panic(fmt.Sprintf("modelcheck: cpu%d ACK_X with pend=%d", i, c.pend))
+		}
+		if c.st != cS {
+			panic(fmt.Sprintf("modelcheck: cpu%d ACK_X without a Shared copy", i))
+		}
+		c.st = cM
+		c.pend = pNone
+	case mWUPD:
+		// Fine-grained update: patch the word if a copy is still resident.
+		if c.st != cI {
+			c.data[m.word] = m.val
+		}
+	default:
+		panic(fmt.Sprintf("modelcheck: cpu received %s", msgNames[m.kind]))
+	}
+}
+
+// --- invariants -----------------------------------------------------------
+
+// checkInvariants returns the name and detail of the first violated
+// invariant, or ("", "") if the state is safe.
+func checkInvariants(cfg *Config, s *state) (string, string) {
+	var mCount, sCount int
+	mCPU := -1
+	for i := 0; i < cfg.CPUs; i++ {
+		switch s.cpus[i].st {
+		case cM:
+			mCount++
+			mCPU = i
+		case cS:
+			sCount++
+		}
+	}
+
+	// SWMR: a writer excludes every other copy.
+	if mCount > 1 {
+		return "SWMR", fmt.Sprintf("%d CPUs hold the block Modified", mCount)
+	}
+	if mCount == 1 && sCount > 0 {
+		return "SWMR", fmt.Sprintf("cpu%d Modified while %d Shared copies exist", mCPU, sCount)
+	}
+
+	// AMUExclusion: exclusive grants must recall AMU-held words first.
+	if mCount == 1 && s.dir.amuMask != 0 {
+		return "AMUExclusion",
+			fmt.Sprintf("cpu%d Modified while AMU holds words %02b", mCPU, s.dir.amuMask)
+	}
+
+	// DataValue: for each word, the authoritative copy carries the most
+	// recently written value. Authority order: AMU-held word, Modified
+	// copy, in-flight writeback / intervention data, home memory.
+	for w := 0; w < cfg.Words; w++ {
+		g := s.ghost[w]
+		if s.dir.amuMask&bit(uint8(w)) != 0 {
+			if s.amu.vals[w] != g {
+				return "DataValue",
+					fmt.Sprintf("AMU holds w%d=%d, last written %d", w, s.amu.vals[w], g)
+			}
+			continue
+		}
+		if mCount == 1 {
+			if s.cpus[mCPU].data[w] != g {
+				return "DataValue",
+					fmt.Sprintf("cpu%d Modified w%d=%d, last written %d", mCPU, w, s.cpus[mCPU].data[w], g)
+			}
+			continue
+		}
+		// No live writer: the value is in memory or still in flight
+		// toward it (a writeback or data-carrying intervention ack).
+		if s.mem[w] == g {
+			continue
+		}
+		carried := false
+		for i := 0; i < cfg.CPUs; i++ {
+			ch := &s.toDir[i]
+			for j := uint8(0); j < ch.n; j++ {
+				m := &ch.msgs[j]
+				if (m.kind == mWB || m.kind == mIvnAck) && m.hasData && m.data[w] == g {
+					carried = true
+				}
+			}
+		}
+		if !carried {
+			return "DataValue",
+				fmt.Sprintf("w%d: memory has %d, last written %d, no carrier in flight", w, s.mem[w], g)
+		}
+	}
+
+	// SharerSync: Shared copies agree with home memory, modulo the
+	// release-consistency window (AMU-held words), updates still in
+	// flight, and a just-downgraded owner whose data is ahead of memory
+	// until its intervention ack lands.
+	for i := 0; i < cfg.CPUs; i++ {
+		c := &s.cpus[i]
+		if c.st != cS {
+			continue
+		}
+		if inFlight(&s.toDir[i], mIvnAck) {
+			continue
+		}
+		// A copy that lagged an AMU-held word (release consistency) is
+		// reconciled when the hold ends: by an invalidation, or — for an
+		// upgrade demoted to GETX — by a full-block DATA_X refill, which
+		// may still be gated on the invalidation acks of other sharers.
+		// An honoured upgrade (contUpg) gets no refill, so it is not
+		// excused: promoting a stale copy to Modified must be reported.
+		if inFlight(&s.toCPU[i], mInv) || inFlight(&s.toCPU[i], mDataX) ||
+			(s.dir.phase == phInvAcks && s.dir.cont == contGetX && int(s.dir.contCPU) == i) {
+			continue
+		}
+		for w := 0; w < cfg.Words; w++ {
+			if s.dir.amuMask&bit(uint8(w)) != 0 {
+				continue
+			}
+			if wupdInFlight(&s.toCPU[i], uint8(w)) {
+				continue
+			}
+			if c.data[w] != s.mem[w] {
+				return "SharerSync",
+					fmt.Sprintf("cpu%d Shared w%d=%d, memory has %d", i, w, c.data[w], s.mem[w])
+			}
+		}
+	}
+
+	// DirSync: the directory's bookkeeping tracks reality. The sharer
+	// list is a conservative superset, so only missing entries are
+	// errors; an entry may also be pending (invalidation or downgrade
+	// ack in flight).
+	if mCount == 1 {
+		if s.dir.st != dirE || int(s.dir.owner) != mCPU {
+			return "DirSync",
+				fmt.Sprintf("cpu%d Modified but directory has st=%d owner=%d", mCPU, s.dir.st, s.dir.owner)
+		}
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		if s.cpus[i].st != cS {
+			continue
+		}
+		if s.dir.sharers&bit(uint8(i)) != 0 ||
+			inFlight(&s.toCPU[i], mInv) ||
+			inFlight(&s.toDir[i], mIvnAck) ||
+			// An upgrade (possibly demoted to GETX) in flight: the
+			// requester left the sharer list before its grant arrived,
+			// or is still waiting for the invalidation acks to drain.
+			inFlight(&s.toCPU[i], mAckX) ||
+			inFlight(&s.toCPU[i], mDataX) ||
+			(s.dir.phase == phInvAcks && int(s.dir.contCPU) == i) {
+			continue
+		}
+		return "DirSync", fmt.Sprintf("cpu%d Shared but absent from the sharer list", i)
+	}
+	return "", ""
+}
+
+func inFlight(ch *chanRec, kind uint8) bool {
+	for j := uint8(0); j < ch.n; j++ {
+		if ch.msgs[j].kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func wupdInFlight(ch *chanRec, w uint8) bool {
+	for j := uint8(0); j < ch.n; j++ {
+		if ch.msgs[j].kind == mWUPD && ch.msgs[j].word == w {
+			return true
+		}
+	}
+	return false
+}

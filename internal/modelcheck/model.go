@@ -1,0 +1,318 @@
+// Package modelcheck is an explicit-state model checker for the simulated
+// machine's directory protocol: the blocking MSI write-invalidate protocol
+// of internal/directory plus the paper's fine-grained get/put AMU
+// extension.
+//
+// The model is a hand-written abstraction of the implementation, small
+// enough to enumerate exhaustively: a handful of CPUs, one coherence block
+// of one or two words, and a bounded budget of value-writing operations.
+// Nondeterminism comes from interleaving — which CPU or AMU acts next, and
+// which in-flight message is delivered next. Message channels are FIFO per
+// (source, destination) pair, matching the simulator's network, where every
+// message between two endpoints has the same latency and the event engine
+// breaks ties in send order.
+//
+// Explore performs a breadth-first search over all reachable states and
+// checks the protocol's safety invariants in every one:
+//
+//   - SWMR: at most one Modified copy, never alongside Shared copies;
+//   - AMUExclusion: no Modified copy while the AMU holds words of the
+//     block (exclusive grants must recall the AMU first);
+//   - DataValue: the authoritative copy of every word — AMU-held value,
+//     Modified copy, in-flight writeback/intervention data, or home
+//     memory, in that order — equals the most recently written value;
+//   - SharerSync: Shared copies agree with home memory, except for
+//     AMU-held words (the paper's release-consistency window) and words
+//     with a fine-grained update still in flight;
+//   - DirSync: the directory's record matches the caches (owner correct,
+//     sharer list a superset of actual sharers).
+//
+// On violation it reconstructs the shortest action trace from the initial
+// state, giving a reproducible counterexample. Deliberately injectable
+// protocol bugs (Bug*) exercise the checker itself.
+package modelcheck
+
+import "fmt"
+
+// Model geometry ceilings. The state struct uses fixed-size arrays so that
+// states are comparable and usable as map keys.
+const (
+	maxCPUs  = 3
+	maxWords = 2
+	maxChan  = 5 // in-flight messages per direction per CPU
+	maxQueue = 5 // directory wait-queue depth
+)
+
+// Bug selects a deliberately injected protocol defect, used to test that
+// the checker finds real violations.
+type Bug int
+
+// Injectable bugs.
+const (
+	// BugNone checks the faithful protocol.
+	BugNone Bug = iota
+	// BugNoInvalidate grants exclusive ownership without invalidating the
+	// current sharers (drops the invalidation fan-out of a GETX/upgrade
+	// from Shared). Violates SWMR.
+	BugNoInvalidate
+	// BugNoRecall grants exclusive ownership without recalling AMU-held
+	// words, so the grantee's block data is stale with respect to the AMU.
+	// Violates AMUExclusion (and DataValue once the AMU has mutated).
+	BugNoRecall
+	// BugDropInterventionData ignores the dirty data carried by an
+	// intervention ack instead of writing it to memory. Violates
+	// DataValue/SharerSync.
+	BugDropInterventionData
+)
+
+func (b Bug) String() string {
+	switch b {
+	case BugNone:
+		return "none"
+	case BugNoInvalidate:
+		return "no-invalidate"
+	case BugNoRecall:
+		return "no-recall"
+	case BugDropInterventionData:
+		return "drop-intervention-data"
+	}
+	return fmt.Sprintf("Bug(%d)", int(b))
+}
+
+// Config sizes the model.
+type Config struct {
+	// CPUs is the processor count (1..3).
+	CPUs int
+	// Words is the number of words in the single coherence block (1..2).
+	Words int
+	// MaxWrites bounds the total number of value-mutating operations (CPU
+	// stores and AMU operations); each write installs a fresh value, so
+	// this also bounds the value domain.
+	MaxWrites int
+	// AMU enables the fine-grained get/put extension: the home AMU may
+	// acquire words, mutate them, and put updates back.
+	AMU bool
+	// Bug optionally injects a protocol defect.
+	Bug Bug
+	// MaxStates aborts exploration beyond this many states (default 4M).
+	MaxStates int
+}
+
+func (c *Config) validate() error {
+	if c.CPUs < 1 || c.CPUs > maxCPUs {
+		return fmt.Errorf("modelcheck: CPUs must be 1..%d, got %d", maxCPUs, c.CPUs)
+	}
+	if c.Words < 1 || c.Words > maxWords {
+		return fmt.Errorf("modelcheck: Words must be 1..%d, got %d", maxWords, c.Words)
+	}
+	if c.MaxWrites < 0 || c.MaxWrites > 200 {
+		return fmt.Errorf("modelcheck: MaxWrites must be 0..200, got %d", c.MaxWrites)
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 4 << 20
+	}
+	return nil
+}
+
+// Cache and directory states.
+const (
+	cI uint8 = iota
+	cS
+	cM
+)
+
+const (
+	dirU uint8 = iota
+	dirS
+	dirE
+)
+
+// Pending CPU request kinds.
+const (
+	pNone uint8 = iota
+	pGetS
+	pGetX
+	pUpg
+)
+
+// Message kinds.
+const (
+	mGetS uint8 = iota
+	mGetX
+	mUpg
+	mWB
+	mInvAck
+	mIvnAck
+	mDataS
+	mDataX
+	mAckX
+	mInv
+	mIvn
+	mWUPD
+)
+
+var msgNames = [...]string{
+	mGetS: "GETS", mGetX: "GETX", mUpg: "UPGRADE", mWB: "WB",
+	mInvAck: "INV_ACK", mIvnAck: "IVN_ACK", mDataS: "DATA_S",
+	mDataX: "DATA_X", mAckX: "ACK_X", mInv: "INV", mIvn: "IVN",
+	mWUPD: "WUPD",
+}
+
+// Message flag bits.
+const (
+	fInvalidate uint8 = 1 << iota // IVN: drop the block rather than downgrade
+	fStale                        // IVN_ACK: owner no longer held the block
+)
+
+// msg is one in-flight protocol message.
+type msg struct {
+	kind    uint8
+	flags   uint8
+	word    uint8           // WUPD target word
+	val     uint8           // WUPD value
+	data    [maxWords]uint8 // block payload (WB, IVN_ACK, DATA_*)
+	hasData bool
+}
+
+// chanRec is a FIFO channel of in-flight messages.
+type chanRec struct {
+	n    uint8
+	msgs [maxChan]msg
+}
+
+func (c *chanRec) push(m msg) {
+	if int(c.n) >= maxChan {
+		panic("modelcheck: channel overflow (raise maxChan)")
+	}
+	c.msgs[c.n] = m
+	c.n++
+}
+
+func (c *chanRec) pop() msg {
+	m := c.msgs[0]
+	copy(c.msgs[:], c.msgs[1:c.n])
+	c.n--
+	c.msgs[c.n] = msg{}
+	return m
+}
+
+// Directory continuation kinds: what runs when awaited acks arrive.
+const (
+	contNone uint8 = iota
+	contGetS
+	contGetX
+	contUpg
+	contFineGet
+)
+
+// Directory phases.
+const (
+	phIdle uint8 = iota
+	phInvAcks
+	phIvnAck
+)
+
+// Queued request kinds (the directory's per-block wait queue).
+const (
+	qGetS uint8 = iota
+	qGetX
+	qUpg
+	qFineGet
+	qFinePut
+)
+
+var qNames = [...]string{
+	qGetS: "GETS", qGetX: "GETX", qUpg: "UPGRADE",
+	qFineGet: "fine-get", qFinePut: "fine-put",
+}
+
+// qreq is one queued directory request.
+type qreq struct {
+	kind uint8
+	cpu  uint8 // requesting CPU (cache requests)
+	word uint8 // target word (fine ops)
+}
+
+// dirRec is the home directory's record for the block.
+type dirRec struct {
+	st      uint8
+	owner   uint8
+	sharers uint8 // bitmask over CPUs
+	amuMask uint8 // bitmask over words held by the AMU
+	busy    bool
+
+	phase    uint8
+	cont     uint8
+	contCPU  uint8
+	contWord uint8
+	acksLeft uint8
+
+	qn    uint8
+	queue [maxQueue]qreq
+}
+
+// cpuRec is one CPU's cache line plus its outstanding request.
+type cpuRec struct {
+	st   uint8
+	data [maxWords]uint8
+	pend uint8
+}
+
+// amuRec is the Active Memory Unit: word values for held words (validity
+// tracked by dir.amuMask, since AMU and directory share the hub), a dirty
+// mask of words mutated since their last put (an AMO is get-op-put, so
+// puts are only issued for dirty words — this also bounds the state
+// space), and a busy flag while a fine op is queued or executing.
+type amuRec struct {
+	vals  [maxWords]uint8
+	dirty uint8
+	busy  bool
+}
+
+// state is one global protocol state. It is a comparable value type:
+// exploration uses it directly as a map key.
+type state struct {
+	mem    [maxWords]uint8
+	ghost  [maxWords]uint8 // most recently written value per word
+	writes uint8           // value-mutating ops performed so far
+
+	dir  dirRec
+	cpus [maxCPUs]cpuRec
+	amu  amuRec
+
+	toDir [maxCPUs]chanRec // CPU -> home hub
+	toCPU [maxCPUs]chanRec // home hub -> CPU
+}
+
+func bit(i uint8) uint8 { return 1 << i }
+
+func popcount(m uint8) uint8 {
+	var n uint8
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// String renders a compact single-block state dump for counterexamples.
+func (s *state) String() string {
+	out := fmt.Sprintf("dir{st=%s owner=%d sharers=%03b amu=%02b busy=%v ph=%d q=%d}",
+		[]string{"U", "S", "E"}[s.dir.st], s.dir.owner, s.dir.sharers,
+		s.dir.amuMask, s.dir.busy, s.dir.phase, s.dir.qn)
+	out += fmt.Sprintf(" mem=%v ghost=%v writes=%d", s.mem, s.ghost, s.writes)
+	for i := range s.cpus {
+		c := &s.cpus[i]
+		out += fmt.Sprintf(" cpu%d{%s data=%v pend=%d}", i,
+			[]string{"I", "S", "M"}[c.st], c.data, c.pend)
+	}
+	out += fmt.Sprintf(" amu{vals=%v busy=%v}", s.amu.vals, s.amu.busy)
+	for i := range s.toDir {
+		for j := uint8(0); j < s.toDir[i].n; j++ {
+			out += fmt.Sprintf(" [cpu%d->dir %s]", i, msgNames[s.toDir[i].msgs[j].kind])
+		}
+		for j := uint8(0); j < s.toCPU[i].n; j++ {
+			out += fmt.Sprintf(" [dir->cpu%d %s]", i, msgNames[s.toCPU[i].msgs[j].kind])
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// explore runs a config that must complete without invariant violations.
+func explore(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("Explore(%+v): %v", cfg, err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("Explore(%+v) found a violation:\n%s", cfg, res.Violation)
+	}
+	return res
+}
+
+// pin asserts the exact reachable-state count of a configuration. The
+// counts are regression pins: a protocol or model change that alters the
+// reachable space shows up here and must be reviewed (and the pins
+// re-derived) deliberately, never silently.
+func pin(t *testing.T, cfg Config, states, transitions int) {
+	t.Helper()
+	res := explore(t, cfg)
+	if res.States != states || res.Transitions != transitions {
+		t.Errorf("Explore(%+v) = %d states / %d transitions, want %d / %d",
+			cfg, res.States, res.Transitions, states, transitions)
+	}
+}
+
+// TestExploreMSIBaseline pins the plain MSI protocol without the AMU: two
+// CPUs, one single-word block, two writes.
+func TestExploreMSIBaseline(t *testing.T) {
+	pin(t, Config{CPUs: 2, Words: 1, MaxWrites: 2}, 1336, 2602)
+}
+
+// TestExploreAMOBaseline pins the paper's protocol: MSI plus fine-grained
+// AMU get/put on a 2-CPU, 1-word-block, 2-write configuration. This is the
+// headline exhaustive run: every interleaving of CPU loads, stores,
+// upgrades, evictions, AMU get/amo/put, and message deliveries is visited,
+// and SWMR, AMUExclusion, DataValue, SharerSync, and DirSync hold in all
+// of them.
+func TestExploreAMOBaseline(t *testing.T) {
+	pin(t, Config{CPUs: 2, Words: 1, MaxWrites: 2, AMU: true}, 14047, 35256)
+}
+
+// TestExploreTwoWordBlock pins the two-word block, where the AMU can hold
+// one word while CPUs fight over the other (the release-consistency window
+// is per word).
+func TestExploreTwoWordBlock(t *testing.T) {
+	pin(t, Config{CPUs: 2, Words: 2, MaxWrites: 2, AMU: true}, 86990, 235566)
+}
+
+// TestExploreThreeCPUs covers the three-CPU interleavings (multi-sharer
+// invalidation fan-out, queued requests behind a busy block).
+func TestExploreThreeCPUs(t *testing.T) {
+	pin(t, Config{CPUs: 3, Words: 1, MaxWrites: 1}, 24924, 64082)
+}
+
+// TestExploreThreeCPUsAMO is the largest run (~250k states); skipped in
+// short mode. This configuration is the one that exposed the phantom
+// sharer bug: a stale intervention ack used to re-add the departed owner
+// (by then cleared to CPU 0) to the sharer list, letting a later upgrade
+// be acknowledged data-less to a CPU whose line was gone.
+func TestExploreThreeCPUsAMO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space; skipped with -short")
+	}
+	pin(t, Config{CPUs: 3, Words: 1, MaxWrites: 1, AMU: true}, 256805, 756914)
+}
+
+// checkBug asserts that an injected defect is caught, names the expected
+// invariant, and carries a well-formed counterexample trace.
+func checkBug(t *testing.T, cfg Config, invariant string) {
+	t.Helper()
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("Explore(%+v): %v", cfg, err)
+	}
+	v := res.Violation
+	if v == nil {
+		t.Fatalf("Explore(%+v): injected bug not detected (%d states)", cfg, res.States)
+	}
+	if v.Invariant != invariant {
+		t.Errorf("violated invariant = %s, want %s (detail: %s)", v.Invariant, invariant, v.Detail)
+	}
+	if len(v.Trace) == 0 {
+		t.Fatal("violation carries no trace")
+	}
+	// BFS order makes the counterexample minimal-length and reproducible;
+	// every step must name an action and a state.
+	for i, st := range v.Trace {
+		if st.Action == "" || st.State == "" {
+			t.Fatalf("trace step %d is empty: %+v", i, st)
+		}
+	}
+	out := v.String()
+	if !strings.Contains(out, invariant) || !strings.Contains(out, v.Trace[0].Action) {
+		t.Errorf("violation rendering is missing pieces:\n%s", out)
+	}
+}
+
+// TestBugNoInvalidate: granting exclusivity without invalidating sharers
+// must break single-writer-multiple-readers.
+func TestBugNoInvalidate(t *testing.T) {
+	checkBug(t, Config{CPUs: 2, Words: 1, MaxWrites: 2, AMU: true, Bug: BugNoInvalidate}, "SWMR")
+}
+
+// TestBugNoRecall: granting exclusivity without recalling AMU-held words
+// must break AMU/writer exclusion.
+func TestBugNoRecall(t *testing.T) {
+	checkBug(t, Config{CPUs: 2, Words: 1, MaxWrites: 2, AMU: true, Bug: BugNoRecall}, "AMUExclusion")
+}
+
+// TestBugDropInterventionData: discarding the dirty block carried by an
+// intervention ack must lose the last written value.
+func TestBugDropInterventionData(t *testing.T) {
+	checkBug(t, Config{CPUs: 2, Words: 1, MaxWrites: 2, AMU: true, Bug: BugDropInterventionData}, "DataValue")
+}
+
+// TestConfigValidate rejects out-of-range geometries.
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{
+		{CPUs: 0, Words: 1, MaxWrites: 1},
+		{CPUs: 4, Words: 1, MaxWrites: 1},
+		{CPUs: 2, Words: 0, MaxWrites: 1},
+		{CPUs: 2, Words: 3, MaxWrites: 1},
+		{CPUs: 2, Words: 1, MaxWrites: -1},
+	} {
+		if _, err := Explore(cfg); err == nil {
+			t.Errorf("Explore(%+v) accepted an invalid config", cfg)
+		}
+	}
+}
+
+// TestMaxStatesGuard aborts instead of running away on a too-small cap.
+func TestMaxStatesGuard(t *testing.T) {
+	if _, err := Explore(Config{CPUs: 2, Words: 1, MaxWrites: 2, AMU: true, MaxStates: 100}); err == nil {
+		t.Fatal("Explore ignored MaxStates")
+	}
+}

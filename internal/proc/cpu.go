@@ -223,6 +223,8 @@ func (c *CPU) applyCacheReply(m network.Msg) {
 			// only sends AckExclusive to a live sharer, so this is a bug.
 			panic(fmt.Sprintf("proc: cpu %d AckExclusive without line", c.p.ID))
 		}
+	default:
+		panic(fmt.Sprintf("proc: cpu %d cache reply with kind %v", c.p.ID, m.Kind))
 	}
 	switch op.kind {
 	case opLoad, opLoadLinked:
@@ -249,6 +251,8 @@ func (c *CPU) applyCacheReply(m network.Msg) {
 		v, _ := c.c.ReadWord(op.addr)
 		op.result = v
 		c.c.WriteWord(op.addr, op.rmw.Apply(v, op.val, op.aux))
+	default:
+		panic(fmt.Sprintf("proc: cpu %d cache reply with no operation in flight (kind %d)", c.p.ID, int(op.kind)))
 	}
 	op.filled = true
 	c.wakePending()
