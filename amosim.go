@@ -33,6 +33,7 @@ import (
 	"amosim/internal/core"
 	"amosim/internal/isa"
 	"amosim/internal/machine"
+	"amosim/internal/metrics"
 	"amosim/internal/proc"
 	"amosim/internal/stats"
 	"amosim/internal/syncprim"
@@ -169,6 +170,39 @@ func EncodeAMO(i AMOInstr) (uint32, error) { return isa.Encode(i) }
 
 // DecodeAMO unpacks a 32-bit instruction word, rejecting non-AMO words.
 func DecodeAMO(w uint32) (AMOInstr, error) { return isa.Decode(w) }
+
+// Snapshot is an immutable, JSON-marshalable view of every counter in a
+// machine at one simulated instant: per-CPU counters, caches and cycle
+// attribution, per-node directory and AMU counters, memory accesses and
+// network traffic. Take one with Machine.Metrics; subtract two with Diff to
+// measure a window. Marshaling is deterministic: identical runs produce
+// byte-identical JSON.
+type Snapshot = metrics.Snapshot
+
+// CycleBreakdown attributes one CPU's cycles to compute, memory stall and
+// spin/idle; the three always sum exactly to Total.
+type CycleBreakdown = metrics.CycleBreakdown
+
+// Attribution is a machine-wide cycle-attribution rollup (see
+// Snapshot.Attribution).
+type Attribution = metrics.Attribution
+
+// CPUMetrics is one CPU's slice of a Snapshot.
+type CPUMetrics = metrics.CPUMetrics
+
+// NodeMetrics is one node's slice of a Snapshot (directory + AMU).
+type NodeMetrics = metrics.NodeMetrics
+
+// Named counter groups inside a Snapshot, replacing the positional
+// multi-return counter tuples of earlier versions.
+type (
+	CPUStats       = metrics.CPUStats
+	CacheStats     = metrics.CacheStats
+	DirectoryStats = metrics.DirectoryStats
+	AMUStats       = metrics.AMUStats
+	MemoryStats    = metrics.MemoryStats
+	NetworkStats   = metrics.NetworkStats
+)
 
 // BarrierResult describes one barrier experiment.
 type BarrierResult = stats.BarrierResult

@@ -1,6 +1,7 @@
 package amosim
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -44,7 +45,7 @@ func TestRunBarrierDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("nondeterministic results:\n%+v\n%+v", r1, r2)
 	}
 }

@@ -28,4 +28,18 @@ go test ./...
 echo "== go test -race (short)"
 go test -race -short ./internal/sim/... ./internal/machine/... ./internal/syncprim/...
 
+echo "== metrics smoke"
+# The -metrics writer is self-verifying: it fails unless the JSON document
+# round-trips byte-identically and the window's cycle attribution conserves.
+tmpjson=$(mktemp)
+trap 'rm -f "$tmpjson"' EXIT
+go run ./cmd/amosim -primitive barrier -mech AMO -procs 16 -metrics "$tmpjson" >/dev/null
+go run ./cmd/amosim -primitive ticket -mech LLSC -procs 8 -metrics "$tmpjson" >/dev/null
+
+echo "== bench metrics"
+# Regenerate the checked-in benchmark summary; any drift is a determinism
+# or modeling regression and must be committed deliberately.
+go run ./cmd/amotables -bench-metrics "$tmpjson"
+diff -u BENCH_metrics.json "$tmpjson"
+
 echo "CI PASS"

@@ -8,12 +8,22 @@
 //	amosim -primitive barrier -mech LLSC -procs 32 -tree 8
 //	amosim -primitive ticket -mech MAO -procs 128 -acquires 8
 //	amosim -primitive array -mech Atomic -procs 16 -trace 40
+//	amosim -primitive barrier -mech AMO -procs 32 -metrics out.json
+//
+// With -metrics PATH the full result record — including the
+// measurement-window metrics Snapshot every printed figure derives from —
+// is written to PATH as JSON. The write is self-verifying: the document
+// must round-trip (unmarshal + remarshal to identical bytes) and its cycle
+// attribution must conserve, or the command fails.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"amosim"
@@ -35,6 +45,33 @@ func parseMech(s string) (amosim.Mechanism, error) {
 	return 0, fmt.Errorf("unknown mechanism %q (LLSC, Atomic, ActMsg, MAO, AMO)", s)
 }
 
+// writeMetrics emits result (whose Metrics field is the window snapshot
+// diff) as indented JSON after verifying the two invariants the metrics
+// layer promises: the document round-trips byte-identically through a
+// fresh value of the same type, and the window's cycle attribution
+// conserves.
+func writeMetrics[T any](path string, result T, win amosim.Snapshot) error {
+	if err := win.CheckConservation(); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		return err
+	}
+	var back T
+	if err := json.Unmarshal(out, &back); err != nil {
+		return fmt.Errorf("metrics JSON does not unmarshal: %w", err)
+	}
+	again, err := json.MarshalIndent(back, "", "  ")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(out, again) {
+		return fmt.Errorf("metrics JSON does not round-trip byte-identically")
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("amosim: ")
@@ -47,6 +84,7 @@ func main() {
 		tree      = flag.Int("tree", 0, "tree-barrier branching factor (0 = centralized)")
 		acquires  = flag.Int("acquires", 4, "lock acquisitions per CPU")
 		amuWords  = flag.Int("amu-cache", 8, "AMU operand-cache words (0 disables)")
+		metricsTo = flag.String("metrics", "", "write the result (with its window metrics snapshot) to this file as JSON")
 	)
 	flag.Parse()
 
@@ -79,6 +117,11 @@ func main() {
 		fmt.Printf("  cycles/processor:    %12.1f\n", r.CyclesPerProc)
 		fmt.Printf("  net msgs/barrier:    %12.1f\n", r.NetMessagesPerBarrier)
 		fmt.Printf("  byte-hops/barrier:   %12.1f\n", r.ByteHopsPerBarrier)
+		if *metricsTo != "" {
+			if err := writeMetrics(*metricsTo, r, r.Metrics); err != nil {
+				log.Fatal(err)
+			}
+		}
 	case "ticket", "array":
 		kind := amosim.Ticket
 		if *primitive == "array" {
@@ -92,6 +135,11 @@ func main() {
 		fmt.Printf("  cycles/lock pass:    %12.1f\n", r.CyclesPerPass)
 		fmt.Printf("  net msgs/pass:       %12.2f\n", r.MessagesPerPass)
 		fmt.Printf("  window byte-hops:    %12d\n", r.ByteHops)
+		if *metricsTo != "" {
+			if err := writeMetrics(*metricsTo, r, r.Metrics); err != nil {
+				log.Fatal(err)
+			}
+		}
 	default:
 		log.Fatalf("unknown primitive %q (barrier, ticket, array)", *primitive)
 	}

@@ -11,9 +11,15 @@
 // Experiments: fig1, table2, fig5, table3, fig6, table4, fig7,
 // ablation-amucache, ablation-update, ablation-tree, ablation-interconnect,
 // ablation-naive, ablation-multicast, extension-mcs, apps, all.
+//
+// With -bench-metrics PATH the command instead runs one barrier and one
+// ticket-lock benchmark per mechanism and writes a compact JSON summary —
+// per-operation cost plus the machine-wide cycle attribution of each
+// measurement window — to PATH (the repo checks in BENCH_metrics.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +30,61 @@ import (
 	"amosim"
 )
 
+// benchRow is one mechanism x primitive benchmark in the -bench-metrics
+// summary. Attribution is derived from the measurement-window Snapshot
+// diff; its Compute+MemoryStall+SpinIdle sum exactly to TotalCPUCycles.
+type benchRow struct {
+	Primitive        string // "barrier" (centralized) or "ticket"
+	Mechanism        string
+	Procs            int
+	CyclesPerOp      float64
+	NetMessagesPerOp float64
+	ByteHopsPerOp    float64
+	WindowCycles     uint64
+	Attribution      amosim.Attribution
+}
+
+func emitBenchMetrics(path string, procs int, bopts amosim.BarrierOptions, lopts amosim.LockOptions) error {
+	cfg := amosim.DefaultConfig(procs)
+	var rows []benchRow
+	for _, mech := range amosim.Mechanisms {
+		b, err := amosim.RunBarrier(cfg, mech, bopts)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, benchRow{
+			Primitive: "barrier", Mechanism: b.Mechanism, Procs: b.Procs,
+			CyclesPerOp:      b.CyclesPerBarrier,
+			NetMessagesPerOp: b.NetMessagesPerBarrier,
+			ByteHopsPerOp:    b.ByteHopsPerBarrier,
+			WindowCycles:     b.TotalCycles,
+			Attribution:      b.Metrics.Attribution(),
+		})
+		l, err := amosim.RunLock(cfg, amosim.Ticket, mech, lopts)
+		if err != nil {
+			return err
+		}
+		passes := float64(l.Procs * l.Acquires)
+		rows = append(rows, benchRow{
+			Primitive: "ticket", Mechanism: l.Mechanism, Procs: l.Procs,
+			CyclesPerOp:      l.CyclesPerPass,
+			NetMessagesPerOp: l.MessagesPerPass,
+			ByteHopsPerOp:    float64(l.ByteHops) / passes,
+			WindowCycles:     l.TotalCycles,
+			Attribution:      l.Metrics.Attribution(),
+		})
+	}
+	doc := struct {
+		Generator string
+		Rows      []benchRow
+	}{"amotables -bench-metrics", rows}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("amotables: ")
@@ -33,11 +94,20 @@ func main() {
 		episodes = flag.Int("episodes", 8, "measured barrier episodes")
 		warmup   = flag.Int("warmup", 2, "warm-up barrier episodes")
 		acquires = flag.Int("acquires", 4, "lock acquisitions per CPU")
+		benchOut = flag.String("bench-metrics", "", "write the per-mechanism benchmark summary (with cycle attribution) to this file as JSON, then exit")
+		benchP   = flag.Int("bench-procs", 32, "processor count for -bench-metrics")
 	)
 	flag.Parse()
 
 	bopts := amosim.BarrierOptions{Episodes: *episodes, Warmup: *warmup}
 	lopts := amosim.LockOptions{Acquires: *acquires}
+
+	if *benchOut != "" {
+		if err := emitBenchMetrics(*benchOut, *benchP, bopts, lopts); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	parseProcs := func(def []int) []int {
 		if *procs == "" {

@@ -37,15 +37,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	net := m.Net.Stats()
+	snap := m.Metrics()
 	fmt.Printf("ran %d AMO barriers across %d CPUs in %d cycles (%.0f cycles/barrier)\n",
 		episodes, cfg.Processors, cycles, float64(cycles)/episodes)
 	fmt.Printf("network: %d messages, %d bytes, %d byte-hops\n",
-		net.NetMessages, net.NetBytes, net.ByteHops)
+		snap.Network.Messages, snap.Network.Bytes, snap.Network.ByteHops)
 
-	ops, hits, puts, _ := m.AMUs[0].Counters()
+	amu := snap.Nodes[0].AMU
 	fmt.Printf("home AMU: %d amo.inc ops, %d operand-cache hits, %d fine-grained updates pushed\n",
-		ops, hits, puts)
+		amu.Ops, amu.CacheHits, amu.FinePuts)
+
+	// Where did the cycles go? The snapshot's attribution conserves exactly.
+	att := snap.Attribution()
+	fmt.Printf("cycle attribution: %d compute, %d memory stall, %d spin/idle (of %d CPU-cycles)\n",
+		att.Compute, att.MemoryStall, att.SpinIdle, att.TotalCPUCycles)
 
 	// The instruction a barrier arrival executes, as the ISA sees it.
 	word, err := amosim.EncodeAMO(amosim.AMOInstr{

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"amosim/internal/machine"
-	"amosim/internal/network"
+	"amosim/internal/metrics"
 	"amosim/internal/proc"
 	"amosim/internal/sim"
 	"amosim/internal/syncprim"
@@ -14,7 +14,9 @@ import (
 // iterations first (populating caches, the AMU cache and the directory),
 // then a measurement window bounded by the latest exit across CPUs, so the
 // window covers whole synchronization episodes regardless of release-wave
-// skew.
+// skew. The window is captured as a pair of metrics Snapshots; every
+// reported figure is derived from their Diff, whose cycle attribution must
+// conserve (checked on every run).
 
 // BarrierOptions tunes RunBarrier.
 type BarrierOptions struct {
@@ -71,7 +73,7 @@ func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult,
 	}
 
 	var startT, endT sim.Time
-	var startNet, endNet network.Stats
+	var startSnap, endSnap metrics.Snapshot
 	work := func(c *proc.CPU, e int) {
 		c.Think(uint64((c.ID()*37 + e*13) % opts.WorkCycles))
 	}
@@ -82,7 +84,7 @@ func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult,
 		}
 		if c.Now() > startT {
 			startT = c.Now()
-			startNet = m.Net.Stats()
+			startSnap = m.Metrics()
 		}
 		for e := 0; e < opts.Episodes; e++ {
 			work(c, opts.Warmup+e)
@@ -90,25 +92,29 @@ func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult,
 		}
 		if c.Now() > endT {
 			endT = c.Now()
-			endNet = m.Net.Stats()
+			endSnap = m.Metrics()
 		}
 	})
 	if _, err := m.Run(); err != nil {
 		return BarrierResult{}, fmt.Errorf("amosim: barrier run (%v, %d procs): %w", mech, cfg.Processors, err)
 	}
-	window := float64(endT - startT)
-	net := endNet.Sub(startNet)
+	win := endSnap.Diff(startSnap)
+	if err := win.CheckConservation(); err != nil {
+		return BarrierResult{}, fmt.Errorf("amosim: barrier run (%v, %d procs): %w", mech, cfg.Processors, err)
+	}
+	window := float64(win.Cycle)
 	eps := float64(opts.Episodes)
 	return BarrierResult{
 		Mechanism:             mech.String(),
 		Procs:                 cfg.Processors,
 		Episodes:              opts.Episodes,
 		Branching:             opts.Branching,
-		TotalCycles:           uint64(window),
+		TotalCycles:           win.Cycle,
 		CyclesPerBarrier:      window / eps,
 		CyclesPerProc:         window / eps / float64(cfg.Processors),
-		NetMessagesPerBarrier: float64(net.NetMessages) / eps,
-		ByteHopsPerBarrier:    float64(net.ByteHops) / eps,
+		NetMessagesPerBarrier: float64(win.Network.Messages) / eps,
+		ByteHopsPerBarrier:    float64(win.Network.ByteHops) / eps,
+		Metrics:               win,
 	}, nil
 }
 
@@ -230,7 +236,7 @@ func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockR
 	align := syncprim.NewBarrier(m, syncprim.AMO, cfg.Processors, cfg.Nodes()-1)
 
 	var startT, endT sim.Time
-	var startNet, endNet network.Stats
+	var startSnap, endSnap metrics.Snapshot
 	m.OnAllCPUs(func(c *proc.CPU) {
 		// Warmup: one uncontended-ish pass each.
 		release := acquire(c)
@@ -238,7 +244,7 @@ func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockR
 		align.Wait(c)
 		if c.Now() > startT {
 			startT = c.Now()
-			startNet = m.Net.Stats()
+			startSnap = m.Metrics()
 		}
 		for i := 0; i < opts.Acquires; i++ {
 			c.Think(uint64((c.ID()*29 + i*17) % opts.GapCycles))
@@ -248,26 +254,30 @@ func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockR
 		}
 		if c.Now() > endT {
 			endT = c.Now()
-			endNet = m.Net.Stats()
+			endSnap = m.Metrics()
 		}
 		align.Wait(c)
 	})
 	if _, err := m.Run(); err != nil {
 		return LockResult{}, fmt.Errorf("amosim: lock run (%v %v, %d procs): %w", kind, mech, cfg.Processors, err)
 	}
-	window := float64(endT - startT)
-	net := endNet.Sub(startNet)
+	win := endSnap.Diff(startSnap)
+	if err := win.CheckConservation(); err != nil {
+		return LockResult{}, fmt.Errorf("amosim: lock run (%v %v, %d procs): %w", kind, mech, cfg.Processors, err)
+	}
+	window := float64(win.Cycle)
 	passes := float64(cfg.Processors * opts.Acquires)
 	return LockResult{
 		Mechanism:       mech.String(),
 		Kind:            kind.String(),
 		Procs:           cfg.Processors,
 		Acquires:        opts.Acquires,
-		TotalCycles:     uint64(window),
+		TotalCycles:     win.Cycle,
 		CyclesPerPass:   window / passes,
-		NetMessages:     net.NetMessages,
-		ByteHops:        net.ByteHops,
-		MessagesPerPass: float64(net.NetMessages) / passes,
+		NetMessages:     win.Network.Messages,
+		ByteHops:        win.Network.ByteHops,
+		MessagesPerPass: float64(win.Network.Messages) / passes,
+		Metrics:         win,
 	}, nil
 }
 
@@ -300,9 +310,9 @@ func IncrementMessageCount(mech Mechanism) (uint64, error) {
 	if mech == syncprim.ActMsg {
 		m.OnCPU(0, func(c *proc.CPU) { c.Think(1) })
 	}
-	before := m.Net.Stats()
+	before := m.Metrics()
 	if _, err := m.Run(); err != nil {
 		return 0, err
 	}
-	return m.Net.Stats().Sub(before).NetMessages, nil
+	return m.Metrics().Diff(before).Network.Messages, nil
 }

@@ -20,6 +20,11 @@
 //   - latency: the cycle-cost result of timed memory-system accessors must
 //     not be silently discarded; dropping it charges zero cycles and skews
 //     every downstream table.
+//   - barecounter: exported functions in the simulation packages (plus
+//     internal/proc and internal/memsys) must not return two or more
+//     positional plain-integer results — the legacy counter-tuple shape
+//     whose call sites misbind silently when a counter is added. Counter
+//     groups are named structs (internal/metrics).
 //
 // Diagnostics carry the rule name and a position; Run returns them in
 // deterministic (file, line, column) order.
@@ -73,7 +78,7 @@ func inSimPackages(mod *Module, pkg *Package) bool {
 
 // AllRules returns every rule, in a fixed order.
 func AllRules() []Rule {
-	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}}
+	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}}
 }
 
 // RuleNames returns the names of rules, comma-joined, for usage text.

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// BareCounterRule flags exported functions and methods in the simulation
+// packages (plus internal/proc and internal/memsys) that return two or more
+// positional results which are all plain integers — the legacy
+// bare-counter-tuple shape (`Counters() (uint64, uint64, uint64, uint64)`).
+// Call sites of such APIs degrade into `_, _, _, x :=` patterns that
+// silently misbind when a counter is added or reordered. Counter groups
+// must be returned as named structs; internal/metrics defines the
+// repository's set, and Machine.Metrics exposes them all as one Snapshot.
+type BareCounterRule struct{}
+
+// Name implements Rule.
+func (BareCounterRule) Name() string { return "barecounter" }
+
+// counterPackages is where the rule applies: the simulation packages plus
+// the two component packages whose counters feed metrics Snapshots.
+func inCounterPackages(mod *Module, pkg *Package) bool {
+	rel := mod.RelPath(pkg)
+	return simPackages[rel] || rel == "internal/proc" || rel == "internal/memsys"
+}
+
+// Check implements Rule.
+func (BareCounterRule) Check(mod *Module, pkg *Package) []Diagnostic {
+	if !inCounterPackages(mod, pkg) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			res := sig.Results()
+			if res.Len() < 2 {
+				continue
+			}
+			allInts := true
+			for i := 0; i < res.Len(); i++ {
+				b, ok := res.At(i).Type().Underlying().(*types.Basic)
+				if !ok || b.Info()&types.IsInteger == 0 {
+					allInts = false
+					break
+				}
+			}
+			if !allInts {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:  mod.Fset.Position(fn.Name.Pos()),
+				Rule: "barecounter",
+				Msg: fmt.Sprintf("exported %s returns %d positional integer results: return a named counter struct (see internal/metrics) instead",
+					fn.Name.Name, res.Len()),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Package core is a barecounter-rule fixture: exported multi-value
+// plain-integer returns are the banned legacy counter-tuple shape.
+package core
+
+// CounterGroup is the blessed shape: a named struct of counters.
+type CounterGroup struct {
+	Ops, Hits uint64
+}
+
+// AMU mirrors a simulation component with internal counters.
+type AMU struct {
+	ops, hits, puts uint64
+}
+
+// Counters is the positive: a bare positional counter tuple.
+func (a *AMU) Counters() (uint64, uint64, uint64) { // want "positional integer results"
+	return a.ops, a.hits, a.puts
+}
+
+// Split is the package-level positive: exported functions count too.
+func Split(v uint64) (uint64, uint64) { // want "positional integer results"
+	return v >> 32, v & 0xffffffff
+}
+
+// Stats is the true negative: the named-struct replacement.
+func (a *AMU) Stats() CounterGroup {
+	return CounterGroup{Ops: a.ops, Hits: a.hits}
+}
+
+// Peek is a true negative: mixed value+ok returns are not counter tuples.
+func (a *AMU) Peek() (uint64, bool) {
+	return a.ops, a.ops != 0
+}
+
+// counters is a true negative: unexported helpers may stay positional.
+func (a *AMU) counters() (uint64, uint64, uint64) {
+	return a.ops, a.hits, a.puts
+}

@@ -10,3 +10,18 @@ func Sum(m map[string]int) int {
 	}
 	return total
 }
+
+// MinMax returns a bare integer tuple, but outside the counter packages the
+// barecounter rule does not apply; no diagnostic expected.
+func MinMax(m map[string]int) (int, int) {
+	lo, hi := 0, 0
+	for _, v := range m {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"amosim/internal/memsys"
+	"amosim/internal/metrics"
 )
 
 // State is an MSI cache line state.
@@ -251,8 +252,8 @@ func (c *Cache) ResidentBlocks() []uint64 {
 	return out
 }
 
-// Stats returns cumulative hit/miss/eviction counts (hits counted by Touch,
-// misses by Insert).
-func (c *Cache) Stats() (hits, misses, evictions uint64) {
-	return c.hits, c.misses, c.evictions
+// Stats returns the cumulative hit/miss/eviction counters (hits counted by
+// Touch, misses by Insert).
+func (c *Cache) Stats() metrics.CacheStats {
+	return metrics.CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 }

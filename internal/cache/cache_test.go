@@ -63,8 +63,8 @@ func TestLRUEvictionPrefersInvalidThenOldest(t *testing.T) {
 	c := New(1, 2, bb) // one set, two ways
 	c.Insert(0x0000, Modified, words(1))
 	c.Insert(0x1000, Shared, words(2)) // fills second way, no eviction
-	if _, _, ev := c.Stats(); ev != 0 {
-		t.Fatalf("evictions = %d, want 0", ev)
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", st.Evictions)
 	}
 	c.Touch(0x0000) // make first block MRU
 	v, dirty := c.Insert(0x2000, Shared, words(3))
@@ -233,9 +233,9 @@ func TestStatsAndAccessors(t *testing.T) {
 	c.Insert(0x1000, Shared, words(1)) // miss
 	c.Touch(0x1000)                    // hit
 	c.Touch(0x9999000)                 // absent: no hit counted
-	hits, misses, ev := c.Stats()
-	if hits != 1 || misses != 1 || ev != 0 {
-		t.Fatalf("stats = %d/%d/%d, want 1/1/0", hits, misses, ev)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 0 evictions", st)
 	}
 }
 

@@ -132,33 +132,78 @@ func (c Config) Nodes() int { return c.Processors / c.ProcsPerNode }
 // WordsPerBlock returns the number of 8-byte words per coherence block.
 func (c Config) WordsPerBlock() int { return c.BlockBytes / 8 }
 
-// Validate reports the first configuration error, or nil.
+// FieldError is the typed validation error: it names the Config field (or
+// field group) that failed and why, so callers can report or branch on the
+// offending knob instead of parsing a message. NewMachine surfaces these
+// before any component is built, replacing panics deep in topology/memsys.
+type FieldError struct {
+	Field  string
+	Reason string
+}
+
+func (e *FieldError) Error() string { return fmt.Sprintf("config: %s %s", e.Field, e.Reason) }
+
+func fail(field, format string, args ...any) *FieldError {
+	return &FieldError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate reports the first configuration error, or nil. All errors are
+// *FieldError values.
 func (c Config) Validate() error {
 	switch {
 	case c.Processors <= 0:
-		return fmt.Errorf("config: Processors must be positive, got %d", c.Processors)
+		return fail("Processors", "must be positive, got %d", c.Processors)
 	case c.ProcsPerNode <= 0:
-		return fmt.Errorf("config: ProcsPerNode must be positive, got %d", c.ProcsPerNode)
+		return fail("ProcsPerNode", "must be positive, got %d", c.ProcsPerNode)
 	case c.Processors%c.ProcsPerNode != 0:
-		return fmt.Errorf("config: Processors (%d) must be a multiple of ProcsPerNode (%d)", c.Processors, c.ProcsPerNode)
+		return fail("Processors", "(%d) must be a multiple of ProcsPerNode (%d)", c.Processors, c.ProcsPerNode)
 	case c.BlockBytes <= 0 || c.BlockBytes%8 != 0:
-		return fmt.Errorf("config: BlockBytes must be a positive multiple of 8, got %d", c.BlockBytes)
-	case c.BlockBytes&(c.BlockBytes-1) != 0:
-		return fmt.Errorf("config: BlockBytes must be a power of two, got %d", c.BlockBytes)
+		return fail("BlockBytes", "must be a positive multiple of 8, got %d", c.BlockBytes)
+	case !isPow2(c.BlockBytes):
+		return fail("BlockBytes", "must be a power of two, got %d", c.BlockBytes)
 	case c.CacheWays <= 0 || c.CacheSets <= 0:
-		return fmt.Errorf("config: cache geometry must be positive, got %d ways x %d sets", c.CacheWays, c.CacheSets)
-	case c.CacheSets&(c.CacheSets-1) != 0:
-		return fmt.Errorf("config: CacheSets must be a power of two, got %d", c.CacheSets)
+		return fail("CacheWays/CacheSets", "cache geometry must be positive, got %d ways x %d sets", c.CacheWays, c.CacheSets)
+	case !isPow2(c.CacheSets):
+		return fail("CacheSets", "must be a power of two, got %d", c.CacheSets)
 	case c.RouterRadix < 2:
-		return fmt.Errorf("config: RouterRadix must be >= 2, got %d", c.RouterRadix)
+		return fail("RouterRadix", "must be >= 2, got %d", c.RouterRadix)
+	case !isPow2(c.RouterRadix):
+		return fail("RouterRadix", "must be a power of two, got %d", c.RouterRadix)
 	case c.Interconnect != "" && c.Interconnect != "fattree" && c.Interconnect != "torus":
-		return fmt.Errorf("config: Interconnect must be \"fattree\" or \"torus\", got %q", c.Interconnect)
+		return fail("Interconnect", "must be \"fattree\" or \"torus\", got %q", c.Interconnect)
+	case c.Interconnect == "torus" && !isPow2(c.Nodes()):
+		return fail("Interconnect", "torus requires a power-of-two node count, got %d", c.Nodes())
 	case c.AMUCacheWords < 0:
-		return fmt.Errorf("config: AMUCacheWords must be >= 0, got %d", c.AMUCacheWords)
+		return fail("AMUCacheWords", "must be >= 0, got %d", c.AMUCacheWords)
 	case c.ActMsgQueueDepth <= 0:
-		return fmt.Errorf("config: ActMsgQueueDepth must be positive, got %d", c.ActMsgQueueDepth)
+		return fail("ActMsgQueueDepth", "must be positive, got %d", c.ActMsgQueueDepth)
 	case c.MinPacketBytes <= 0:
-		return fmt.Errorf("config: MinPacketBytes must be positive, got %d", c.MinPacketBytes)
+		return fail("MinPacketBytes", "must be positive, got %d", c.MinPacketBytes)
+	case c.HeaderBytes < 0:
+		return fail("HeaderBytes", "must be >= 0, got %d", c.HeaderBytes)
+	}
+	// Every modeled latency must be positive: a zero charge would let the
+	// corresponding pipeline stage complete in the same simulated instant,
+	// collapsing event orderings the protocols rely on. (InjectCycles and
+	// SpinCheckCycles are deliberate exceptions: zero disables the charge.)
+	latencies := []struct {
+		field string
+		v     uint64
+	}{
+		{"L1HitCycles", c.L1HitCycles},
+		{"BusCycles", c.BusCycles},
+		{"DirCycles", c.DirCycles},
+		{"DRAMCycles", c.DRAMCycles},
+		{"HopCycles", c.HopCycles},
+		{"IssueCycles", c.IssueCycles},
+		{"AMUOpCycles", c.AMUOpCycles},
+	}
+	for _, l := range latencies {
+		if l.v == 0 {
+			return fail(l.field, "latency must be positive")
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -67,9 +68,16 @@ func TestValidateRejections(t *testing.T) {
 		{"zero ways", func(c *Config) { c.CacheWays = 0 }, "cache geometry"},
 		{"non pow2 sets", func(c *Config) { c.CacheSets = 100 }, "CacheSets"},
 		{"radix 1", func(c *Config) { c.RouterRadix = 1 }, "RouterRadix"},
+		{"non pow2 radix", func(c *Config) { c.RouterRadix = 6 }, "RouterRadix"},
+		{"bad interconnect", func(c *Config) { c.Interconnect = "hypercube" }, "Interconnect"},
+		{"non pow2 torus", func(c *Config) { c.Interconnect = "torus"; c.Processors = 6 }, "power-of-two node count"},
 		{"negative amu cache", func(c *Config) { c.AMUCacheWords = -1 }, "AMUCacheWords"},
 		{"zero actmsg queue", func(c *Config) { c.ActMsgQueueDepth = 0 }, "ActMsgQueueDepth"},
 		{"zero min packet", func(c *Config) { c.MinPacketBytes = 0 }, "MinPacketBytes"},
+		{"negative header", func(c *Config) { c.HeaderBytes = -1 }, "HeaderBytes"},
+		{"zero hop latency", func(c *Config) { c.HopCycles = 0 }, "HopCycles"},
+		{"zero dram latency", func(c *Config) { c.DRAMCycles = 0 }, "DRAMCycles"},
+		{"zero amu op latency", func(c *Config) { c.AMUOpCycles = 0 }, "AMUOpCycles"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -83,6 +91,39 @@ func TestValidateRejections(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.substr)
 			}
 		})
+	}
+}
+
+// TestValidateReturnsFieldError pins the typed-error contract: every
+// Validate failure is a *FieldError naming the offending field, so callers
+// (and NewMachine's callers) can branch on the knob without parsing text.
+func TestValidateReturnsFieldError(t *testing.T) {
+	c := Default(8)
+	c.HopCycles = 0
+	err := c.Validate()
+	var fe *FieldError
+	if !errors.As(err, &fe) {
+		t.Fatalf("Validate() = %T (%v), want *FieldError", err, err)
+	}
+	if fe.Field != "HopCycles" {
+		t.Fatalf("FieldError.Field = %q, want HopCycles", fe.Field)
+	}
+	if fe.Reason == "" || !strings.Contains(fe.Error(), "config:") {
+		t.Fatalf("unhelpful FieldError: %+v", fe)
+	}
+}
+
+// TestTorusAcceptsPow2Nodes is the positive counterpart of the torus check;
+// fat trees keep accepting any node count (the 3-node workload configs).
+func TestTorusAcceptsPow2Nodes(t *testing.T) {
+	c := Default(8) // 4 nodes
+	c.Interconnect = "torus"
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+	f := Default(6) // 3 nodes, fattree
+	if err := f.Validate(); err != nil {
+		t.Fatalf("fattree Validate() = %v, want nil", err)
 	}
 }
 

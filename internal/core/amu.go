@@ -28,6 +28,7 @@ import (
 
 	"amosim/internal/directory"
 	"amosim/internal/memsys"
+	"amosim/internal/metrics"
 	"amosim/internal/network"
 	"amosim/internal/sim"
 )
@@ -153,11 +154,7 @@ type AMU struct {
 	queue []network.Msg
 	busy  bool
 
-	// counters
-	ops       uint64
-	cacheHits uint64
-	puts      uint64
-	recalls   uint64
+	stats metrics.AMUStats
 }
 
 // New creates an AMU bound to its node's directory controller and memory.
@@ -185,10 +182,16 @@ func New(eng *sim.Engine, net *network.Network, mem *memsys.Memory, dir *directo
 // Recall to match cached words to blocks).
 func (a *AMU) SetBlockBytes(b int) { a.blockBytes = b }
 
-// Counters returns cumulative operation, AMU-cache-hit, fine-put and recall
-// counts.
-func (a *AMU) Counters() (ops, hits, puts, recalls uint64) {
-	return a.ops, a.cacheHits, a.puts, a.recalls
+// Stats returns the AMU's named counters: operations executed, operand
+// cache hits, fine puts issued, recalls served, and the queue/FU/DRAM
+// occupancy gauge.
+func (a *AMU) Stats() metrics.AMUStats { return a.stats }
+
+// occupy charges cycles of AMU occupancy (queue, function unit or DRAM
+// fill) before running job.
+func (a *AMU) occupy(cycles uint64, job func()) {
+	a.stats.OccupancyCycles += cycles
+	a.eng.Schedule(sim.Time(cycles), job)
 }
 
 // Peek returns the AMU-cached value of addr without touching LRU state,
@@ -226,27 +229,27 @@ func (a *AMU) dispatch() {
 	a.busy = true
 	m := a.queue[0]
 	a.queue = a.queue[1:]
-	a.eng.Schedule(sim.Time(a.p.QueueCycles), func() { a.start(m) })
+	a.occupy(a.p.QueueCycles, func() { a.start(m) })
 }
 
 func (a *AMU) start(m network.Msg) {
 	if e := a.lookup(m.Addr); e != nil {
-		a.cacheHits++
-		a.eng.Schedule(sim.Time(a.p.OpCycles), func() { a.execute(m) })
+		a.stats.CacheHits++
+		a.occupy(a.p.OpCycles, func() { a.execute(m) })
 		return
 	}
 	// Miss: fetch the operand. MAOs read memory directly (non-coherent);
 	// AMOs perform a coherent fine-grained get through the directory.
 	if m.Flags&FlagMAO != 0 || m.Kind == network.KindMAORequest {
-		a.eng.Schedule(sim.Time(a.p.DRAMCycles), func() {
+		a.occupy(a.p.DRAMCycles, func() {
 			a.fill(m.Addr, a.mem.ReadWord(m.Addr), false)
-			a.eng.Schedule(sim.Time(a.p.OpCycles), func() { a.execute(m) })
+			a.occupy(a.p.OpCycles, func() { a.execute(m) })
 		})
 		return
 	}
 	a.dir.FineGet(m.Addr, func(val uint64) {
 		a.fill(m.Addr, val, true)
-		a.eng.Schedule(sim.Time(a.p.OpCycles), func() { a.execute(m) })
+		a.occupy(a.p.OpCycles, func() { a.execute(m) })
 	})
 }
 
@@ -259,7 +262,7 @@ func (a *AMU) execute(m network.Msg) {
 		a.start(m)
 		return
 	}
-	a.ops++
+	a.stats.Ops++
 	old := e.val
 	e.val = Op(m.Op).Apply(old, m.Value, m.Aux)
 	a.reply(m, old)
@@ -268,7 +271,7 @@ func (a *AMU) execute(m network.Msg) {
 		(m.Flags&FlagUpdateAlways != 0 ||
 			(m.Flags&FlagTest != 0 && e.val == m.Aux))
 	if wantPut {
-		a.puts++
+		a.stats.FinePuts++
 		addr := m.Addr
 		a.dir.FinePut(addr, func() (uint64, bool) {
 			if cur := a.lookup(addr); cur != nil {
@@ -370,7 +373,7 @@ func (a *AMU) Recall(block uint64) {
 	if a.blockBytes == 0 {
 		panic("core: Recall before SetBlockBytes")
 	}
-	a.recalls++
+	a.stats.Recalls++
 	for i := range a.cache {
 		e := &a.cache[i]
 		if e.valid && e.coherent && memsys.BlockAddr(e.addr, a.blockBytes) == block {
@@ -383,15 +386,15 @@ func (a *AMU) Recall(block uint64) {
 // handleUncachedLoad serves a cache-bypassing load: the AMU cache is checked
 // first (it is the authoritative copy for MAO variables), then memory.
 func (a *AMU) handleUncachedLoad(m network.Msg) {
-	lat := sim.Time(a.p.OpCycles)
+	lat := a.p.OpCycles
 	var val uint64
 	if e := a.lookup(m.Addr); e != nil {
 		val = e.val
 	} else {
-		lat = sim.Time(a.p.DRAMCycles)
+		lat = a.p.DRAMCycles
 		val = a.mem.ReadWord(m.Addr)
 	}
-	a.eng.Schedule(lat, func() {
+	a.occupy(lat, func() {
 		a.net.Send(network.Msg{
 			Kind:      network.KindUncachedLoadReply,
 			Src:       network.Hub(a.p.Node),
@@ -410,7 +413,7 @@ func (a *AMU) handleUncachedStore(m network.Msg) {
 	if e := a.lookup(m.Addr); e != nil {
 		e.val = m.Value
 	}
-	a.eng.Schedule(sim.Time(a.p.DRAMCycles), func() {
+	a.occupy(a.p.DRAMCycles, func() {
 		a.mem.WriteWord(m.Addr, m.Value)
 		a.net.Send(network.Msg{
 			Kind: network.KindUncachedStoreAck,

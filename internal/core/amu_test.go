@@ -131,12 +131,12 @@ func TestAMOMissFillsAndHitsCoalesce(t *testing.T) {
 		r.amo(OpInc, addr, 0, 0, 0)
 	}
 	r.run(t)
-	ops, hits, _, _ := r.amu.Counters()
-	if ops != 5 {
-		t.Fatalf("ops = %d, want 5", ops)
+	st := r.amu.Stats()
+	if st.Ops != 5 {
+		t.Fatalf("ops = %d, want 5", st.Ops)
 	}
-	if hits != 4 {
-		t.Fatalf("cache hits = %d, want 4 (first op misses)", hits)
+	if st.CacheHits != 4 {
+		t.Fatalf("cache hits = %d, want 4 (first op misses)", st.CacheHits)
 	}
 	// Old values 10..14 returned in order.
 	for i, m := range r.replies {
@@ -160,8 +160,7 @@ func TestAMOTestValueFiresPutOnce(t *testing.T) {
 		r.amo(OpInc, addr, 0, 4, FlagTest) // fires when count reaches 4
 	}
 	r.run(t)
-	_, _, puts, _ := r.amu.Counters()
-	if puts != 1 {
+	if puts := r.amu.Stats().FinePuts; puts != 1 {
 		t.Fatalf("puts = %d, want 1 (only when result == test)", puts)
 	}
 	if got := r.mem.ReadWord(addr); got != 4 {
@@ -176,8 +175,7 @@ func TestAMOUpdateAlwaysPutsEveryOp(t *testing.T) {
 		r.amo(OpFetchAdd, addr, 2, 0, FlagUpdateAlways)
 	}
 	r.run(t)
-	_, _, puts, _ := r.amu.Counters()
-	if puts != 3 {
+	if puts := r.amu.Stats().FinePuts; puts != 3 {
 		t.Fatalf("puts = %d, want 3", puts)
 	}
 	if got := r.mem.ReadWord(addr); got != 6 {
@@ -269,12 +267,12 @@ func TestZeroWordCacheTransient(t *testing.T) {
 		r.amo(OpInc, addr, 0, 0, 0)
 	}
 	r.run(t)
-	ops, hits, _, _ := r.amu.Counters()
-	if ops != 3 {
-		t.Fatalf("ops = %d, want 3", ops)
+	st := r.amu.Stats()
+	if st.Ops != 3 {
+		t.Fatalf("ops = %d, want 3", st.Ops)
 	}
-	if hits != 0 {
-		t.Fatalf("hits = %d, want 0 (no operand cache)", hits)
+	if st.CacheHits != 0 {
+		t.Fatalf("hits = %d, want 0 (no operand cache)", st.CacheHits)
 	}
 	if got := r.mem.ReadWord(addr); got != 3 {
 		t.Fatalf("memory = %d, want 3 (flushed after every op)", got)
@@ -292,14 +290,14 @@ func TestRecallFlushesAndInvalidates(t *testing.T) {
 		t.Fatalf("memory = %d, want 9 after recall", got)
 	}
 	// Next AMO must miss (re-fetch through the directory).
-	before, hitsBefore, _, _ := r.amu.Counters()
+	before := r.amu.Stats()
 	r.amo(OpInc, addr, 0, 0, 0)
 	r.run(t)
-	after, hitsAfter, _, _ := r.amu.Counters()
-	if after != before+1 {
+	after := r.amu.Stats()
+	if after.Ops != before.Ops+1 {
 		t.Fatalf("op not executed after recall")
 	}
-	if hitsAfter != hitsBefore {
+	if after.CacheHits != before.CacheHits {
 		t.Fatalf("post-recall op hit the cache; expected a miss")
 	}
 	last := r.replies[len(r.replies)-1]

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"amosim/internal/memsys"
+	"amosim/internal/metrics"
 	"amosim/internal/network"
 	"amosim/internal/sim"
 )
@@ -95,10 +96,7 @@ type Controller struct {
 
 	entries map[uint64]*entry
 
-	// counters
-	interventions uint64
-	invalidations uint64
-	wordUpdates   uint64
+	stats metrics.DirectoryStats
 }
 
 // New creates a directory controller for node p.Node. The AMU port may be
@@ -122,10 +120,17 @@ func (c *Controller) SetAMU(a AMUPort) { c.amu = a }
 // Node returns the home node id.
 func (c *Controller) Node() int { return c.p.Node }
 
-// Counters returns cumulative protocol action counts: interventions sent,
-// invalidations sent, and fine-grained word updates pushed.
-func (c *Controller) Counters() (interventions, invalidations, wordUpdates uint64) {
-	return c.interventions, c.invalidations, c.wordUpdates
+// Stats returns the controller's named protocol counters: interventions
+// sent, invalidations sent, fine-grained word updates pushed, and the
+// pipeline/DRAM occupancy gauge.
+func (c *Controller) Stats() metrics.DirectoryStats { return c.stats }
+
+// occupy charges cycles of directory pipeline (and DRAM) occupancy before
+// running job: the utilization gauge counterpart of every Schedule-based
+// latency charge.
+func (c *Controller) occupy(cycles uint64, job func()) {
+	c.stats.OccupancyCycles += cycles
+	c.eng.Schedule(sim.Time(cycles), job)
 }
 
 func (c *Controller) entryOf(block uint64) *entry {
@@ -193,7 +198,7 @@ func (c *Controller) complete(block uint64) {
 	}
 	next := e.waitq[0]
 	e.waitq = e.waitq[1:]
-	c.eng.Schedule(sim.Time(c.p.DirCycles), next)
+	c.occupy(c.p.DirCycles, next)
 }
 
 // recallAMU flushes AMU-held words of block into memory so that memory is
@@ -318,7 +323,7 @@ func (c *Controller) grantExclusive(block uint64, e *entry, req network.Endpoint
 // replyData reads the block from memory (charging directory + DRAM latency)
 // and sends it to dst, then runs done.
 func (c *Controller) replyData(block uint64, dst network.Endpoint, kind network.Kind, done func()) {
-	c.eng.Schedule(sim.Time(c.p.DirCycles+c.p.DRAMCycles), func() {
+	c.occupy(c.p.DirCycles+c.p.DRAMCycles, func() {
 		words := c.mem.ReadBlock(block)
 		c.send(network.Msg{
 			Kind: kind,
@@ -337,12 +342,12 @@ func (c *Controller) replyData(block uint64, dst network.Endpoint, kind network.
 func (c *Controller) invalidateSharers(e *entry, block uint64, done func()) {
 	n := len(e.sharers)
 	if n == 0 {
-		c.eng.Schedule(sim.Time(c.p.DirCycles), done)
+		c.occupy(c.p.DirCycles, done)
 		return
 	}
 	e.txn = &txn{waitingAcks: n, onAcks: done}
 	for i, cpu := range sortedSharers(e) {
-		c.invalidations++
+		c.stats.Invalidations++
 		m := network.Msg{
 			Kind: network.KindInvalidate,
 			Src:  network.Hub(c.p.Node), Dst: c.cpuEndpoint(cpu),
@@ -410,7 +415,7 @@ func (c *Controller) applyInvAck(e *entry) {
 // copy — callers must not record it as a sharer (and e.owner has already
 // been cleared by the raced writeback).
 func (c *Controller) intervene(block uint64, e *entry, invalidate bool, done func(stale bool)) {
-	c.interventions++
+	c.stats.Interventions++
 	e.txn = &txn{onIvnAck: func(m network.Msg) {
 		e.txn = nil
 		stale := m.Flags&IvnAckStale != 0
@@ -478,7 +483,7 @@ func (c *Controller) FineGet(addr uint64, done func(val uint64)) {
 		}
 		switch e.state {
 		case unowned, shared:
-			c.eng.Schedule(sim.Time(c.p.DirCycles+c.p.DRAMCycles), finish)
+			c.occupy(c.p.DirCycles+c.p.DRAMCycles, finish)
 		case exclusive:
 			c.intervene(block, e, false, func(stale bool) {
 				// As with a GETS intervention, a stale ack means the owner
@@ -511,10 +516,10 @@ func (c *Controller) FinePut(addr uint64, read func() (uint64, bool), done func(
 			done()
 			return
 		}
-		c.eng.Schedule(sim.Time(c.p.DirCycles), func() {
+		c.occupy(c.p.DirCycles, func() {
 			c.mem.WriteWord(addr, val)
 			for i, cpu := range sortedSharers(e) {
-				c.wordUpdates++
+				c.stats.WordUpdates++
 				c.sendStaggered(i, network.Msg{
 					Kind:      network.KindWordUpdate,
 					Src:       network.Hub(c.p.Node),
@@ -547,10 +552,10 @@ func (c *Controller) FineEvict(addr, val uint64) {
 	e := c.entryOf(block)
 	delete(e.amuWords, addr)
 	c.submit(block, func() {
-		c.eng.Schedule(sim.Time(c.p.DirCycles), func() {
+		c.occupy(c.p.DirCycles, func() {
 			c.mem.WriteWord(addr, val)
 			for i, cpu := range sortedSharers(e) {
-				c.wordUpdates++
+				c.stats.WordUpdates++
 				c.sendStaggered(i, network.Msg{
 					Kind:      network.KindWordUpdate,
 					Src:       network.Hub(c.p.Node),

@@ -140,8 +140,7 @@ func TestGetExclusiveInvalidatesSharers(t *testing.T) {
 	if n := r.cpus[3].countKind(network.KindDataExclusive); n != 1 {
 		t.Fatalf("DataExclusive count = %d, want 1", n)
 	}
-	_, invs, _ := r.ctrl.Counters()
-	if invs != 3 {
+	if invs := r.ctrl.Stats().Invalidations; invs != 3 {
 		t.Fatalf("invalidation counter = %d, want 3", invs)
 	}
 }
@@ -315,8 +314,7 @@ func TestFinePutUpdatesSharersAndMemory(t *testing.T) {
 			t.Fatalf("cpu %d invalidations = %d, want 0 (updates, not invalidates)", cpu, n)
 		}
 	}
-	_, _, upd := r.ctrl.Counters()
-	if upd != 2 {
+	if upd := r.ctrl.Stats().WordUpdates; upd != 2 {
 		t.Fatalf("update counter = %d, want 2", upd)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"amosim/internal/core"
 	"amosim/internal/directory"
 	"amosim/internal/memsys"
+	"amosim/internal/metrics"
 	"amosim/internal/network"
 	"amosim/internal/proc"
 	"amosim/internal/sim"
@@ -35,6 +36,8 @@ type Machine struct {
 	// keep serving active messages until every program body has completed.
 	bodies     int
 	bodiesDone int
+
+	reg *metrics.Registry
 }
 
 // New builds a machine for the given configuration.
@@ -109,8 +112,29 @@ func New(cfg config.Config) (*Machine, error) {
 		})
 		m.CPUs = append(m.CPUs, cpu)
 	}
+
+	m.reg = metrics.NewRegistry(func() uint64 { return uint64(eng.Now()) })
+	for _, cpu := range m.CPUs {
+		m.reg.RegisterCPU(cpu.Metrics)
+	}
+	for n := range m.Dirs {
+		node, dir, amu := n, m.Dirs[n], m.AMUs[n]
+		m.reg.RegisterNode(func() metrics.NodeMetrics {
+			return metrics.NodeMetrics{Node: node, Directory: dir.Stats(), AMU: amu.Stats()}
+		})
+	}
+	m.reg.RegisterMemory(mem.Stats)
+	m.reg.RegisterNetwork(net.Metrics)
 	return m, nil
 }
+
+// Metrics assembles an immutable snapshot of every counter in the machine:
+// per-CPU counters, caches and cycle attribution, per-node directory and
+// AMU counters, memory accesses and network traffic. It is safe to call at
+// any simulated instant — between runs, from inside a program body, and
+// after Shutdown — and never perturbs the simulation (no events are
+// scheduled, no simulated time passes).
+func (m *Machine) Metrics() metrics.Snapshot { return m.reg.Snapshot() }
 
 // hubHandler routes hub-bound messages to the node's directory or AMU.
 func (m *Machine) hubHandler(dir *directory.Controller, amu *core.AMU) network.Handler {

@@ -187,8 +187,7 @@ func TestMAOFetchAddTicketsUnique(t *testing.T) {
 	// MAO values are authoritative in the AMU cache; an uncached load on a
 	// fresh program would see the total. Memory may lag; check via AMU
 	// counters instead.
-	ops, _, _, _ := m.AMUs[2].Counters()
-	if ops != procs {
+	if ops := m.AMUs[2].Stats().Ops; ops != uint64(procs) {
 		t.Fatalf("AMU ops = %d, want %d", ops, procs)
 	}
 }
@@ -231,8 +230,7 @@ func TestAMOFetchAddUpdatesSharersInPlace(t *testing.T) {
 	}
 	// The spinner's line must have been patched, not invalidated+reloaded:
 	// exactly one miss (the initial load).
-	_, misses, _ := m.CPUs[1].Cache().Stats()
-	if misses != 1 {
+	if misses := m.CPUs[1].Cache().Stats().Misses; misses != 1 {
 		t.Fatalf("spinner misses = %d, want 1 (update-in-place)", misses)
 	}
 }
@@ -252,8 +250,7 @@ func TestAMORecallOnStore(t *testing.T) {
 	if after != 100 {
 		t.Fatalf("AMO after store saw %d, want 100", after)
 	}
-	_, _, _, recalls := m.AMUs[0].Counters()
-	if recalls == 0 {
+	if m.AMUs[0].Stats().Recalls == 0 {
 		t.Fatal("no AMU recall recorded")
 	}
 }
@@ -293,8 +290,7 @@ func TestActiveMessageCallRemote(t *testing.T) {
 	if old1 != 0 || old2 != 10 {
 		t.Fatalf("handler results = %d, %d; want 0, 10", old1, old2)
 	}
-	_, _, _, served := m.CPUs[2].Counters()
-	if served != 2 {
+	if served := m.CPUs[2].Stats().AmsgServed; served != 2 {
 		t.Fatalf("served = %d, want 2", served)
 	}
 }
@@ -343,8 +339,7 @@ func TestActiveMessageOverflowNacksAndRetries(t *testing.T) {
 	}
 	var nacks uint64
 	for _, c := range m.CPUs {
-		_, n, _, _ := c.Counters()
-		nacks += n
+		nacks += c.Stats().AmsgNacks
 	}
 	if nacks == 0 {
 		t.Fatal("expected NACKs with queue depth 1 and 16 senders")

@@ -30,8 +30,7 @@ func TestSCFailsAfterRemoteWrite(t *testing.T) {
 	if scOK {
 		t.Fatal("SC succeeded although another CPU wrote the block in between")
 	}
-	scf, _, _, _ := m.CPUs[0].Counters()
-	if scf != 1 {
+	if scf := m.CPUs[0].Stats().SCFailures; scf != 1 {
 		t.Fatalf("scFailures = %d, want 1", scf)
 	}
 }

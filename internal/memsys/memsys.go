@@ -5,7 +5,11 @@
 // store with a fixed DRAM access latency.
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"amosim/internal/metrics"
+)
 
 // NodeShift positions the home-node id in bits [NodeShift, 64). Each node
 // therefore owns a 2^NodeShift-byte slice of the physical address space.
@@ -126,8 +130,10 @@ func (m *Memory) WriteBlock(addr uint64, words []uint64) {
 	}
 }
 
-// Accesses returns the cumulative DRAM read and write transaction counts.
-func (m *Memory) Accesses() (reads, writes uint64) { return m.reads, m.writes }
+// Stats returns the cumulative DRAM read/write transaction counters.
+func (m *Memory) Stats() metrics.MemoryStats {
+	return metrics.MemoryStats{Reads: m.reads, Writes: m.writes}
+}
 
 func (m *Memory) checkAligned(addr uint64) {
 	if addr%WordBytes != 0 {

@@ -141,9 +141,9 @@ func TestAccessCounters(t *testing.T) {
 	m.WriteWord(a, 1)
 	m.ReadWord(a)
 	m.ReadBlock(a)
-	r, w := m.Accesses()
-	if r != 2 || w != 1 {
-		t.Fatalf("Accesses = %d, %d; want 2, 1", r, w)
+	st := m.Stats()
+	if st.Reads != 2 || st.Writes != 1 {
+		t.Fatalf("Stats = %+v; want 2 reads, 1 write", st)
 	}
 }
 

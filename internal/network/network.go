@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"amosim/internal/metrics"
 	"amosim/internal/sim"
 	"amosim/internal/topology"
 	"amosim/internal/trace"
@@ -48,6 +49,9 @@ type Stats struct {
 	ByteHops uint64
 	// Hops is the total hop count over network messages.
 	Hops uint64
+	// TransitCycles is the summed delivery latency of network messages — a
+	// link-utilization gauge (concurrent messages accumulate independently).
+	TransitCycles uint64
 }
 
 // Sub returns s - o, counter by counter.
@@ -58,6 +62,7 @@ func (s Stats) Sub(o Stats) Stats {
 		NetBytes:      s.NetBytes - o.NetBytes,
 		ByteHops:      s.ByteHops - o.ByteHops,
 		Hops:          s.Hops - o.Hops,
+		TransitCycles: s.TransitCycles - o.TransitCycles,
 	}
 	for i := range s.NetMessagesByKind {
 		d.NetMessagesByKind[i] = s.NetMessagesByKind[i] - o.NetMessagesByKind[i]
@@ -106,6 +111,29 @@ func (n *Network) RegisterCPU(cpu int, h Handler) {
 // Stats returns a snapshot of the traffic counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// Metrics converts the traffic counters into the unified metrics form,
+// naming per-kind counts by their mnemonic and omitting zero entries.
+func (n *Network) Metrics() metrics.NetworkStats {
+	s := n.stats
+	out := metrics.NetworkStats{
+		Messages:      s.NetMessages,
+		LocalMessages: s.LocalMessages,
+		Bytes:         s.NetBytes,
+		ByteHops:      s.ByteHops,
+		Hops:          s.Hops,
+		TransitCycles: s.TransitCycles,
+	}
+	for k, count := range s.NetMessagesByKind {
+		if count != 0 {
+			if out.MessagesByKind == nil {
+				out.MessagesByKind = make(map[string]uint64)
+			}
+			out.MessagesByKind[Kind(k).String()] = count
+		}
+	}
+	return out
+}
+
 // SetTracer installs an event tracer; every Send is recorded. Pass nil to
 // disable.
 func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
@@ -145,18 +173,19 @@ func (n *Network) Send(m Msg) {
 		hops = n.topo.Hops(m.Src.Node, m.Dst.Node)
 	}
 	bytes := n.PacketBytes(m)
+	lat := n.Latency(m.Src, m.Dst)
 	if hops > 0 {
 		n.stats.NetMessages++
 		n.stats.NetMessagesByKind[m.Kind]++
 		n.stats.NetBytes += uint64(bytes)
 		n.stats.ByteHops += uint64(bytes) * uint64(hops)
 		n.stats.Hops += uint64(hops)
+		n.stats.TransitCycles += uint64(lat)
 	} else {
 		n.stats.LocalMessages++
 	}
 	n.tracer.Add(uint64(n.eng.Now()), "msg", "%-9s %-10s -> %-10s addr=%#x val=%d (%dB, %d hops)",
 		m.Kind, m.Src, m.Dst, m.Addr, m.Value, bytes, hops)
-	lat := n.Latency(m.Src, m.Dst)
 	n.eng.Schedule(lat, func() { n.deliver(m) })
 }
 

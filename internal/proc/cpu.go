@@ -18,6 +18,7 @@ import (
 	"amosim/internal/core"
 	"amosim/internal/directory"
 	"amosim/internal/memsys"
+	"amosim/internal/metrics"
 	"amosim/internal/network"
 	"amosim/internal/sim"
 )
@@ -96,11 +97,21 @@ type CPU struct {
 	amsgQ    []network.Msg
 	handlers map[int]Handler
 
-	// counters
-	scFailures  uint64
-	amsgNacks   uint64
-	amsgRetries uint64
-	amsgServed  uint64
+	stats metrics.CPUStats
+
+	// Cycle attribution. Simulated time only passes while the program is
+	// suspended in Sleep/Await/Cond.Wait, so every wait is bracketed by
+	// beginWait/endWait and charged to exactly one bucket of cyc; the
+	// in-flight wait (if any) is finalized read-only by Metrics. The
+	// invariant Compute+MemoryStall+SpinIdle == Total is therefore exact
+	// at every snapshot instant.
+	cyc        metrics.CycleBreakdown // Total stays 0; computed at read time
+	waitBucket *uint64
+	waitFrom   sim.Time
+	startAt    sim.Time
+	endAt      sim.Time
+	started    bool
+	ended      bool
 }
 
 // New creates a CPU with its private cache and registers its network
@@ -127,10 +138,73 @@ func (c *CPU) Node() int { return c.p.Node }
 // Cache exposes the private cache for tests and stats.
 func (c *CPU) Cache() *cache.Cache { return c.c }
 
-// Counters returns cumulative SC failures, active-message NACKs received,
-// retransmissions sent, and handlers served.
-func (c *CPU) Counters() (scFail, nacks, retries, served uint64) {
-	return c.scFailures, c.amsgNacks, c.amsgRetries, c.amsgServed
+// Stats returns the CPU's named event counters: SC failures,
+// active-message NACKs received, retransmissions sent, handlers served.
+func (c *CPU) Stats() metrics.CPUStats { return c.stats }
+
+// Metrics returns the CPU's full per-component snapshot, finalizing any
+// in-flight wait into its bucket without mutating the accumulators. Safe
+// to call at any simulated instant, including after engine shutdown.
+func (c *CPU) Metrics() metrics.CPUMetrics {
+	now := c.eng.Now()
+	cyc := c.cyc
+	if c.waitBucket != nil {
+		elapsed := uint64(now - c.waitFrom)
+		switch c.waitBucket {
+		case &c.cyc.Compute:
+			cyc.Compute += elapsed
+		case &c.cyc.MemoryStall:
+			cyc.MemoryStall += elapsed
+		case &c.cyc.SpinIdle:
+			cyc.SpinIdle += elapsed
+		}
+	}
+	switch {
+	case !c.started:
+		// No program yet: everything stays zero.
+	case c.ended:
+		cyc.Total = uint64(c.endAt - c.startAt)
+	default:
+		cyc.Total = uint64(now - c.startAt)
+	}
+	return metrics.CPUMetrics{
+		ID:       c.p.ID,
+		Node:     c.p.Node,
+		Counters: c.stats,
+		Cache:    c.c.Stats(),
+		Cycles:   cyc,
+	}
+}
+
+// --- cycle-attribution plumbing ---------------------------------------------
+
+// beginWait marks the start of a simulated-time wait charged to bucket
+// (one of &c.cyc.Compute, &c.cyc.MemoryStall, &c.cyc.SpinIdle).
+func (c *CPU) beginWait(bucket *uint64) {
+	c.waitBucket = bucket
+	c.waitFrom = c.eng.Now()
+}
+
+// endWait closes the wait opened by beginWait and accrues its duration.
+func (c *CPU) endWait() {
+	*c.waitBucket += uint64(c.eng.Now() - c.waitFrom)
+	c.waitBucket = nil
+}
+
+// sleep charges cycles of simulated time to bucket. Zero-cycle sleeps
+// still yield to same-instant events, exactly like a bare proc.Sleep.
+func (c *CPU) sleep(bucket *uint64, cycles uint64) {
+	c.beginWait(bucket)
+	c.proc.Sleep(sim.Time(cycles))
+	c.endWait()
+}
+
+// waitLineEvents parks on the line-event condition, charging the idle time
+// to the spin bucket.
+func (c *CPU) waitLineEvents() {
+	c.beginWait(&c.cyc.SpinIdle)
+	c.lineEvents.Wait(c.proc)
+	c.endWait()
 }
 
 // RegisterHandler installs the active-message handler with the given id.
@@ -156,7 +230,11 @@ func (c *CPU) Run(delay sim.Time, program func(c *CPU)) {
 	c.attached = true
 	c.eng.Spawn(fmt.Sprintf("cpu%d", c.p.ID), delay, func(p *sim.Process) {
 		c.proc = p
+		c.startAt = c.eng.Now()
+		c.started = true
 		program(c)
+		c.endAt = c.eng.Now()
+		c.ended = true
 		c.proc = nil
 	})
 }
@@ -165,7 +243,7 @@ func (c *CPU) Run(delay sim.Time, program func(c *CPU)) {
 func (c *CPU) Now() sim.Time { return c.eng.Now() }
 
 // Think charges cycles of local computation.
-func (c *CPU) Think(cycles uint64) { c.proc.Sleep(sim.Time(cycles)) }
+func (c *CPU) Think(cycles uint64) { c.sleep(&c.cyc.Compute, cycles) }
 
 func (c *CPU) endpoint() network.Endpoint {
 	return network.Endpoint{Node: c.p.Node, CPU: c.p.ID}
@@ -373,7 +451,9 @@ func (c *CPU) parkForReply() {
 	if c.pendingWake != nil {
 		panic(fmt.Sprintf("proc: cpu %d has two outstanding waits", c.p.ID))
 	}
+	c.beginWait(&c.cyc.MemoryStall)
 	c.proc.Await(func(wake func()) { c.pendingWake = wake })
+	c.endWait()
 }
 
 // awaitCacheReply issues no messages itself; the caller has sent the request
@@ -412,10 +492,10 @@ func (c *CPU) awaitMsg(serveAmsg bool) network.Msg {
 
 // Load performs a coherent load of the word at addr.
 func (c *CPU) Load(addr uint64) uint64 {
-	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	for {
 		if ln := c.c.Lookup(addr); ln != nil {
-			c.proc.Sleep(sim.Time(c.p.L1HitCycles))
+			c.sleep(&c.cyc.Compute, c.p.L1HitCycles)
 			// Re-check after the hit latency: an invalidation may have
 			// raced in while we slept.
 			if v, ok := c.c.ReadWord(addr); ok {
@@ -441,11 +521,11 @@ func (c *CPU) Load(addr uint64) uint64 {
 // migration rather than upgrade storms — the behaviour Figure 1(a) of the
 // paper depicts ("all three processors request exclusive ownership").
 func (c *CPU) LoadLinked(addr uint64) uint64 {
-	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	for {
 		ln := c.c.Lookup(addr)
 		if ln != nil && ln.State == cache.Modified {
-			c.proc.Sleep(sim.Time(c.p.L1HitCycles))
+			c.sleep(&c.cyc.Compute, c.p.L1HitCycles)
 			if cur := c.c.Lookup(addr); cur != nil && cur.State == cache.Modified {
 				v, _ := c.c.ReadWord(addr)
 				c.linkAddr = c.block(addr)
@@ -472,11 +552,11 @@ func (c *CPU) LoadLinked(addr uint64) uint64 {
 // Store performs a coherent store. The write commits at ownership-grant
 // time, so it never retries.
 func (c *CPU) Store(addr, val uint64) {
-	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	for {
 		ln := c.c.Lookup(addr)
 		if ln != nil && ln.State == cache.Modified {
-			c.proc.Sleep(sim.Time(c.p.L1HitCycles))
+			c.sleep(&c.cyc.Compute, c.p.L1HitCycles)
 			if cur := c.c.Lookup(addr); cur != nil && cur.State == cache.Modified {
 				c.c.WriteWord(addr, val)
 				return
@@ -501,26 +581,26 @@ func (c *CPU) Store(addr, val uint64) {
 // StoreConditional attempts the SC half of LL/SC. It reports success; it
 // fails fast when the link is already broken.
 func (c *CPU) StoreConditional(addr, val uint64) bool {
-	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	if !c.linkValid || c.linkAddr != c.block(addr) {
-		c.scFailures++
+		c.stats.SCFailures++
 		return false
 	}
 	ln := c.c.Lookup(addr)
 	if ln == nil {
 		// Line evicted (or invalidation raced the link check): fail.
 		c.linkValid = false
-		c.scFailures++
+		c.stats.SCFailures++
 		return false
 	}
 	if ln.State == cache.Modified {
-		c.proc.Sleep(sim.Time(c.p.L1HitCycles))
+		c.sleep(&c.cyc.Compute, c.p.L1HitCycles)
 		if cur := c.c.Lookup(addr); cur != nil && cur.State == cache.Modified && c.linkValid && c.linkAddr == c.block(addr) {
 			c.c.WriteWord(addr, val)
 			c.linkValid = false
 			return true
 		}
-		c.scFailures++
+		c.stats.SCFailures++
 		return false
 	}
 	c.pending = &pendingOp{kind: opStoreConditional, addr: addr, val: val}
@@ -531,7 +611,7 @@ func (c *CPU) StoreConditional(addr, val uint64) bool {
 	})
 	op := c.awaitCacheReply()
 	if !op.ok {
-		c.scFailures++
+		c.stats.SCFailures++
 	}
 	return op.ok
 }
@@ -559,11 +639,11 @@ func (c *CPU) AtomicCompareSwap(addr, expect, val uint64) uint64 {
 // atomicRMW implements the processor-side atomic instructions: the RMW
 // commits at ownership-grant time, so it never retries.
 func (c *CPU) atomicRMW(op core.Op, addr, operand, aux uint64) uint64 {
-	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	for {
 		ln := c.c.Lookup(addr)
 		if ln != nil && ln.State == cache.Modified {
-			c.proc.Sleep(sim.Time(c.p.AtomicOpCycles))
+			c.sleep(&c.cyc.Compute, c.p.AtomicOpCycles)
 			if cur := c.c.Lookup(addr); cur != nil && cur.State == cache.Modified {
 				v, _ := c.c.ReadWord(addr)
 				c.c.WriteWord(addr, op.Apply(v, operand, aux))
@@ -591,7 +671,7 @@ func (c *CPU) atomicRMW(op core.Op, addr, operand, aux uint64) uint64 {
 // UncachedLoad reads a word directly from its home node, bypassing the
 // cache (the access mode MAO spinning requires).
 func (c *CPU) UncachedLoad(addr uint64) uint64 {
-	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	c.net.Send(network.Msg{
 		Kind: network.KindUncachedLoad,
 		Src:  c.endpoint(), Dst: c.home(addr),
@@ -602,7 +682,7 @@ func (c *CPU) UncachedLoad(addr uint64) uint64 {
 
 // UncachedStore writes a word directly at its home node.
 func (c *CPU) UncachedStore(addr, val uint64) {
-	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	c.net.Send(network.Msg{
 		Kind: network.KindUncachedStore,
 		Src:  c.endpoint(), Dst: c.home(addr),
@@ -630,7 +710,7 @@ func (c *CPU) MAOCompareSwap(addr, expect, val uint64) uint64 {
 }
 
 func (c *CPU) mao(op core.Op, addr, operand, aux uint64) uint64 {
-	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	c.net.Send(network.Msg{
 		Kind: network.KindMAORequest,
 		Src:  c.endpoint(), Dst: c.home(addr),
@@ -648,7 +728,7 @@ func (c *CPU) mao(op core.Op, addr, operand, aux uint64) uint64 {
 // core.FlagTest is set; core.FlagUpdateAlways pushes a word update after
 // every operation.
 func (c *CPU) AMO(op core.Op, addr, operand, test uint64, flags uint32) uint64 {
-	c.proc.Sleep(sim.Time(c.p.IssueCycles))
+	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	c.net.Send(network.Msg{
 		Kind: network.KindAMORequest,
 		Src:  c.endpoint(), Dst: c.home(addr),
@@ -688,11 +768,11 @@ func (c *CPU) homeCPU(addr uint64) int {
 func (c *CPU) ActiveMessageCall(handler int, addr, arg uint64) uint64 {
 	target := c.homeCPU(addr)
 	if target == c.p.ID {
-		c.proc.Sleep(sim.Time(c.p.ActMsgInvokeCycles))
+		c.sleep(&c.cyc.Compute, c.p.ActMsgInvokeCycles)
 		return c.runHandler(handler, addr, arg)
 	}
 	for attempt := uint64(1); ; attempt++ {
-		c.proc.Sleep(sim.Time(c.p.IssueCycles))
+		c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 		c.net.Send(network.Msg{
 			Kind:  network.KindActiveMessage,
 			Src:   c.endpoint(),
@@ -705,10 +785,10 @@ func (c *CPU) ActiveMessageCall(handler int, addr, arg uint64) uint64 {
 		m := c.awaitMsg(true)
 		switch m.Kind {
 		case network.KindActiveMessageNack:
-			c.amsgNacks++
-			c.amsgRetries++
+			c.stats.AmsgNacks++
+			c.stats.AmsgRetries++
 			// Deterministic linear backoff with a per-CPU phase offset.
-			c.proc.Sleep(sim.Time(c.p.ActMsgTimeoutCycles*attempt + uint64(c.p.ID%13)*64))
+			c.sleep(&c.cyc.MemoryStall, c.p.ActMsgTimeoutCycles*attempt+uint64(c.p.ID%13)*64)
 		case network.KindActiveMessageAck:
 			// Accepted; now wait for the handler's reply (serving our own
 			// queue meanwhile).
@@ -728,8 +808,8 @@ func (c *CPU) ActiveMessageCall(handler int, addr, arg uint64) uint64 {
 func (c *CPU) serveOneActiveMessage() {
 	m := c.amsgQ[0]
 	c.amsgQ = c.amsgQ[1:]
-	c.amsgServed++
-	c.proc.Sleep(sim.Time(c.p.ActMsgInvokeCycles))
+	c.stats.AmsgServed++
+	c.sleep(&c.cyc.Compute, c.p.ActMsgInvokeCycles)
 	result := c.runHandler(m.Op, m.Addr, m.Value)
 	c.net.Send(network.Msg{
 		Kind:  network.KindActiveMessageReply,
@@ -746,7 +826,7 @@ func (c *CPU) runHandler(id int, addr, arg uint64) uint64 {
 	if h == nil {
 		panic(fmt.Sprintf("proc: cpu %d has no handler %d", c.p.ID, id))
 	}
-	c.proc.Sleep(sim.Time(c.p.ActMsgHandlerCycles))
+	c.sleep(&c.cyc.Compute, c.p.ActMsgHandlerCycles)
 	return h(c, addr, arg)
 }
 
@@ -769,7 +849,7 @@ func (c *CPU) ServeUntil(done func() bool) {
 		if c.ServeActiveMessages() {
 			continue
 		}
-		c.lineEvents.Wait(c.proc)
+		c.waitLineEvents()
 	}
 	c.ServeActiveMessages() // final drain (queues are empty by construction)
 }
@@ -785,7 +865,7 @@ func (c *CPU) Poke() { c.lineEvents.Broadcast() }
 func (c *CPU) SpinUntil(addr uint64, pred func(uint64) bool) uint64 {
 	for {
 		v := c.Load(addr)
-		c.proc.Sleep(sim.Time(c.p.SpinCheckCycles))
+		c.sleep(&c.cyc.Compute, c.p.SpinCheckCycles)
 		if pred(v) {
 			return v
 		}
@@ -800,7 +880,7 @@ func (c *CPU) SpinUntil(addr uint64, pred func(uint64) bool) uint64 {
 		if cur, _ := c.c.ReadWord(addr); pred(cur) {
 			return cur
 		}
-		c.lineEvents.Wait(c.proc)
+		c.waitLineEvents()
 	}
 }
 
@@ -809,13 +889,13 @@ func (c *CPU) SpinUntil(addr uint64, pred func(uint64) bool) uint64 {
 func (c *CPU) SpinUntilUncached(addr uint64, pred func(uint64) bool, pollGap uint64) uint64 {
 	for {
 		v := c.UncachedLoad(addr)
-		c.proc.Sleep(sim.Time(c.p.SpinCheckCycles))
+		c.sleep(&c.cyc.Compute, c.p.SpinCheckCycles)
 		if pred(v) {
 			return v
 		}
 		c.ServeActiveMessages()
 		if pollGap > 0 {
-			c.proc.Sleep(sim.Time(pollGap))
+			c.sleep(&c.cyc.SpinIdle, pollGap)
 		}
 	}
 }

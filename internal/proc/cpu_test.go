@@ -10,6 +10,7 @@ import (
 
 	"amosim/internal/config"
 	"amosim/internal/machine"
+	"amosim/internal/metrics"
 	"amosim/internal/proc"
 )
 
@@ -133,9 +134,8 @@ func TestCPUAccessors(t *testing.T) {
 	if c.HasHandler(1) {
 		t.Fatal("phantom handler")
 	}
-	scf, nacks, retries, served := c.Counters()
-	if scf+nacks+retries+served != 0 {
-		t.Fatal("fresh counters nonzero")
+	if st := c.Stats(); st != (metrics.CPUStats{}) {
+		t.Fatalf("fresh counters nonzero: %+v", st)
 	}
 }
 

@@ -6,6 +6,8 @@ package stats
 import (
 	"fmt"
 	"strings"
+
+	"amosim/internal/metrics"
 )
 
 // BarrierResult is one barrier experiment (one mechanism at one scale).
@@ -22,6 +24,10 @@ type BarrierResult struct {
 
 	NetMessagesPerBarrier float64
 	ByteHopsPerBarrier    float64
+
+	// Metrics is the measurement-window snapshot diff every figure above
+	// is derived from; its cycle attribution conserves exactly.
+	Metrics metrics.Snapshot
 }
 
 // LockResult is one lock experiment.
@@ -36,6 +42,10 @@ type LockResult struct {
 	NetMessages     uint64
 	ByteHops        uint64
 	MessagesPerPass float64
+
+	// Metrics is the measurement-window snapshot diff every figure above
+	// is derived from; its cycle attribution conserves exactly.
+	Metrics metrics.Snapshot
 }
 
 // Speedup returns base/x given two cycle costs (how many times faster x is

@@ -246,13 +246,11 @@ func TestAMOBarrierNoInvalidations(t *testing.T) {
 	})
 	mustRun(t, m)
 	for n, d := range m.Dirs {
-		_, invs, _ := d.Counters()
-		if invs != 0 {
+		if invs := d.Stats().Invalidations; invs != 0 {
 			t.Fatalf("node %d sent %d invalidations during AMO barrier; want 0", n, invs)
 		}
 	}
-	_, _, updates := m.Dirs[0].Counters()
-	if updates == 0 {
+	if m.Dirs[0].Stats().WordUpdates == 0 {
 		t.Fatal("AMO barrier sent no word updates")
 	}
 }
@@ -270,8 +268,7 @@ func TestConventionalBarrierDoesInvalidate(t *testing.T) {
 	mustRun(t, m)
 	var invs uint64
 	for _, d := range m.Dirs {
-		_, i, _ := d.Counters()
-		invs += i
+		invs += d.Stats().Invalidations
 	}
 	if invs == 0 {
 		t.Fatal("conventional barrier sent no invalidations; protocol model is wrong")

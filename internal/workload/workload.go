@@ -12,7 +12,9 @@ import (
 	"amosim/internal/config"
 	"amosim/internal/machine"
 	"amosim/internal/memsys"
+	"amosim/internal/metrics"
 	"amosim/internal/proc"
+	"amosim/internal/sim"
 	"amosim/internal/syncprim"
 )
 
@@ -24,6 +26,23 @@ type Result struct {
 	Cycles    uint64
 	// NetMessages is total network traffic for the run.
 	NetMessages uint64
+	// Metrics is the whole-run snapshot (taken after the machine quiesced);
+	// its cycle attribution conserves exactly.
+	Metrics metrics.Snapshot
+}
+
+// finish assembles the Result from the machine's end-of-run snapshot,
+// enforcing the cycle-attribution conservation invariant.
+func finish(m *machine.Machine, name string, mech syncprim.Mechanism, cycles sim.Time) (Result, error) {
+	snap := m.Metrics()
+	if err := snap.CheckConservation(); err != nil {
+		return Result{}, fmt.Errorf("workload: %s (%v): %w", name, mech, err)
+	}
+	return Result{
+		Name: name, Mechanism: mech.String(), Procs: len(m.CPUs),
+		Cycles: uint64(cycles), NetMessages: snap.Network.Messages,
+		Metrics: snap,
+	}, nil
 }
 
 // Stencil runs iters sweeps of a 1-D three-point integer stencil over
@@ -89,10 +108,7 @@ func Stencil(cfg config.Config, mech syncprim.Mechanism, chunk, iters int) (Resu
 			return Result{}, fmt.Errorf("workload: stencil (%v): cell %d = %d, want %d", mech, i, got, want[i])
 		}
 	}
-	return Result{
-		Name: "stencil", Mechanism: mech.String(), Procs: procs,
-		Cycles: uint64(cycles), NetMessages: m.Net.Stats().NetMessages,
-	}, nil
+	return finish(m, "stencil", mech, cycles)
 }
 
 func stencilOracle(cur []int64, iters int) []int64 {
@@ -158,10 +174,7 @@ func PrefixSum(cfg config.Config, mech syncprim.Mechanism) (Result, error) {
 			return Result{}, fmt.Errorf("workload: prefix sum (%v): x[%d] = %d, want %d", mech, p, got, running)
 		}
 	}
-	return Result{
-		Name: "prefixsum", Mechanism: mech.String(), Procs: procs,
-		Cycles: uint64(cycles), NetMessages: m.Net.Stats().NetMessages,
-	}, nil
+	return finish(m, "prefixsum", mech, cycles)
 }
 
 // Histogram has every CPU classify items into shared bins, incrementing
@@ -208,10 +221,7 @@ func Histogram(cfg config.Config, mech syncprim.Mechanism, bins, itemsPerCPU int
 			return Result{}, fmt.Errorf("workload: histogram (%v): bin %d = %d, want %d", mech, i, got, want[i])
 		}
 	}
-	return Result{
-		Name: "histogram", Mechanism: mech.String(), Procs: procs,
-		Cycles: uint64(cycles), NetMessages: m.Net.Stats().NetMessages,
-	}, nil
+	return finish(m, "histogram", mech, cycles)
 }
 
 // allocArray lays out procs contiguous chunks, chunk words each, chunk p on

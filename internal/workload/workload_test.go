@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"amosim/internal/config"
@@ -107,7 +108,7 @@ func TestWorkloadDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("nondeterministic: %+v vs %+v", r1, r2)
 	}
 }

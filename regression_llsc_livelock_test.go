@@ -41,7 +41,7 @@ func TestLockHangRepro(t *testing.T) {
 	})
 	if _, err := m.RunUntil(20_000_000); err != nil {
 		for id, c := range m.CPUs {
-			scf, _, _, _ := c.Counters()
+			scf := c.Stats().SCFailures
 			ln := c.Cache().Lookup(l.NextAddr())
 			st := "absent"
 			if ln != nil {
