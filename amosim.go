@@ -76,6 +76,11 @@ const (
 // Mechanisms lists all mechanisms in the paper's presentation order.
 var Mechanisms = syncprim.Mechanisms
 
+// ParseMechanism parses a mechanism name, case-insensitively, accepting
+// both String forms ("LL/SC") and CLI spellings ("llsc"). It round-trips
+// with Mechanism.String.
+func ParseMechanism(s string) (Mechanism, error) { return syncprim.ParseMechanism(s) }
+
 // Barrier is a centralized barrier (Figure 3 of the paper).
 type Barrier = syncprim.Barrier
 

@@ -1,0 +1,66 @@
+package amosim
+
+import "encoding/json"
+
+// BenchRow is one mechanism x primitive benchmark in the BenchMetricsJSON
+// summary. Attribution is derived from the measurement-window Snapshot
+// diff; its Compute+MemoryStall+SpinIdle sum exactly to TotalCPUCycles.
+type BenchRow struct {
+	Primitive        string // "barrier" (centralized) or "ticket"
+	Mechanism        string
+	Procs            int
+	CyclesPerOp      float64
+	NetMessagesPerOp float64
+	ByteHopsPerOp    float64
+	WindowCycles     uint64
+	Attribution      Attribution
+}
+
+// BenchMetricsJSON runs one barrier and one ticket-lock benchmark per
+// mechanism — on the sweep engine, so the runs parallelize and memoize
+// like any other sweep — and returns the compact JSON summary the repo
+// checks in as BENCH_metrics.json. The document is byte-identical at any
+// worker count: rows are assembled in mechanism order (barrier before
+// ticket within each mechanism) from the ordered result slice.
+func BenchMetricsJSON(procs int, bopts BarrierOptions, lopts LockOptions) ([]byte, error) {
+	cfg := DefaultConfig(procs)
+	var pts []SweepPoint
+	for _, mech := range Mechanisms {
+		pts = append(pts, BarrierPoint(cfg, mech, bopts), LockPoint(cfg, Ticket, mech, lopts))
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BenchRow
+	for i := 0; i < len(vals); i += 2 {
+		b := vals[i].(BarrierResult)
+		l := vals[i+1].(LockResult)
+		rows = append(rows, BenchRow{
+			Primitive: "barrier", Mechanism: b.Mechanism, Procs: b.Procs,
+			CyclesPerOp:      b.CyclesPerBarrier,
+			NetMessagesPerOp: b.NetMessagesPerBarrier,
+			ByteHopsPerOp:    b.ByteHopsPerBarrier,
+			WindowCycles:     b.TotalCycles,
+			Attribution:      b.Metrics.Attribution(),
+		})
+		passes := float64(l.Procs * l.Acquires)
+		rows = append(rows, BenchRow{
+			Primitive: "ticket", Mechanism: l.Mechanism, Procs: l.Procs,
+			CyclesPerOp:      l.CyclesPerPass,
+			NetMessagesPerOp: l.MessagesPerPass,
+			ByteHopsPerOp:    float64(l.ByteHops) / passes,
+			WindowCycles:     l.TotalCycles,
+			Attribution:      l.Metrics.Attribution(),
+		})
+	}
+	doc := struct {
+		Generator string
+		Rows      []BenchRow
+	}{"amotables -bench-metrics", rows}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

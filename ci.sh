@@ -28,6 +28,12 @@ go test ./...
 echo "== go test -race (short)"
 go test -race -short ./internal/sim/... ./internal/machine/... ./internal/syncprim/...
 
+echo "== sweep engine -race"
+# The parallel sweep path must be race-clean: the engine package's own
+# tests plus a real multi-worker table sweep through the root package.
+go test -race ./internal/sweep/...
+go test -race -run 'TestTableByteIdenticalAcrossWorkers|TestBenchMetricsJSONByteIdenticalAcrossWorkers' .
+
 echo "== metrics smoke"
 # The -metrics writer is self-verifying: it fails unless the JSON document
 # round-trips byte-identically and the window's cycle attribution conserves.
@@ -41,5 +47,15 @@ echo "== bench metrics"
 # or modeling regression and must be committed deliberately.
 go run ./cmd/amotables -bench-metrics "$tmpjson"
 diff -u BENCH_metrics.json "$tmpjson"
+
+echo "== parallel sweep determinism"
+# The parallel runner must emit byte-identical stdout to the sequential
+# path on a real experiment.
+seqout=$(mktemp)
+parout=$(mktemp)
+trap 'rm -f "$tmpjson" "$seqout" "$parout"' EXIT
+go run ./cmd/amotables -exp table2 -procs 4,8,16 -episodes 2 -warmup 1 -workers 1 >"$seqout"
+go run ./cmd/amotables -exp table2 -procs 4,8,16 -episodes 2 -warmup 1 -workers 4 >"$parout"
+diff -u "$seqout" "$parout"
 
 echo "CI PASS"

@@ -7,8 +7,13 @@
 //	amosim -primitive barrier -mech AMO -procs 64
 //	amosim -primitive barrier -mech LLSC -procs 32 -tree 8
 //	amosim -primitive ticket -mech MAO -procs 128 -acquires 8
-//	amosim -primitive array -mech Atomic -procs 16 -trace 40
+//	amosim -primitive array -mech Atomic -procs 16
+//	amosim -primitive mcs -mech AMO -procs 64
 //	amosim -primitive barrier -mech AMO -procs 32 -metrics out.json
+//
+// The experiment runs as a single point on the sweep engine, so it gets
+// the same deadline, deadlock-capture and retry semantics as a table
+// sweep.
 //
 // With -metrics PATH the full result record — including the
 // measurement-window metrics Snapshot every printed figure derives from —
@@ -24,26 +29,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
 	"amosim"
 )
-
-func parseMech(s string) (amosim.Mechanism, error) {
-	switch strings.ToLower(s) {
-	case "llsc", "ll/sc":
-		return amosim.LLSC, nil
-	case "atomic":
-		return amosim.Atomic, nil
-	case "actmsg":
-		return amosim.ActMsg, nil
-	case "mao":
-		return amosim.MAO, nil
-	case "amo":
-		return amosim.AMO, nil
-	}
-	return 0, fmt.Errorf("unknown mechanism %q (LLSC, Atomic, ActMsg, MAO, AMO)", s)
-}
 
 // writeMetrics emits result (whose Metrics field is the window snapshot
 // diff) as indented JSON after verifying the two invariants the metrics
@@ -72,11 +60,22 @@ func writeMetrics[T any](path string, result T, win amosim.Snapshot) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// runOne executes a single experiment point on the sweep engine and
+// returns its typed result.
+func runOne[T any](pt amosim.SweepPoint) (T, error) {
+	var zero T
+	vals, err := amosim.RunSweepPoints([]amosim.SweepPoint{pt})
+	if err != nil {
+		return zero, err
+	}
+	return vals[0].(T), nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("amosim: ")
 	var (
-		primitive = flag.String("primitive", "barrier", "barrier, ticket or array")
+		primitive = flag.String("primitive", "barrier", "barrier, ticket, array or mcs")
 		mechFlag  = flag.String("mech", "AMO", "LLSC, Atomic, ActMsg, MAO or AMO")
 		procs     = flag.Int("procs", 32, "processor count")
 		episodes  = flag.Int("episodes", 8, "measured barrier episodes")
@@ -88,7 +87,7 @@ func main() {
 	)
 	flag.Parse()
 
-	mech, err := parseMech(*mechFlag)
+	mech, err := amosim.ParseMechanism(*mechFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,13 +97,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	switch *primitive {
-	case "barrier":
-		r, err := amosim.RunBarrier(cfg, mech, amosim.BarrierOptions{
+	if *primitive == "barrier" {
+		r, err := runOne[amosim.BarrierResult](amosim.BarrierPoint(cfg, mech, amosim.BarrierOptions{
 			Episodes:  *episodes,
 			Warmup:    *warmup,
 			Branching: *tree,
-		})
+		}))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -122,25 +120,24 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-	case "ticket", "array":
-		kind := amosim.Ticket
-		if *primitive == "array" {
-			kind = amosim.Array
-		}
-		r, err := amosim.RunLock(cfg, kind, mech, amosim.LockOptions{Acquires: *acquires})
-		if err != nil {
+		return
+	}
+
+	kind, err := amosim.ParseLockKind(*primitive)
+	if err != nil {
+		log.Fatalf("unknown primitive %q (barrier, ticket, array, mcs)", *primitive)
+	}
+	r, err := runOne[amosim.LockResult](amosim.LockPoint(cfg, kind, mech, amosim.LockOptions{Acquires: *acquires}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s %s lock, %d CPUs, %d acquires/CPU\n", r.Mechanism, r.Kind, r.Procs, r.Acquires)
+	fmt.Printf("  cycles/lock pass:    %12.1f\n", r.CyclesPerPass)
+	fmt.Printf("  net msgs/pass:       %12.2f\n", r.MessagesPerPass)
+	fmt.Printf("  window byte-hops:    %12d\n", r.ByteHops)
+	if *metricsTo != "" {
+		if err := writeMetrics(*metricsTo, r, r.Metrics); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s %s lock, %d CPUs, %d acquires/CPU\n", r.Mechanism, r.Kind, r.Procs, r.Acquires)
-		fmt.Printf("  cycles/lock pass:    %12.1f\n", r.CyclesPerPass)
-		fmt.Printf("  net msgs/pass:       %12.2f\n", r.MessagesPerPass)
-		fmt.Printf("  window byte-hops:    %12d\n", r.ByteHops)
-		if *metricsTo != "" {
-			if err := writeMetrics(*metricsTo, r, r.Metrics); err != nil {
-				log.Fatal(err)
-			}
-		}
-	default:
-		log.Fatalf("unknown primitive %q (barrier, ticket, array)", *primitive)
 	}
 }

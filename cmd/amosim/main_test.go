@@ -1,33 +1,45 @@
 package main
 
-import "testing"
+import (
+	"testing"
 
-func TestParseMech(t *testing.T) {
+	"amosim"
+)
+
+func TestParseMechanism(t *testing.T) {
 	cases := map[string]bool{
 		"LLSC": true, "llsc": true, "LL/SC": true,
 		"Atomic": true, "actmsg": true, "MAO": true, "amo": true,
 		"bogus": false, "": false,
 	}
 	for in, ok := range cases {
-		_, err := parseMech(in)
+		_, err := amosim.ParseMechanism(in)
 		if ok && err != nil {
-			t.Errorf("parseMech(%q) rejected: %v", in, err)
+			t.Errorf("ParseMechanism(%q) rejected: %v", in, err)
 		}
 		if !ok && err == nil {
-			t.Errorf("parseMech(%q) accepted", in)
+			t.Errorf("ParseMechanism(%q) accepted", in)
 		}
 	}
 }
 
-func TestParseMechRoundTrip(t *testing.T) {
-	for _, name := range []string{"LLSC", "Atomic", "ActMsg", "MAO", "AMO"} {
-		m, err := parseMech(name)
-		if err != nil {
-			t.Fatalf("parseMech(%q): %v", name, err)
-		}
-		back, err := parseMech(m.String())
+func TestParseMechanismRoundTrip(t *testing.T) {
+	for _, m := range amosim.Mechanisms {
+		back, err := amosim.ParseMechanism(m.String())
 		if err != nil || back != m {
-			t.Errorf("round trip %q -> %v -> %v (%v)", name, m, back, err)
+			t.Errorf("round trip %v -> %q -> %v (%v)", m, m.String(), back, err)
 		}
+	}
+}
+
+func TestParseLockKindRoundTrip(t *testing.T) {
+	for _, k := range []amosim.LockKind{amosim.Ticket, amosim.Array, amosim.MCS} {
+		back, err := amosim.ParseLockKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("round trip %v -> %q -> %v (%v)", k, k.String(), back, err)
+		}
+	}
+	if _, err := amosim.ParseLockKind("barrier"); err == nil {
+		t.Error(`ParseLockKind("barrier") accepted; it must reject non-lock primitives`)
 	}
 }

@@ -7,10 +7,18 @@
 //	amotables -exp all
 //	amotables -exp table2 -procs 4,8,16,32
 //	amotables -exp table4 -acquires 8
+//	amotables -exp all -workers 8 -progress
 //
 // Experiments: fig1, table2, fig5, table3, fig6, table4, fig7,
 // ablation-amucache, ablation-update, ablation-tree, ablation-interconnect,
 // ablation-naive, ablation-multicast, extension-mcs, apps, all.
+//
+// Every experiment runs on the parallel sweep engine: -workers sets the
+// worker-pool size (default: all CPUs; 1 forces the sequential path), and
+// output is byte-identical at any worker count. Cells shared between
+// experiments (Table 2 and Figure 5 cover the same grid) are simulated
+// once per process via the result cache. -progress reports per-point
+// completion on stderr.
 //
 // With -bench-metrics PATH the command instead runs one barrier and one
 // ticket-lock benchmark per mechanism and writes a compact JSON summary —
@@ -19,71 +27,16 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"amosim"
 )
-
-// benchRow is one mechanism x primitive benchmark in the -bench-metrics
-// summary. Attribution is derived from the measurement-window Snapshot
-// diff; its Compute+MemoryStall+SpinIdle sum exactly to TotalCPUCycles.
-type benchRow struct {
-	Primitive        string // "barrier" (centralized) or "ticket"
-	Mechanism        string
-	Procs            int
-	CyclesPerOp      float64
-	NetMessagesPerOp float64
-	ByteHopsPerOp    float64
-	WindowCycles     uint64
-	Attribution      amosim.Attribution
-}
-
-func emitBenchMetrics(path string, procs int, bopts amosim.BarrierOptions, lopts amosim.LockOptions) error {
-	cfg := amosim.DefaultConfig(procs)
-	var rows []benchRow
-	for _, mech := range amosim.Mechanisms {
-		b, err := amosim.RunBarrier(cfg, mech, bopts)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, benchRow{
-			Primitive: "barrier", Mechanism: b.Mechanism, Procs: b.Procs,
-			CyclesPerOp:      b.CyclesPerBarrier,
-			NetMessagesPerOp: b.NetMessagesPerBarrier,
-			ByteHopsPerOp:    b.ByteHopsPerBarrier,
-			WindowCycles:     b.TotalCycles,
-			Attribution:      b.Metrics.Attribution(),
-		})
-		l, err := amosim.RunLock(cfg, amosim.Ticket, mech, lopts)
-		if err != nil {
-			return err
-		}
-		passes := float64(l.Procs * l.Acquires)
-		rows = append(rows, benchRow{
-			Primitive: "ticket", Mechanism: l.Mechanism, Procs: l.Procs,
-			CyclesPerOp:      l.CyclesPerPass,
-			NetMessagesPerOp: l.MessagesPerPass,
-			ByteHopsPerOp:    float64(l.ByteHops) / passes,
-			WindowCycles:     l.TotalCycles,
-			Attribution:      l.Metrics.Attribution(),
-		})
-	}
-	doc := struct {
-		Generator string
-		Rows      []benchRow
-	}{"amotables -bench-metrics", rows}
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
-}
 
 func main() {
 	log.SetFlags(0)
@@ -94,16 +47,38 @@ func main() {
 		episodes = flag.Int("episodes", 8, "measured barrier episodes")
 		warmup   = flag.Int("warmup", 2, "warm-up barrier episodes")
 		acquires = flag.Int("acquires", 4, "lock acquisitions per CPU")
+		workers  = flag.Int("workers", runtime.NumCPU(), "sweep worker-pool size (1 = sequential; results are identical at any value)")
+		progress = flag.Bool("progress", false, "report per-point sweep completion on stderr")
+		mech     = flag.String("mech", "llsc", "mechanism for ablation-tree (llsc, atomic, actmsg, mao, amo)")
 		benchOut = flag.String("bench-metrics", "", "write the per-mechanism benchmark summary (with cycle attribution) to this file as JSON, then exit")
 		benchP   = flag.Int("bench-procs", 32, "processor count for -bench-metrics")
 	)
 	flag.Parse()
 
+	amosim.SetSweepWorkers(*workers)
+	if *progress {
+		amosim.SetSweepProgress(func(e amosim.SweepEvent) {
+			note := ""
+			if e.Cached {
+				note = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "amotables: [%d/%d] %s%s\n", e.Done, e.Total, e.Label, note)
+		})
+	}
+	treeMech, err := amosim.ParseMechanism(*mech)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	bopts := amosim.BarrierOptions{Episodes: *episodes, Warmup: *warmup}
 	lopts := amosim.LockOptions{Acquires: *acquires}
 
 	if *benchOut != "" {
-		if err := emitBenchMetrics(*benchOut, *benchP, bopts, lopts); err != nil {
+		doc, err := amosim.BenchMetricsJSON(*benchP, bopts, lopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*benchOut, doc, 0o644); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -170,7 +145,7 @@ func main() {
 			return show(t, err)
 		}},
 		{"ablation-tree", func() error {
-			t, err := amosim.AblationTree(amosim.LLSC, parseProcs([]int{64, 256}), bopts)
+			t, err := amosim.AblationTree(treeMech, parseProcs([]int{64, 256}), bopts)
 			return show(t, err)
 		}},
 		{"ablation-interconnect", func() error {

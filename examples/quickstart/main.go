@@ -1,7 +1,8 @@
 // Quickstart: build an 8-CPU simulated machine, run ten AMO barriers, and
 // print what happened — cycles per barrier, network traffic, and the AMU's
 // view of the barrier variable. Then decode the instruction word an AMO
-// barrier arrival would execute.
+// barrier arrival would execute, and run a small measured sweep through
+// the Experiment API.
 package main
 
 import (
@@ -63,4 +64,20 @@ func main() {
 	}
 	instr, _ := amosim.DecodeAMO(word)
 	fmt.Printf("barrier arrival instruction: %#08x  %s\n", word, instr.Mnemonic())
+
+	// For measured experiments, prefer the Experiment API over calling
+	// RunBarrier/RunLock directly: a Spec expands into independent sweep
+	// points that run in parallel across workers, repeated cells are served
+	// from the result cache, and the ordered results are byte-identical at
+	// any worker count.
+	spec := amosim.BarrierExperiment{Procs: []int{4, 8}, Mechs: []amosim.Mechanism{amosim.LLSC, amosim.AMO}}
+	vals, err := amosim.RunSweep(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measured sweep (warm-up + windowed measurement per point):")
+	for i, pt := range spec.Points() {
+		r := vals[i].(amosim.BarrierResult)
+		fmt.Printf("  %-20s %8.1f cycles/barrier\n", pt.Label, r.CyclesPerBarrier)
+	}
 }

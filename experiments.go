@@ -2,11 +2,13 @@ package amosim
 
 import (
 	"fmt"
+	"strings"
 
 	"amosim/internal/machine"
 	"amosim/internal/metrics"
 	"amosim/internal/proc"
 	"amosim/internal/sim"
+	"amosim/internal/sweep"
 	"amosim/internal/syncprim"
 )
 
@@ -39,22 +41,22 @@ type BarrierOptions struct {
 	AMOUpdateAlways bool
 }
 
-func (o *BarrierOptions) defaults() {
-	if o.Episodes == 0 {
-		o.Episodes = 8
-	}
-	if o.Warmup == 0 {
-		o.Warmup = 2
-	}
-	if o.WorkCycles == 0 {
-		o.WorkCycles = 96
-	}
+// WithDefaults returns the options with the module's convention applied
+// (see internal/sweep.DefaultInt): zero-valued fields select their
+// documented defaults. Sweep points digest the defaulted form, so an
+// explicitly-spelled default and an elided one address the same cache
+// entry.
+func (o BarrierOptions) WithDefaults() BarrierOptions {
+	o.Episodes = sweep.DefaultInt(o.Episodes, 8)
+	o.Warmup = sweep.DefaultInt(o.Warmup, 2)
+	o.WorkCycles = sweep.DefaultInt(o.WorkCycles, 96)
+	return o
 }
 
 // RunBarrier measures a barrier implementation on a fresh machine and
 // returns per-episode cycle and traffic figures.
 func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult, error) {
-	opts.defaults()
+	opts = opts.WithDefaults()
 	m, err := machine.New(cfg)
 	if err != nil {
 		return BarrierResult{}, err
@@ -130,16 +132,25 @@ func TreeBranchings(procs int) []int {
 
 // BestTreeBarrier sweeps branching factors and returns the fastest result,
 // mirroring the paper's "we try all possible tree branching factors and use
-// the one that delivers the best performance".
+// the one that delivers the best performance". The candidate branchings run
+// on the sweep engine, so they execute in parallel and repeated calls (a
+// tree sweep after a figure that already tried the same trees) are served
+// from the result cache. Reduction is in expansion order with a strict
+// less-than, so the selected tree is independent of worker count.
 func BestTreeBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult, error) {
-	var best BarrierResult
-	for _, b := range TreeBranchings(cfg.Processors) {
+	branchings := TreeBranchings(cfg.Processors)
+	pts := make([]SweepPoint, len(branchings))
+	for i, b := range branchings {
 		o := opts
 		o.Branching = b
-		r, err := RunBarrier(cfg, mech, o)
-		if err != nil {
-			return BarrierResult{}, err
-		}
+		pts[i] = BarrierPoint(cfg, mech, o)
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return BarrierResult{}, err
+	}
+	var best BarrierResult
+	for _, r := range sweepValues[BarrierResult](vals) {
 		if best.TotalCycles == 0 || r.CyclesPerBarrier < best.CyclesPerBarrier {
 			best = r
 		}
@@ -171,6 +182,20 @@ func (k LockKind) String() string {
 	return fmt.Sprintf("LockKind(%d)", int(k))
 }
 
+// ParseLockKind parses a lock-algorithm name, case-insensitively. It
+// round-trips with String: ParseLockKind(k.String()) == k for every kind.
+func ParseLockKind(s string) (LockKind, error) {
+	switch strings.ToLower(s) {
+	case "ticket":
+		return Ticket, nil
+	case "array":
+		return Array, nil
+	case "mcs":
+		return MCS, nil
+	}
+	return 0, fmt.Errorf("amosim: unknown lock kind %q (ticket, array, mcs)", s)
+}
+
 // LockOptions tunes RunLock.
 type LockOptions struct {
 	// Acquires per CPU in the measured window (default 4).
@@ -184,23 +209,20 @@ type LockOptions struct {
 	Home int
 }
 
-func (o *LockOptions) defaults() {
-	if o.Acquires == 0 {
-		o.Acquires = 4
-	}
-	if o.CSCycles == 0 {
-		o.CSCycles = 25
-	}
-	if o.GapCycles == 0 {
-		o.GapCycles = 64
-	}
+// WithDefaults returns the options with the module's convention applied
+// (see BarrierOptions.WithDefaults).
+func (o LockOptions) WithDefaults() LockOptions {
+	o.Acquires = sweep.DefaultInt(o.Acquires, 4)
+	o.CSCycles = sweep.DefaultInt(o.CSCycles, 25)
+	o.GapCycles = sweep.DefaultInt(o.GapCycles, 64)
+	return o
 }
 
 // RunLock measures a lock-passing microbenchmark: every CPU performs
 // Acquires acquire/CS/release rounds; the result reports cycles per lock
 // passing and traffic in the measured window.
 func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockResult, error) {
-	opts.defaults()
+	opts = opts.WithDefaults()
 	m, err := machine.New(cfg)
 	if err != nil {
 		return LockResult{}, err

@@ -25,6 +25,12 @@
 //     positional plain-integer results — the legacy counter-tuple shape
 //     whose call sites misbind silently when a counter is added. Counter
 //     groups are named structs (internal/metrics).
+//   - sweepshare: the parallel sweep engine (internal/sweep) must not
+//     import machine-state packages — the only allowed internal import is
+//     internal/sim (for deadlock classification). Sweep workers run
+//     concurrently, so an engine that could see a *machine.Machine could
+//     share one between workers; machine-blindness makes that race
+//     structurally impossible.
 //
 // Diagnostics carry the rule name and a position; Run returns them in
 // deterministic (file, line, column) order.
@@ -78,7 +84,7 @@ func inSimPackages(mod *Module, pkg *Package) bool {
 
 // AllRules returns every rule, in a fixed order.
 func AllRules() []Rule {
-	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}}
+	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}, SweepShareRule{}}
 }
 
 // RuleNames returns the names of rules, comma-joined, for usage text.

@@ -1,0 +1,16 @@
+// Package sweep is a sweepshare-rule fixture: the sweep engine must stay
+// machine-blind, so importing a machine-state package is the positive and
+// the event kernel (internal/sim) is the allowed true negative.
+package sweep
+
+import (
+	"fixmod/internal/machine" // want "internal/sweep must stay machine-blind"
+	"fixmod/internal/sim"
+)
+
+// Drive spawns a worker through the event kernel (allowed) and stamps it
+// via the machine package (flagged at the import above).
+func Drive(f func()) int64 {
+	sim.Spawn(f)
+	return machine.Stamp()
+}

@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// KeyOf returns the content-address of an experiment point: a digest over
+// name (the experiment family) and the canonical JSON encoding of each
+// input that determines the run's result — typically the machine Config,
+// the mechanism, and the fully-defaulted option struct. Inputs must be
+// JSON-marshalable values whose encoding is deterministic (structs of
+// scalars and slices; no maps with mixed insertion orders). Two points
+// with equal keys are interchangeable: a deterministic simulation of
+// identical inputs produces identical results.
+//
+// Callers should normalize options (apply defaults) before digesting, so
+// an explicitly-spelled default and an elided one address the same entry.
+func KeyOf(name string, inputs ...any) string {
+	h := sha256.New()
+	io.WriteString(h, name)
+	for _, in := range inputs {
+		b, err := json.Marshal(in)
+		if err != nil {
+			// Inputs are plain configuration values; failing to encode one
+			// is a programming error at the call site, not a run condition.
+			panic(fmt.Sprintf("sweep: KeyOf input %T does not marshal: %v", in, err))
+		}
+		h.Write([]byte{0})
+		h.Write(b)
+	}
+	return name + ":" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache memoizes point results by content key and deduplicates
+// concurrently in-flight runs of the same key: the first caller executes,
+// later callers block until the result is ready and share it. Failed runs
+// are never cached — the next caller with the same key re-executes.
+//
+// Cached values are shared between every caller that hits the key; treat
+// results as immutable (the experiment layer's result records are
+// read-only by convention).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	done  chan struct{}
+	val   any
+	ready bool // set before done closes iff the run succeeded
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// Do returns the cached value for key, or executes run to produce it. The
+// second result reports a cache hit (including waiting out another
+// caller's in-flight run). Errors are returned to the caller that executed
+// and leave no entry behind.
+func (c *Cache) Do(key string, run func() (any, error)) (any, bool, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			if e.ready {
+				c.hits++
+				c.mu.Unlock()
+				return e.val, true, nil
+			}
+			c.mu.Unlock()
+			<-e.done
+			// The owner either published (ready) or failed (entry
+			// removed); loop to take whichever branch now applies.
+			continue
+		}
+		e := &cacheEntry{done: make(chan struct{})}
+		c.entries[key] = e
+		c.misses++
+		c.mu.Unlock()
+
+		v, err := run()
+		c.mu.Lock()
+		if err != nil {
+			delete(c.entries, key)
+		} else {
+			e.val, e.ready = v, true
+		}
+		c.mu.Unlock()
+		close(e.done)
+		return v, false, err
+	}
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	// Hits counts Do calls served from a completed entry; Misses counts
+	// calls that executed their run.
+	Hits, Misses uint64
+	// Entries is the number of completed results currently held.
+	Entries int
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		if e.ready {
+			n++
+		}
+	}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: n}
+}
+
+// Reset drops every completed entry and zeroes the counters. In-flight
+// runs complete against their private entries and are dropped.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cacheEntry)
+	c.hits, c.misses = 0, 0
+}

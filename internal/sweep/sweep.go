@@ -1,0 +1,306 @@
+// Package sweep is the parallel sweep engine behind the experiment
+// harness: it fans fully independent, deterministic simulation runs out
+// across a pool of OS workers while guaranteeing results byte-identical to
+// a sequential run.
+//
+// # The contract
+//
+// A Point is one self-contained run: its Run closure builds a fresh
+// simulated machine, executes, and returns a result. Points must not share
+// mutable state with each other — workers execute them concurrently, and
+// the engine provides no synchronization between point bodies. The engine
+// itself is machine-blind: it cannot import the machine packages (enforced
+// by the amolint sweepshare rule), so a worker can never be handed a
+// shared *machine.Machine by construction; machines exist only inside
+// Point.Run closures built by the experiment layer.
+//
+// # Determinism
+//
+// Results are reported in expansion order (index i of RunPoints' input
+// yields result i of its output), regardless of the order workers finish.
+// Because every point is independent, deterministic, and reads no engine
+// state, the result slice for a given point list is byte-for-byte
+// identical whether Workers is 1 or GOMAXPROCS — only wall-clock time
+// changes. Progress callbacks fire in completion order, which is the one
+// deliberately nondeterministic output; route them to stderr, never into
+// results.
+//
+// # Options convention
+//
+// Option structs across the module (BarrierOptions, LockOptions, Options
+// here) follow one convention, implemented by DefaultInt: a field left at
+// its zero value selects the documented default, applied exactly once at
+// the point where the options are consumed. Fields where zero is a
+// meaningful setting document a negative sentinel instead (see
+// Options.Retries).
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amosim/internal/sim"
+)
+
+// Point is one independent, deterministic simulation run.
+type Point struct {
+	// Label identifies the point in errors and progress events
+	// ("barrier AMO p=64 b=4").
+	Label string
+	// Key is the content-address of the run: a digest of every input that
+	// determines its result (see KeyOf). Points with equal keys are
+	// interchangeable, so a cache may satisfy one with another's result.
+	// Empty disables caching for the point.
+	Key string
+	// Run executes the point. It must build all mutable state (the
+	// machine, the synchronization primitives) itself and must not touch
+	// state owned by any other point: workers call Run concurrently.
+	Run func() (any, error)
+}
+
+// Spec expands one experiment family into its ordered points. Results are
+// reported in the same order, so a Spec's expansion order is part of its
+// output contract.
+type Spec interface {
+	// Name labels the family in errors and progress output.
+	Name() string
+	// Points returns the expansion in deterministic order.
+	Points() []Point
+}
+
+// Options tunes Run/RunPoints. The zero value selects every default.
+type Options struct {
+	// Workers is the worker-pool size (default runtime.GOMAXPROCS(0)).
+	// Workers == 1 reproduces the sequential path exactly: points run one
+	// at a time in expansion order.
+	Workers int
+	// Cache, when non-nil, memoizes results by Point.Key across calls and
+	// deduplicates concurrently in-flight points with equal keys.
+	Cache *Cache
+	// Timeout is the per-attempt wall-clock deadline, a safety net against
+	// harness hangs (a simulated deadlock is detected by the event kernel
+	// and returns promptly as an error; this guards the host-level rest).
+	// Zero disables it. A timed-out attempt abandons its goroutine.
+	Timeout time.Duration
+	// Retries bounds re-execution after a failed attempt: 0 selects the
+	// default of one retry, negative disables retries. Simulated deadlocks
+	// are never retried — the machine is deterministic, so the retry
+	// budget exists only for host-level transients such as timeouts.
+	Retries int
+	// Progress, when non-nil, is called exactly once per point as it
+	// completes (in completion order, serialized by the engine).
+	Progress func(Event)
+}
+
+// Event reports one completed point to Options.Progress.
+type Event struct {
+	// Index is the point's position in the expansion.
+	Index int
+	// Label is the point's label.
+	Label string
+	// Done counts completed points including this one; Total is the
+	// expansion size.
+	Done, Total int
+	// Cached reports that the result came from the cache without running.
+	Cached bool
+	// Attempts is the number of executions (0 for cache hits).
+	Attempts int
+	// Err is the point's final error, if it failed.
+	Err error
+}
+
+// PointError wraps a failed point with its identity, so a sweep error
+// names the exact (index, label) cell that failed.
+type PointError struct {
+	// Index is the point's position in the expansion; Label its label.
+	Index int
+	Label string
+	// Attempts is how many times the point was executed.
+	Attempts int
+	// Deadlock reports that the simulated machine deadlocked — a
+	// deterministic outcome, never retried.
+	Deadlock bool
+	// Err is the final attempt's error.
+	Err error
+}
+
+func (e *PointError) Error() string {
+	kind := "failed"
+	if e.Deadlock {
+		kind = "deadlocked"
+	}
+	return fmt.Sprintf("sweep: point %d (%s) %s after %d attempt(s): %v",
+		e.Index, e.Label, kind, e.Attempts, e.Err)
+}
+
+func (e *PointError) Unwrap() error { return e.Err }
+
+// ErrTimeout marks an attempt abandoned at Options.Timeout.
+var ErrTimeout = errors.New("sweep: run exceeded its wall-clock deadline")
+
+// DefaultInt implements the module's options convention: v == 0 selects
+// the documented default def, any other value (including negatives, which
+// option fields may document as explicit "off" sentinels) is returned
+// unchanged.
+func DefaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Run expands spec and executes its points under opts.
+func Run(spec Spec, opts Options) ([]any, error) {
+	return RunPoints(spec.Points(), opts)
+}
+
+// RunPoints executes points across the worker pool and returns their
+// results in expansion order: result i belongs to points[i]. On failure it
+// returns the *PointError of the lowest-indexed failed point (later points
+// may be skipped once a failure is observed; their results are nil).
+func RunPoints(points []Point, opts Options) ([]any, error) {
+	workers := DefaultInt(opts.Workers, runtime.GOMAXPROCS(0))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	retries := DefaultInt(opts.Retries, 1)
+	if retries < 0 {
+		retries = 0
+	}
+
+	results := make([]any, len(points))
+	errs := make([]error, len(points))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var progressMu sync.Mutex
+	completed := 0
+
+	report := func(i int, cached bool, attempts int, err error) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		completed++
+		opts.Progress(Event{
+			Index: i, Label: points[i].Label,
+			Done: completed, Total: len(points),
+			Cached: cached, Attempts: attempts, Err: err,
+		})
+		progressMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				if failed.Load() {
+					continue // drain remaining indexes without running
+				}
+				v, cached, attempts, err := runPoint(points[i], i, opts, retries)
+				results[i], errs[i] = v, err
+				if err != nil {
+					failed.Store(true)
+				}
+				report(i, cached, attempts, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// runPoint executes one point, consulting the cache and applying the retry
+// budget. It reports whether the result was served from cache and how many
+// attempts ran.
+func runPoint(p Point, index int, opts Options, retries int) (v any, cached bool, attempts int, err error) {
+	if p.Run == nil {
+		return nil, false, 0, &PointError{Index: index, Label: p.Label, Err: errors.New("sweep: point has nil Run")}
+	}
+	run := func() (any, error) {
+		var rv any
+		var rerr error
+		rv, attempts, rerr = execute(p, index, opts.Timeout, retries)
+		return rv, rerr
+	}
+	if opts.Cache != nil && p.Key != "" {
+		return cacheRun(opts.Cache, p.Key, run, &attempts)
+	}
+	v, err = run()
+	return v, false, attempts, err
+}
+
+// cacheRun routes run through the cache, normalizing the attempt count to
+// zero on a hit (the point did not execute in this call).
+func cacheRun(c *Cache, key string, run func() (any, error), attempts *int) (any, bool, int, error) {
+	v, hit, err := c.Do(key, run)
+	if hit {
+		*attempts = 0
+	}
+	return v, hit, *attempts, err
+}
+
+// execute runs p's attempts: the first execution plus up to retries
+// re-executions, never retrying a simulated deadlock (deterministic).
+func execute(p Point, index int, timeout time.Duration, retries int) (any, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		v, err := attempt(p.Run, timeout)
+		if err == nil {
+			return v, attempts, nil
+		}
+		var dl *sim.ErrDeadlock
+		deadlock := errors.As(err, &dl)
+		if deadlock || attempts > retries {
+			return nil, attempts, &PointError{
+				Index: index, Label: p.Label,
+				Attempts: attempts, Deadlock: deadlock, Err: err,
+			}
+		}
+	}
+}
+
+// attempt invokes run, bounding it by the wall-clock timeout when one is
+// set. On timeout the attempt's goroutine is abandoned (it holds only
+// point-private state, so nothing it later does can corrupt other runs).
+func attempt(run func() (any, error), timeout time.Duration) (any, error) {
+	if timeout <= 0 {
+		return run()
+	}
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := run()
+		ch <- outcome{v, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-timer.C:
+		return nil, ErrTimeout
+	}
+}

@@ -16,6 +16,7 @@ package syncprim
 
 import (
 	"fmt"
+	"strings"
 
 	"amosim/internal/core"
 	"amosim/internal/machine"
@@ -60,6 +61,25 @@ func (m Mechanism) String() string {
 		return "AMO"
 	}
 	return fmt.Sprintf("Mechanism(%d)", int(m))
+}
+
+// ParseMechanism parses a mechanism name, case-insensitively, in any form
+// String produces ("LL/SC") or the CLIs accept ("llsc"). It round-trips
+// with String: ParseMechanism(m.String()) == m for every mechanism.
+func ParseMechanism(s string) (Mechanism, error) {
+	switch strings.ToLower(s) {
+	case "llsc", "ll/sc":
+		return LLSC, nil
+	case "atomic":
+		return Atomic, nil
+	case "actmsg":
+		return ActMsg, nil
+	case "mao":
+		return MAO, nil
+	case "amo":
+		return AMO, nil
+	}
+	return 0, fmt.Errorf("syncprim: unknown mechanism %q (LLSC, Atomic, ActMsg, MAO, AMO)", s)
 }
 
 // Active-message handler ids used by the ActMsg mechanism.

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+
+	"amosim/internal/config"
+	"amosim/internal/sweep"
+	"amosim/internal/syncprim"
+)
+
+// Sweep point constructors: each workload exposes itself as a sweep.Point
+// so the unified Experiment API can fan application runs across workers
+// and memoize them alongside the microbenchmarks. Each point builds its
+// machine inside Run, shares nothing with other points, and returns a
+// Result.
+
+// StencilPoint returns the sweep point for Stencil(cfg, mech, chunk, iters).
+func StencilPoint(cfg config.Config, mech syncprim.Mechanism, chunk, iters int) sweep.Point {
+	return sweep.Point{
+		Label: fmt.Sprintf("stencil %s p=%d chunk=%d iters=%d", mech, cfg.Processors, chunk, iters),
+		Key:   sweep.KeyOf("workload/stencil", cfg, int(mech), chunk, iters),
+		Run: func() (any, error) {
+			r, err := Stencil(cfg, mech, chunk, iters)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+	}
+}
+
+// PrefixSumPoint returns the sweep point for PrefixSum(cfg, mech).
+func PrefixSumPoint(cfg config.Config, mech syncprim.Mechanism) sweep.Point {
+	return sweep.Point{
+		Label: fmt.Sprintf("prefixsum %s p=%d", mech, cfg.Processors),
+		Key:   sweep.KeyOf("workload/prefixsum", cfg, int(mech)),
+		Run: func() (any, error) {
+			r, err := PrefixSum(cfg, mech)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+	}
+}
+
+// HistogramPoint returns the sweep point for
+// Histogram(cfg, mech, bins, itemsPerCPU).
+func HistogramPoint(cfg config.Config, mech syncprim.Mechanism, bins, itemsPerCPU int) sweep.Point {
+	return sweep.Point{
+		Label: fmt.Sprintf("histogram %s p=%d bins=%d items=%d", mech, cfg.Processors, bins, itemsPerCPU),
+		Key:   sweep.KeyOf("workload/histogram", cfg, int(mech), bins, itemsPerCPU),
+		Run: func() (any, error) {
+			r, err := Histogram(cfg, mech, bins, itemsPerCPU)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+	}
+}

@@ -1,0 +1,353 @@
+package amosim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"amosim/internal/sweep"
+	"amosim/internal/workload"
+)
+
+// This file is the unified Experiment API: every sweep in the harness —
+// the paper tables, the ablations, the application kernels, the CLIs — is
+// expressed as a sweep.Spec (an ordered expansion into independent
+// sweep.Points) and executed by the parallel sweep engine in
+// internal/sweep. The engine fans points out across SweepWorkers OS
+// workers, memoizes results in a shared content-addressed cache, applies a
+// per-point wall-clock deadline with one bounded retry, and reports
+// results in expansion order, byte-identical to a sequential run.
+
+// Aliases for the sweep engine's contract types, so experiment code reads
+// in one vocabulary.
+type (
+	// SweepPoint is one independent, deterministic simulation run.
+	SweepPoint = sweep.Point
+	// SweepSpec expands one experiment family into ordered points.
+	SweepSpec = sweep.Spec
+	// SweepEvent reports one completed point to a progress callback.
+	SweepEvent = sweep.Event
+	// SweepPointError names the exact sweep cell that failed.
+	SweepPointError = sweep.PointError
+)
+
+// sweepPointTimeout is the per-attempt wall-clock safety net for harness
+// runs. Simulated deadlocks are detected by the event kernel and return
+// promptly; this bounds host-level hangs only, so it is generous.
+const sweepPointTimeout = 5 * time.Minute
+
+var (
+	sweepMu       sync.Mutex
+	sweepWorkers  int // 0 selects runtime.GOMAXPROCS(0)
+	sweepProgress func(SweepEvent)
+	sweepCache    = sweep.NewCache()
+)
+
+// SetSweepWorkers sets the worker-pool size used by RunSweep and every
+// table generator, returning the previous setting. n <= 0 restores the
+// default (runtime.GOMAXPROCS(0)); n == 1 forces the sequential path.
+// Results are byte-identical for every worker count — only wall-clock time
+// changes.
+func SetSweepWorkers(n int) int {
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	prev := sweepWorkers
+	if n <= 0 {
+		n = 0
+	}
+	sweepWorkers = n
+	if prev == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return prev
+}
+
+// SweepWorkers reports the effective worker-pool size.
+func SweepWorkers() int {
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	if sweepWorkers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return sweepWorkers
+}
+
+// ResetSweepCache drops every memoized sweep result. Sweeps after a reset
+// re-simulate from scratch; results are unchanged (the cache is a pure
+// memoization of deterministic runs).
+func ResetSweepCache() { sweepCache.Reset() }
+
+// SweepCacheStats reports hit/miss counters of the shared result cache.
+func SweepCacheStats() sweep.CacheStats { return sweepCache.Stats() }
+
+// SetSweepProgress installs a callback invoked once per completed point of
+// every subsequent sweep (nil disables). Events arrive in completion
+// order, the engine's one nondeterministic output — route them to stderr,
+// never into results.
+func SetSweepProgress(fn func(SweepEvent)) {
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	sweepProgress = fn
+}
+
+// sweepOptions assembles the engine options for the package harness.
+func sweepOptions() sweep.Options {
+	sweepMu.Lock()
+	workers := sweepWorkers
+	progress := sweepProgress
+	sweepMu.Unlock()
+	return sweep.Options{
+		Workers:  workers,
+		Cache:    sweepCache,
+		Timeout:  sweepPointTimeout,
+		Progress: progress,
+	}
+}
+
+// RunSweep expands spec and executes its points on the package sweep
+// engine. Results are in expansion order; on failure the error is a
+// *SweepPointError naming the failed cell.
+func RunSweep(spec SweepSpec) ([]any, error) {
+	return sweep.Run(spec, sweepOptions())
+}
+
+// RunSweepPoints executes an explicit point list on the package engine.
+func RunSweepPoints(points []SweepPoint) ([]any, error) {
+	return sweep.RunPoints(points, sweepOptions())
+}
+
+// sweepValues converts an engine result slice to its concrete type.
+func sweepValues[T any](vals []any) []T {
+	out := make([]T, len(vals))
+	for i, v := range vals {
+		out[i] = v.(T)
+	}
+	return out
+}
+
+// BarrierPoint returns the sweep point for one barrier experiment:
+// RunBarrier(cfg, mech, opts) on a fresh machine. The key digests the full
+// (config, mechanism, defaulted options) input, so identical cells across
+// sweeps — Table 2 and Figure 5 share every point, tree sweeps share their
+// flat references — are simulated once.
+func BarrierPoint(cfg Config, mech Mechanism, opts BarrierOptions) SweepPoint {
+	opts = opts.WithDefaults()
+	return SweepPoint{
+		Label: fmt.Sprintf("barrier %s p=%d b=%d", mech, cfg.Processors, opts.Branching),
+		Key:   sweep.KeyOf("barrier", cfg, int(mech), opts),
+		Run: func() (any, error) {
+			r, err := RunBarrier(cfg, mech, opts)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+	}
+}
+
+// LockPoint returns the sweep point for one lock experiment:
+// RunLock(cfg, kind, mech, opts) on a fresh machine.
+func LockPoint(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) SweepPoint {
+	opts = opts.WithDefaults()
+	return SweepPoint{
+		Label: fmt.Sprintf("lock %s %s p=%d", kind, mech, cfg.Processors),
+		Key:   sweep.KeyOf("lock", cfg, int(kind), int(mech), opts),
+		Run: func() (any, error) {
+			r, err := RunLock(cfg, kind, mech, opts)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+	}
+}
+
+// BarrierExperiment is the unified barrier sweep: the flat (or
+// fixed-branching) barrier at every scale in Procs under every mechanism
+// in Mechanisms, expanded scale-major. It is the Spec behind Table 2 and
+// Figure 5.
+type BarrierExperiment struct {
+	// Procs lists the scales; each uses DefaultConfig.
+	Procs []int
+	// Mechs lists the mechanisms (nil selects all five, paper order).
+	Mechs []Mechanism
+	// Options applies to every cell.
+	Options BarrierOptions
+}
+
+// Name implements SweepSpec.
+func (e BarrierExperiment) Name() string { return "barrier" }
+
+// Points implements SweepSpec: for each scale, for each mechanism.
+func (e BarrierExperiment) Points() []SweepPoint {
+	mechs := e.Mechs
+	if mechs == nil {
+		mechs = Mechanisms
+	}
+	pts := make([]SweepPoint, 0, len(e.Procs)*len(mechs))
+	for _, p := range e.Procs {
+		for _, mech := range mechs {
+			pts = append(pts, BarrierPoint(DefaultConfig(p), mech, e.Options))
+		}
+	}
+	return pts
+}
+
+// LockExperiment is the unified lock sweep: every (scale, mechanism, lock
+// kind) cell, expanded scale-major then mechanism then kind. It is the
+// Spec behind Table 4.
+type LockExperiment struct {
+	// Procs lists the scales; each uses DefaultConfig.
+	Procs []int
+	// Mechs lists the mechanisms (nil selects all five, paper order).
+	Mechs []Mechanism
+	// Kinds lists the lock algorithms (nil selects Ticket and Array, the
+	// paper's Table 4 pair).
+	Kinds []LockKind
+	// Options applies to every cell.
+	Options LockOptions
+}
+
+// Name implements SweepSpec.
+func (e LockExperiment) Name() string { return "lock" }
+
+// Points implements SweepSpec.
+func (e LockExperiment) Points() []SweepPoint {
+	mechs := e.Mechs
+	if mechs == nil {
+		mechs = Mechanisms
+	}
+	kinds := e.Kinds
+	if kinds == nil {
+		kinds = []LockKind{Ticket, Array}
+	}
+	pts := make([]SweepPoint, 0, len(e.Procs)*len(mechs)*len(kinds))
+	for _, p := range e.Procs {
+		for _, mech := range mechs {
+			for _, kind := range kinds {
+				pts = append(pts, LockPoint(DefaultConfig(p), kind, mech, e.Options))
+			}
+		}
+	}
+	return pts
+}
+
+// WorkloadApps lists the verified application kernels in presentation
+// order, as accepted by WorkloadPoint.
+var WorkloadApps = []string{"stencil", "prefixsum", "histogram"}
+
+// Standard workload parameters (the harness configuration of experiment
+// E8): stencil 4 words/CPU x 4 sweeps, histogram 8 bins x 12 items/CPU.
+const (
+	workloadStencilChunk   = 4
+	workloadStencilIters   = 4
+	workloadHistogramBins  = 8
+	workloadHistogramItems = 12
+)
+
+// WorkloadPoint returns the sweep point for one verified application
+// kernel ("stencil", "prefixsum" or "histogram") at the harness's standard
+// parameters. The kernel verifies its own output against a sequential
+// oracle, so a synchronization bug fails the point instead of skewing it.
+func WorkloadPoint(app string, cfg Config, mech Mechanism) (SweepPoint, error) {
+	switch app {
+	case "stencil":
+		return workload.StencilPoint(cfg, mech, workloadStencilChunk, workloadStencilIters), nil
+	case "prefixsum":
+		return workload.PrefixSumPoint(cfg, mech), nil
+	case "histogram":
+		return workload.HistogramPoint(cfg, mech, workloadHistogramBins, workloadHistogramItems), nil
+	}
+	return SweepPoint{}, fmt.Errorf("amosim: unknown workload %q (have %v)", app, WorkloadApps)
+}
+
+// WorkloadExperiment is the unified application sweep: every kernel in
+// Apps at every scale under every mechanism, expanded scale-major then app
+// then mechanism. It is the Spec behind the applications table.
+type WorkloadExperiment struct {
+	// Procs lists the scales; each uses DefaultConfig.
+	Procs []int
+	// Mechs lists the mechanisms (nil selects LLSC, MAO, AMO — the
+	// baseline, the conventional memory-side design, and the paper's).
+	Mechs []Mechanism
+	// Apps lists the kernels (nil selects WorkloadApps).
+	Apps []string
+}
+
+// Name implements SweepSpec.
+func (e WorkloadExperiment) Name() string { return "workload" }
+
+// Points implements SweepSpec. Unknown app names panic: the expansion is
+// driven by package-internal tables, so a bad name is a programming error.
+func (e WorkloadExperiment) Points() []SweepPoint {
+	mechs := e.Mechs
+	if mechs == nil {
+		mechs = []Mechanism{LLSC, MAO, AMO}
+	}
+	apps := e.Apps
+	if apps == nil {
+		apps = WorkloadApps
+	}
+	pts := make([]SweepPoint, 0, len(e.Procs)*len(apps)*len(mechs))
+	for _, p := range e.Procs {
+		cfg := DefaultConfig(p)
+		for _, app := range apps {
+			for _, mech := range mechs {
+				pt, err := WorkloadPoint(app, cfg, mech)
+				if err != nil {
+					panic(err)
+				}
+				pts = append(pts, pt)
+			}
+		}
+	}
+	return pts
+}
+
+// SweepResult is one (scale, mechanism) cell of a barrier sweep, in
+// expansion order. Sweeps return ordered slices — not maps — so iterating
+// a sweep result is deterministic without sorting boilerplate.
+type SweepResult struct {
+	Procs     int
+	Mechanism Mechanism
+	Result    BarrierResult
+}
+
+// SweepResults is an ordered barrier sweep, scale-major.
+type SweepResults []SweepResult
+
+// At returns the cell for (procs, mech). It panics if the sweep does not
+// contain the cell: a sweep always contains every cell it was asked for,
+// so a miss is a harness programming error, not a run condition.
+func (rs SweepResults) At(procs int, mech Mechanism) BarrierResult {
+	for _, r := range rs {
+		if r.Procs == procs && r.Mechanism == mech {
+			return r.Result
+		}
+	}
+	panic(fmt.Sprintf("amosim: sweep has no cell (procs=%d, %v)", procs, mech))
+}
+
+// LockSweepResult is one (scale, mechanism, kind) cell of a lock sweep.
+type LockSweepResult struct {
+	Procs     int
+	Mechanism Mechanism
+	Kind      LockKind
+	Result    LockResult
+}
+
+// LockSweepResults is an ordered lock sweep, scale-major then mechanism
+// then kind.
+type LockSweepResults []LockSweepResult
+
+// At returns the cell for (procs, mech, kind); it panics on a missing
+// cell (see SweepResults.At).
+func (rs LockSweepResults) At(procs int, mech Mechanism, kind LockKind) LockResult {
+	for _, r := range rs {
+		if r.Procs == procs && r.Mechanism == mech && r.Kind == kind {
+			return r.Result
+		}
+	}
+	panic(fmt.Sprintf("amosim: lock sweep has no cell (procs=%d, %v, %v)", procs, mech, kind))
+}

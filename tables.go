@@ -4,9 +4,17 @@ import (
 	"fmt"
 
 	"amosim/internal/stats"
-	"amosim/internal/syncprim"
+	"amosim/internal/sweep"
 	"amosim/internal/workload"
 )
+
+// Every table and figure in this file expands its experiment grid into
+// sweep points (see sweep.go) and executes them on the parallel sweep
+// engine: cells simulate concurrently across SweepWorkers workers, shared
+// cells (Table 2 and Figure 5 cover the same grid; tree sweeps share their
+// flat references) are simulated once via the result cache, and rows are
+// assembled from the ordered result slice, so output is byte-identical at
+// any worker count.
 
 // Paper-standard processor-count sweeps.
 var (
@@ -18,19 +26,22 @@ var (
 	Figure7Procs = []int{128, 256}
 )
 
-// BarrierSweep runs the flat barrier for every mechanism at every scale and
-// returns results keyed [procs][mechanism].
-func BarrierSweep(procs []int, opts BarrierOptions) (map[int]map[Mechanism]BarrierResult, error) {
-	out := make(map[int]map[Mechanism]BarrierResult)
+// BarrierSweep runs the flat barrier for every mechanism at every scale
+// and returns the cells in expansion order: scale-major, mechanisms in
+// paper order within each scale.
+func BarrierSweep(procs []int, opts BarrierOptions) (SweepResults, error) {
+	spec := BarrierExperiment{Procs: procs, Options: opts}
+	vals, err := RunSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[BarrierResult](vals)
+	out := make(SweepResults, 0, len(rs))
+	i := 0
 	for _, p := range procs {
-		cfg := DefaultConfig(p)
-		out[p] = make(map[Mechanism]BarrierResult)
 		for _, mech := range Mechanisms {
-			r, err := RunBarrier(cfg, mech, opts)
-			if err != nil {
-				return nil, err
-			}
-			out[p][mech] = r
+			out = append(out, SweepResult{Procs: p, Mechanism: mech, Result: rs[i]})
+			i++
 		}
 	}
 	return out, nil
@@ -48,13 +59,13 @@ func Table2(procs []int, opts BarrierOptions) (*stats.Table, error) {
 		Header: []string{"CPUs", "ActMsg", "Atomic", "MAO", "AMO"},
 	}
 	for _, p := range procs {
-		base := res[p][LLSC].CyclesPerBarrier
+		base := res.At(p, LLSC).CyclesPerBarrier
 		t.AddRow(
 			stats.I(p),
-			stats.F2(Speedup(base, res[p][ActMsg].CyclesPerBarrier)),
-			stats.F2(Speedup(base, res[p][Atomic].CyclesPerBarrier)),
-			stats.F2(Speedup(base, res[p][MAO].CyclesPerBarrier)),
-			stats.F2(Speedup(base, res[p][AMO].CyclesPerBarrier)),
+			stats.F2(Speedup(base, res.At(p, ActMsg).CyclesPerBarrier)),
+			stats.F2(Speedup(base, res.At(p, Atomic).CyclesPerBarrier)),
+			stats.F2(Speedup(base, res.At(p, MAO).CyclesPerBarrier)),
+			stats.F2(Speedup(base, res.At(p, AMO).CyclesPerBarrier)),
 		)
 	}
 	return t, nil
@@ -74,42 +85,67 @@ func Figure5(procs []int, opts BarrierOptions) (*stats.Table, error) {
 	for _, p := range procs {
 		t.AddRow(
 			stats.I(p),
-			stats.F1(res[p][LLSC].CyclesPerProc),
-			stats.F1(res[p][ActMsg].CyclesPerProc),
-			stats.F1(res[p][Atomic].CyclesPerProc),
-			stats.F1(res[p][MAO].CyclesPerProc),
-			stats.F1(res[p][AMO].CyclesPerProc),
+			stats.F1(res.At(p, LLSC).CyclesPerProc),
+			stats.F1(res.At(p, ActMsg).CyclesPerProc),
+			stats.F1(res.At(p, Atomic).CyclesPerProc),
+			stats.F1(res.At(p, MAO).CyclesPerProc),
+			stats.F1(res.At(p, AMO).CyclesPerProc),
 		)
 	}
 	return t, nil
 }
 
 // TreeSweep runs the best-branching tree barrier for every mechanism plus
-// the flat AMO reference at every scale.
-func TreeSweep(procs []int, opts BarrierOptions) (map[int]map[Mechanism]BarrierResult, map[int]BarrierResult, map[int]BarrierResult, error) {
-	tree := make(map[int]map[Mechanism]BarrierResult)
-	flatLLSC := make(map[int]BarrierResult)
-	flatAMO := make(map[int]BarrierResult)
+// flat LL/SC and AMO references at every scale, in ordered slices. The
+// whole grid — every branching factor of every (scale, mechanism) cell,
+// plus the flat references — is one sweep, so all candidate trees simulate
+// in parallel; the best-branching reduction happens afterwards, in
+// expansion order (ascending branching, strict less-than), which keeps the
+// selected tree independent of worker count.
+func TreeSweep(procs []int, opts BarrierOptions) (tree, flatLLSC, flatAMO SweepResults, err error) {
+	type cell struct {
+		p    int
+		mech Mechanism
+		flat bool
+	}
+	var pts []SweepPoint
+	var cells []cell
 	for _, p := range procs {
 		cfg := DefaultConfig(p)
-		tree[p] = make(map[Mechanism]BarrierResult)
 		for _, mech := range Mechanisms {
-			r, err := BestTreeBarrier(cfg, mech, opts)
-			if err != nil {
-				return nil, nil, nil, err
+			for _, b := range TreeBranchings(p) {
+				o := opts
+				o.Branching = b
+				pts = append(pts, BarrierPoint(cfg, mech, o))
+				cells = append(cells, cell{p, mech, false})
 			}
-			tree[p][mech] = r
 		}
-		fl, err := RunBarrier(cfg, LLSC, opts)
-		if err != nil {
-			return nil, nil, nil, err
+		pts = append(pts, BarrierPoint(cfg, LLSC, opts))
+		cells = append(cells, cell{p, LLSC, true})
+		pts = append(pts, BarrierPoint(cfg, AMO, opts))
+		cells = append(cells, cell{p, AMO, true})
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i, r := range sweepValues[BarrierResult](vals) {
+		c := cells[i]
+		if c.flat {
+			if c.mech == LLSC {
+				flatLLSC = append(flatLLSC, SweepResult{Procs: c.p, Mechanism: c.mech, Result: r})
+			} else {
+				flatAMO = append(flatAMO, SweepResult{Procs: c.p, Mechanism: c.mech, Result: r})
+			}
+			continue
 		}
-		flatLLSC[p] = fl
-		fa, err := RunBarrier(cfg, AMO, opts)
-		if err != nil {
-			return nil, nil, nil, err
+		if n := len(tree); n > 0 && tree[n-1].Procs == c.p && tree[n-1].Mechanism == c.mech {
+			if r.CyclesPerBarrier < tree[n-1].Result.CyclesPerBarrier {
+				tree[n-1].Result = r
+			}
+		} else {
+			tree = append(tree, SweepResult{Procs: c.p, Mechanism: c.mech, Result: r})
 		}
-		flatAMO[p] = fa
 	}
 	return tree, flatLLSC, flatAMO, nil
 }
@@ -127,15 +163,15 @@ func Table3(procs []int, opts BarrierOptions) (*stats.Table, error) {
 		Header: []string{"CPUs", "LL/SC+tree", "ActMsg+tree", "Atomic+tree", "MAO+tree", "AMO+tree", "AMO"},
 	}
 	for _, p := range procs {
-		base := flatLLSC[p].CyclesPerBarrier
+		base := flatLLSC.At(p, LLSC).CyclesPerBarrier
 		t.AddRow(
 			stats.I(p),
-			stats.F2(Speedup(base, tree[p][LLSC].CyclesPerBarrier)),
-			stats.F2(Speedup(base, tree[p][ActMsg].CyclesPerBarrier)),
-			stats.F2(Speedup(base, tree[p][Atomic].CyclesPerBarrier)),
-			stats.F2(Speedup(base, tree[p][MAO].CyclesPerBarrier)),
-			stats.F2(Speedup(base, tree[p][AMO].CyclesPerBarrier)),
-			stats.F2(Speedup(base, flatAMO[p].CyclesPerBarrier)),
+			stats.F2(Speedup(base, tree.At(p, LLSC).CyclesPerBarrier)),
+			stats.F2(Speedup(base, tree.At(p, ActMsg).CyclesPerBarrier)),
+			stats.F2(Speedup(base, tree.At(p, Atomic).CyclesPerBarrier)),
+			stats.F2(Speedup(base, tree.At(p, MAO).CyclesPerBarrier)),
+			stats.F2(Speedup(base, tree.At(p, AMO).CyclesPerBarrier)),
+			stats.F2(Speedup(base, flatAMO.At(p, AMO).CyclesPerBarrier)),
 		)
 	}
 	return t, nil
@@ -155,31 +191,32 @@ func Figure6(procs []int, opts BarrierOptions) (*stats.Table, error) {
 	for _, p := range procs {
 		t.AddRow(
 			stats.I(p),
-			stats.F1(tree[p][LLSC].CyclesPerProc),
-			stats.F1(tree[p][ActMsg].CyclesPerProc),
-			stats.F1(tree[p][Atomic].CyclesPerProc),
-			stats.F1(tree[p][MAO].CyclesPerProc),
-			stats.F1(tree[p][AMO].CyclesPerProc),
+			stats.F1(tree.At(p, LLSC).CyclesPerProc),
+			stats.F1(tree.At(p, ActMsg).CyclesPerProc),
+			stats.F1(tree.At(p, Atomic).CyclesPerProc),
+			stats.F1(tree.At(p, MAO).CyclesPerProc),
+			stats.F1(tree.At(p, AMO).CyclesPerProc),
 		)
 	}
 	return t, nil
 }
 
-// LockSweep runs ticket and array locks for every mechanism at every scale,
-// keyed [procs][mechanism][kind].
-func LockSweep(procs []int, opts LockOptions) (map[int]map[Mechanism]map[LockKind]LockResult, error) {
-	out := make(map[int]map[Mechanism]map[LockKind]LockResult)
+// LockSweep runs ticket and array locks for every mechanism at every
+// scale, in expansion order: scale-major, then mechanism, then kind.
+func LockSweep(procs []int, opts LockOptions) (LockSweepResults, error) {
+	spec := LockExperiment{Procs: procs, Options: opts}
+	vals, err := RunSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[LockResult](vals)
+	out := make(LockSweepResults, 0, len(rs))
+	i := 0
 	for _, p := range procs {
-		cfg := DefaultConfig(p)
-		out[p] = make(map[Mechanism]map[LockKind]LockResult)
 		for _, mech := range Mechanisms {
-			out[p][mech] = make(map[LockKind]LockResult)
 			for _, kind := range []LockKind{Ticket, Array} {
-				r, err := RunLock(cfg, kind, mech, opts)
-				if err != nil {
-					return nil, err
-				}
-				out[p][mech][kind] = r
+				out = append(out, LockSweepResult{Procs: p, Mechanism: mech, Kind: kind, Result: rs[i]})
+				i++
 			}
 		}
 	}
@@ -198,11 +235,11 @@ func Table4(procs []int, opts LockOptions) (*stats.Table, error) {
 		Header: []string{"CPUs", "LL/SC tkt", "LL/SC arr", "ActMsg tkt", "ActMsg arr", "Atomic tkt", "Atomic arr", "MAO tkt", "MAO arr", "AMO tkt", "AMO arr"},
 	}
 	for _, p := range procs {
-		base := res[p][LLSC][Ticket].CyclesPerPass
+		base := res.At(p, LLSC, Ticket).CyclesPerPass
 		row := []string{stats.I(p)}
 		for _, mech := range []Mechanism{LLSC, ActMsg, Atomic, MAO, AMO} {
 			for _, kind := range []LockKind{Ticket, Array} {
-				row = append(row, stats.F2(Speedup(base, res[p][mech][kind].CyclesPerPass)))
+				row = append(row, stats.F2(Speedup(base, res.At(p, mech, kind).CyclesPerPass)))
 			}
 		}
 		t.AddRow(row...)
@@ -213,24 +250,27 @@ func Table4(procs []int, opts LockOptions) (*stats.Table, error) {
 // Figure7 reproduces the paper's Figure 7: network traffic of ticket locks
 // normalized to the LL/SC version, at large scales.
 func Figure7(procs []int, opts LockOptions) (*stats.Table, error) {
+	spec := LockExperiment{Procs: procs, Kinds: []LockKind{Ticket}, Options: opts}
+	vals, err := RunSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[LockResult](vals)
 	t := &stats.Table{
 		Title:  "Figure 7: ticket-lock network traffic (byte-hops) normalized to LL/SC",
 		Header: []string{"CPUs", "LL/SC", "ActMsg", "Atomic", "MAO", "AMO"},
 	}
+	i := 0
 	for _, p := range procs {
-		cfg := DefaultConfig(p)
 		row := []string{stats.I(p)}
 		var base float64
-		for _, mech := range []Mechanism{LLSC, ActMsg, Atomic, MAO, AMO} {
-			r, err := RunLock(cfg, Ticket, mech, opts)
-			if err != nil {
-				return nil, err
-			}
-			traffic := float64(r.ByteHops)
-			if mech == LLSC {
+		for range Mechanisms {
+			traffic := float64(rs[i].ByteHops)
+			if i%len(Mechanisms) == 0 {
 				base = traffic
 			}
 			row = append(row, stats.F2(traffic/base))
+			i++
 		}
 		t.AddRow(row...)
 	}
@@ -240,16 +280,31 @@ func Figure7(procs []int, opts LockOptions) (*stats.Table, error) {
 // Figure1 reproduces the paper's Figure 1 message-count comparison: one-way
 // network messages for a three-processor barrier arrival phase.
 func Figure1() (*stats.Table, error) {
+	pts := make([]SweepPoint, len(Mechanisms))
+	for i, mech := range Mechanisms {
+		mech := mech
+		pts[i] = SweepPoint{
+			Label: fmt.Sprintf("figure1 %s", mech),
+			Key:   sweep.KeyOf("figure1", int(mech)),
+			Run: func() (any, error) {
+				n, err := IncrementMessageCount(mech)
+				if err != nil {
+					return nil, err
+				}
+				return n, nil
+			},
+		}
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:  "Figure 1: one-way network messages, 3-CPU barrier arrival (paper: LL/SC 18, AMO 6)",
 		Header: []string{"Mechanism", "Messages"},
 	}
-	for _, mech := range Mechanisms {
-		n, err := IncrementMessageCount(mech)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(mech.String(), stats.U(n))
+	for i, mech := range Mechanisms {
+		t.AddRow(mech.String(), stats.U(vals[i].(uint64)))
 	}
 	return t, nil
 }
@@ -257,20 +312,30 @@ func Figure1() (*stats.Table, error) {
 // AblationAMUCache compares AMO barrier latency with the AMU operand cache
 // disabled, one word, and the default eight words (design point A1).
 func AblationAMUCache(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	words := []int{0, 1, 8}
+	var pts []SweepPoint
+	for _, p := range procs {
+		for _, w := range words {
+			cfg := DefaultConfig(p)
+			cfg.AMUCacheWords = w
+			pts = append(pts, BarrierPoint(cfg, AMO, opts))
+		}
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[BarrierResult](vals)
 	t := &stats.Table{
 		Title:  "Ablation A1: AMO barrier cycles/barrier vs AMU cache size",
 		Header: []string{"CPUs", "0 words", "1 word", "8 words"},
 	}
+	i := 0
 	for _, p := range procs {
 		row := []string{stats.I(p)}
-		for _, words := range []int{0, 1, 8} {
-			cfg := DefaultConfig(p)
-			cfg.AMUCacheWords = words
-			r, err := RunBarrier(cfg, AMO, opts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.F1(r.CyclesPerBarrier))
+		for range words {
+			row = append(row, stats.F1(rs[i].CyclesPerBarrier))
+			i++
 		}
 		t.AddRow(row...)
 	}
@@ -282,22 +347,24 @@ func AblationAMUCache(procs []int, opts BarrierOptions) (*stats.Table, error) {
 // incremented with FlagUpdateAlways so each arrival pushes word updates to
 // all spinners.
 func AblationUpdate(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	aopts := opts
+	aopts.AMOUpdateAlways = true
+	var pts []SweepPoint
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		pts = append(pts, BarrierPoint(cfg, AMO, opts), BarrierPoint(cfg, AMO, aopts))
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[BarrierResult](vals)
 	t := &stats.Table{
 		Title:  "Ablation A2: AMO barrier, delayed vs always update (cycles/barrier)",
 		Header: []string{"CPUs", "delayed", "always", "msgs delayed", "msgs always"},
 	}
-	for _, p := range procs {
-		cfg := DefaultConfig(p)
-		delayed, err := RunBarrier(cfg, AMO, opts)
-		if err != nil {
-			return nil, err
-		}
-		aopts := opts
-		aopts.AMOUpdateAlways = true
-		always, err := RunBarrier(cfg, AMO, aopts)
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range procs {
+		delayed, always := rs[2*i], rs[2*i+1]
 		t.AddRow(stats.I(p),
 			stats.F1(delayed.CyclesPerBarrier), stats.F1(always.CyclesPerBarrier),
 			stats.F1(delayed.NetMessagesPerBarrier), stats.F1(always.NetMessagesPerBarrier))
@@ -312,31 +379,23 @@ func AblationUpdate(procs []int, opts BarrierOptions) (*stats.Table, error) {
 // measured directly: the same program gets faster by swapping the
 // synchronization mechanism.
 func ApplicationTable(procs []int) (*stats.Table, error) {
+	spec := WorkloadExperiment{Procs: procs}
+	vals, err := RunSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[workload.Result](vals)
 	t := &stats.Table{
 		Title:  "Applications: total cycles (verified kernels)",
 		Header: []string{"app", "CPUs", "LL/SC", "MAO", "AMO", "AMO speedup"},
 	}
-	mechs := []syncprim.Mechanism{LLSC, MAO, AMO}
+	const mechsPerApp = 3 // the spec's default LLSC, MAO, AMO columns
+	i := 0
 	for _, p := range procs {
-		cfg := DefaultConfig(p)
-		apps := []struct {
-			name string
-			run  func(Mechanism) (workload.Result, error)
-		}{
-			{"stencil", func(m Mechanism) (workload.Result, error) { return workload.Stencil(cfg, m, 4, 4) }},
-			{"prefixsum", func(m Mechanism) (workload.Result, error) { return workload.PrefixSum(cfg, m) }},
-			{"histogram", func(m Mechanism) (workload.Result, error) { return workload.Histogram(cfg, m, 8, 12) }},
-		}
-		for _, app := range apps {
-			var cycles [3]uint64
-			for i, mech := range mechs {
-				r, err := app.run(mech)
-				if err != nil {
-					return nil, err
-				}
-				cycles[i] = r.Cycles
-			}
-			t.AddRow(app.name, stats.I(p),
+		for _, app := range WorkloadApps {
+			cycles := [mechsPerApp]uint64{rs[i].Cycles, rs[i+1].Cycles, rs[i+2].Cycles}
+			i += mechsPerApp
+			t.AddRow(app, stats.I(p),
 				stats.U(cycles[0]), stats.U(cycles[1]), stats.U(cycles[2]),
 				stats.F2(float64(cycles[0])/float64(cycles[2])))
 		}
@@ -349,31 +408,31 @@ func ApplicationTable(procs []int) (*stats.Table, error) {
 // the barrier variable itself) versus optimized, with AMO's naive coding
 // as the reference that needs no such trick.
 func AblationNaiveCoding(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	nopts := opts
+	nopts.NaiveConventional = true
+	var pts []SweepPoint
+	for _, p := range procs {
+		cfg := DefaultConfig(p)
+		for _, mech := range []Mechanism{LLSC, MAO} {
+			pts = append(pts, BarrierPoint(cfg, mech, nopts), BarrierPoint(cfg, mech, opts))
+		}
+		pts = append(pts, BarrierPoint(cfg, AMO, opts))
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[BarrierResult](vals)
 	t := &stats.Table{
 		Title:  "Ablation A5: naive (Fig 3a) vs optimized (Fig 3b) conventional barriers, cycles/barrier",
 		Header: []string{"CPUs", "LL/SC naive", "LL/SC opt", "MAO naive", "MAO opt", "AMO"},
 	}
-	for _, p := range procs {
-		cfg := DefaultConfig(p)
+	const perScale = 5 // LL/SC naive+opt, MAO naive+opt, AMO
+	for i, p := range procs {
 		row := []string{stats.I(p)}
-		for _, mech := range []Mechanism{LLSC, MAO} {
-			n := opts
-			n.NaiveConventional = true
-			naive, err := RunBarrier(cfg, mech, n)
-			if err != nil {
-				return nil, err
-			}
-			optimized, err := RunBarrier(cfg, mech, opts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.F1(naive.CyclesPerBarrier), stats.F1(optimized.CyclesPerBarrier))
+		for _, r := range rs[i*perScale : (i+1)*perScale] {
+			row = append(row, stats.F1(r.CyclesPerBarrier))
 		}
-		amo, err := RunBarrier(cfg, AMO, opts)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, stats.F1(amo.CyclesPerBarrier))
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -382,23 +441,24 @@ func AblationNaiveCoding(procs []int, opts BarrierOptions) (*stats.Table, error)
 // AblationMulticast (A6) measures the paper's footnote 2: AMO barriers on
 // a network with hardware multicast for the update wave.
 func AblationMulticast(procs []int, opts BarrierOptions) (*stats.Table, error) {
+	var pts []SweepPoint
+	for _, p := range procs {
+		base := DefaultConfig(p)
+		mc := DefaultConfig(p)
+		mc.MulticastUpdates = true
+		pts = append(pts, BarrierPoint(base, AMO, opts), BarrierPoint(mc, AMO, opts))
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[BarrierResult](vals)
 	t := &stats.Table{
 		Title:  "Ablation A6: AMO barrier with serialized vs multicast updates, cycles/barrier",
 		Header: []string{"CPUs", "serialized", "multicast"},
 	}
-	for _, p := range procs {
-		base := DefaultConfig(p)
-		serial, err := RunBarrier(base, AMO, opts)
-		if err != nil {
-			return nil, err
-		}
-		mc := DefaultConfig(p)
-		mc.MulticastUpdates = true
-		multi, err := RunBarrier(mc, AMO, opts)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(stats.I(p), stats.F1(serial.CyclesPerBarrier), stats.F1(multi.CyclesPerBarrier))
+	for i, p := range procs {
+		t.AddRow(stats.I(p), stats.F1(rs[2*i].CyclesPerBarrier), stats.F1(rs[2*i+1].CyclesPerBarrier))
 	}
 	return t, nil
 }
@@ -413,21 +473,26 @@ func appStencil(cfg Config, mech Mechanism) (uint64, error) {
 // for the LL/SC and AMO mechanisms (our extension table): the paper argues
 // complex queue locks become unnecessary with AMOs.
 func ExtensionMCS(procs []int, opts LockOptions) (*stats.Table, error) {
+	spec := LockExperiment{
+		Procs:   procs,
+		Mechs:   []Mechanism{LLSC, AMO},
+		Kinds:   []LockKind{Ticket, Array, MCS},
+		Options: opts,
+	}
+	vals, err := RunSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[LockResult](vals)
 	t := &stats.Table{
 		Title:  "Extension: cycles per lock pass — ticket vs array vs MCS",
 		Header: []string{"CPUs", "LL/SC tkt", "LL/SC arr", "LL/SC mcs", "AMO tkt", "AMO arr", "AMO mcs"},
 	}
-	for _, p := range procs {
-		cfg := DefaultConfig(p)
+	const perScale = 6 // 2 mechanisms x 3 kinds
+	for i, p := range procs {
 		row := []string{stats.I(p)}
-		for _, mech := range []Mechanism{LLSC, AMO} {
-			for _, kind := range []LockKind{Ticket, Array, MCS} {
-				r, err := RunLock(cfg, kind, mech, opts)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, stats.F1(r.CyclesPerPass))
-			}
+		for _, r := range rs[i*perScale : (i+1)*perScale] {
+			row = append(row, stats.F1(r.CyclesPerPass))
 		}
 		t.AddRow(row...)
 	}
@@ -439,22 +504,30 @@ func ExtensionMCS(procs []int, opts LockOptions) (*stats.Table, error) {
 // AMO latency is dominated by one network round trip plus the update wave,
 // so topology shifts both mechanisms without changing who wins.
 func AblationInterconnect(procs []int, opts BarrierOptions) (*stats.Table, error) {
-	t := &stats.Table{
-		Title:  "Ablation A4: barrier cycles/barrier, fat tree vs 2D torus",
-		Header: []string{"CPUs", "LL/SC fattree", "LL/SC torus", "AMO fattree", "AMO torus"},
-	}
+	var pts []SweepPoint
 	for _, p := range procs {
-		row := []string{stats.I(p)}
 		for _, mech := range []Mechanism{LLSC, AMO} {
 			for _, ic := range []string{"fattree", "torus"} {
 				cfg := DefaultConfig(p)
 				cfg.Interconnect = ic
-				r, err := RunBarrier(cfg, mech, opts)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, stats.F1(r.CyclesPerBarrier))
+				pts = append(pts, BarrierPoint(cfg, mech, opts))
 			}
+		}
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	rs := sweepValues[BarrierResult](vals)
+	t := &stats.Table{
+		Title:  "Ablation A4: barrier cycles/barrier, fat tree vs 2D torus",
+		Header: []string{"CPUs", "LL/SC fattree", "LL/SC torus", "AMO fattree", "AMO torus"},
+	}
+	const perScale = 4 // 2 mechanisms x 2 topologies
+	for i, p := range procs {
+		row := []string{stats.I(p)}
+		for _, r := range rs[i*perScale : (i+1)*perScale] {
+			row = append(row, stats.F1(r.CyclesPerBarrier))
 		}
 		t.AddRow(row...)
 	}
@@ -464,21 +537,28 @@ func AblationInterconnect(procs []int, opts BarrierOptions) (*stats.Table, error
 // AblationTree reports the tree-barrier branching-factor grid for one
 // mechanism (design point A3).
 func AblationTree(mech Mechanism, procs []int, opts BarrierOptions) (*stats.Table, error) {
-	t := &stats.Table{
-		Title:  fmt.Sprintf("Ablation A3: %s tree barrier cycles/barrier by branching factor", mech),
-		Header: []string{"CPUs", "branching", "cycles/barrier", "cycles/proc"},
-	}
+	type cell struct{ p, b int }
+	var pts []SweepPoint
+	var cells []cell
 	for _, p := range procs {
 		cfg := DefaultConfig(p)
 		for _, b := range TreeBranchings(p) {
 			o := opts
 			o.Branching = b
-			r, err := RunBarrier(cfg, mech, o)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(stats.I(p), stats.I(b), stats.F1(r.CyclesPerBarrier), stats.F1(r.CyclesPerProc))
+			pts = append(pts, BarrierPoint(cfg, mech, o))
+			cells = append(cells, cell{p, b})
 		}
+	}
+	vals, err := RunSweepPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Ablation A3: %s tree barrier cycles/barrier by branching factor", mech),
+		Header: []string{"CPUs", "branching", "cycles/barrier", "cycles/proc"},
+	}
+	for i, r := range sweepValues[BarrierResult](vals) {
+		t.AddRow(stats.I(cells[i].p), stats.I(cells[i].b), stats.F1(r.CyclesPerBarrier), stats.F1(r.CyclesPerProc))
 	}
 	return t, nil
 }
