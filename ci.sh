@@ -26,13 +26,26 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (short)"
-go test -race -short ./internal/sim/... ./internal/machine/... ./internal/syncprim/...
+go test -race -short ./internal/sim/... ./internal/machine/... ./internal/syncprim/... ./internal/chaos/...
 
 echo "== sweep engine -race"
 # The parallel sweep path must be race-clean: the engine package's own
 # tests plus a real multi-worker table sweep through the root package.
 go test -race ./internal/sweep/...
 go test -race -run 'TestTableByteIdenticalAcrossWorkers|TestBenchMetricsJSONByteIdenticalAcrossWorkers' .
+
+echo "== fuzz smoke"
+# Each native fuzz target gets a short randomized run on top of its
+# checked-in corpus. Targets are named individually: -fuzz requires an
+# unambiguous match within a package.
+go test -fuzz='^FuzzAMOEncodeDecode$' -fuzztime=10s ./internal/isa
+go test -fuzz='^FuzzParseMechanism$' -fuzztime=10s ./internal/syncprim
+go test -fuzz='^FuzzParseLockKind$' -fuzztime=10s ./internal/syncprim
+go test -fuzz='^FuzzChaosTrial$' -fuzztime=10s ./internal/chaos
+
+echo "== chaos smoke"
+# A hostile-level fault-injection run must finish invariant-clean.
+go run ./cmd/amosim -primitive barrier -mech AMO -procs 16 -chaos-seed 1 -chaos-level 2 | grep -q "invariants clean"
 
 echo "== metrics smoke"
 # The -metrics writer is self-verifying: it fails unless the JSON document

@@ -84,6 +84,8 @@ func main() {
 		acquires  = flag.Int("acquires", 4, "lock acquisitions per CPU")
 		amuWords  = flag.Int("amu-cache", 8, "AMU operand-cache words (0 disables)")
 		metricsTo = flag.String("metrics", "", "write the result (with its window metrics snapshot) to this file as JSON")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-injection seed (with -chaos-level)")
+		chaosLvl  = flag.Int("chaos-level", 0, "fault-injection intensity: 0 off, 1 mild, 2 hostile; enables runtime invariant oracles")
 	)
 	flag.Parse()
 
@@ -99,9 +101,11 @@ func main() {
 
 	if *primitive == "barrier" {
 		r, err := runOne[amosim.BarrierResult](amosim.BarrierPoint(cfg, mech, amosim.BarrierOptions{
-			Episodes:  *episodes,
-			Warmup:    *warmup,
-			Branching: *tree,
+			Episodes:   *episodes,
+			Warmup:     *warmup,
+			Branching:  *tree,
+			ChaosSeed:  *chaosSeed,
+			ChaosLevel: *chaosLvl,
 		}))
 		if err != nil {
 			log.Fatal(err)
@@ -111,6 +115,9 @@ func main() {
 			kind = fmt.Sprintf("tree(b=%d)", *tree)
 		}
 		fmt.Printf("%s %s barrier, %d CPUs, %d episodes\n", r.Mechanism, kind, r.Procs, r.Episodes)
+		if *chaosLvl > 0 {
+			fmt.Printf("  chaos: seed %d level %d, invariants clean\n", *chaosSeed, *chaosLvl)
+		}
 		fmt.Printf("  cycles/barrier:      %12.1f\n", r.CyclesPerBarrier)
 		fmt.Printf("  cycles/processor:    %12.1f\n", r.CyclesPerProc)
 		fmt.Printf("  net msgs/barrier:    %12.1f\n", r.NetMessagesPerBarrier)
@@ -127,11 +134,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("unknown primitive %q (barrier, ticket, array, mcs)", *primitive)
 	}
-	r, err := runOne[amosim.LockResult](amosim.LockPoint(cfg, kind, mech, amosim.LockOptions{Acquires: *acquires}))
+	r, err := runOne[amosim.LockResult](amosim.LockPoint(cfg, kind, mech, amosim.LockOptions{
+		Acquires:   *acquires,
+		ChaosSeed:  *chaosSeed,
+		ChaosLevel: *chaosLvl,
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s %s lock, %d CPUs, %d acquires/CPU\n", r.Mechanism, r.Kind, r.Procs, r.Acquires)
+	if *chaosLvl > 0 {
+		fmt.Printf("  chaos: seed %d level %d, invariants clean\n", *chaosSeed, *chaosLvl)
+	}
 	fmt.Printf("  cycles/lock pass:    %12.1f\n", r.CyclesPerPass)
 	fmt.Printf("  net msgs/pass:       %12.2f\n", r.MessagesPerPass)
 	fmt.Printf("  window byte-hops:    %12d\n", r.ByteHops)

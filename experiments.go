@@ -2,8 +2,8 @@ package amosim
 
 import (
 	"fmt"
-	"strings"
 
+	"amosim/internal/chaos"
 	"amosim/internal/machine"
 	"amosim/internal/metrics"
 	"amosim/internal/proc"
@@ -39,6 +39,11 @@ type BarrierOptions struct {
 	// AMOUpdateAlways pushes a word update on every amo.inc instead of
 	// only at the test value (ablation A2). Flat barriers only.
 	AMOUpdateAlways bool
+	// ChaosSeed and ChaosLevel enable deterministic fault injection with
+	// runtime invariant oracles (see internal/chaos). Level 0 is off; with
+	// a level set, the run fails on any protocol-invariant violation.
+	ChaosSeed  uint64
+	ChaosLevel int
 }
 
 // WithDefaults returns the options with the module's convention applied
@@ -62,6 +67,7 @@ func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult,
 		return BarrierResult{}, err
 	}
 	defer m.Shutdown()
+	orc := attachChaos(m, opts.ChaosSeed, opts.ChaosLevel)
 
 	var wait func(c *proc.CPU)
 	if opts.Branching > 0 {
@@ -99,6 +105,10 @@ func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult,
 	})
 	if _, err := m.Run(); err != nil {
 		return BarrierResult{}, fmt.Errorf("amosim: barrier run (%v, %d procs): %w", mech, cfg.Processors, err)
+	}
+	if err := checkChaos(orc); err != nil {
+		return BarrierResult{}, fmt.Errorf("amosim: barrier run (%v, %d procs, chaos seed %d level %d): %w",
+			mech, cfg.Processors, opts.ChaosSeed, opts.ChaosLevel, err)
 	}
 	win := endSnap.Diff(startSnap)
 	if err := win.CheckConservation(); err != nil {
@@ -158,42 +168,41 @@ func BestTreeBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierRe
 	return best, nil
 }
 
-// LockKind selects the lock algorithm.
-type LockKind int
+// attachChaos hooks the fault injector (a no-op at level 0) and, when
+// enabled, the transition oracle. checkChaos is its post-run companion.
+func attachChaos(m *machine.Machine, seed uint64, level int) *chaos.Oracle {
+	chaos.Attach(m, chaos.Plan{Seed: seed, Level: level})
+	if level <= 0 {
+		return nil
+	}
+	return chaos.Observe(m)
+}
+
+func checkChaos(orc *chaos.Oracle) error {
+	if orc == nil {
+		return nil
+	}
+	return orc.Check()
+}
+
+// LockKind selects the lock algorithm. It lives in internal/syncprim next
+// to the lock implementations; these aliases keep the public experiment API
+// unchanged.
+type LockKind = syncprim.LockKind
 
 // Lock algorithms: ticket and array are the paper's Table 4; MCS is this
 // reproduction's extension baseline (the strongest conventional queue
 // lock).
 const (
-	Ticket LockKind = iota
-	Array
-	MCS
+	Ticket = syncprim.Ticket
+	Array  = syncprim.Array
+	MCS    = syncprim.MCS
 )
-
-func (k LockKind) String() string {
-	switch k {
-	case Ticket:
-		return "ticket"
-	case Array:
-		return "array"
-	case MCS:
-		return "mcs"
-	}
-	return fmt.Sprintf("LockKind(%d)", int(k))
-}
 
 // ParseLockKind parses a lock-algorithm name, case-insensitively. It
 // round-trips with String: ParseLockKind(k.String()) == k for every kind.
 func ParseLockKind(s string) (LockKind, error) {
-	switch strings.ToLower(s) {
-	case "ticket":
-		return Ticket, nil
-	case "array":
-		return Array, nil
-	case "mcs":
-		return MCS, nil
-	}
-	return 0, fmt.Errorf("amosim: unknown lock kind %q (ticket, array, mcs)", s)
+	return syncprim.ParseLockKind(s)
 }
 
 // LockOptions tunes RunLock.
@@ -207,6 +216,10 @@ type LockOptions struct {
 	GapCycles int
 	// Home is the lock's home node (default 0).
 	Home int
+	// ChaosSeed and ChaosLevel enable deterministic fault injection with
+	// runtime invariant oracles (see BarrierOptions).
+	ChaosSeed  uint64
+	ChaosLevel int
 }
 
 // WithDefaults returns the options with the module's convention applied
@@ -228,6 +241,7 @@ func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockR
 		return LockResult{}, err
 	}
 	defer m.Shutdown()
+	orc := attachChaos(m, opts.ChaosSeed, opts.ChaosLevel)
 
 	var acquire func(c *proc.CPU) func()
 	switch kind {
@@ -282,6 +296,10 @@ func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockR
 	})
 	if _, err := m.Run(); err != nil {
 		return LockResult{}, fmt.Errorf("amosim: lock run (%v %v, %d procs): %w", kind, mech, cfg.Processors, err)
+	}
+	if err := checkChaos(orc); err != nil {
+		return LockResult{}, fmt.Errorf("amosim: lock run (%v %v, %d procs, chaos seed %d level %d): %w",
+			kind, mech, cfg.Processors, opts.ChaosSeed, opts.ChaosLevel, err)
 	}
 	win := endSnap.Diff(startSnap)
 	if err := win.CheckConservation(); err != nil {

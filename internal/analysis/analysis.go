@@ -31,6 +31,10 @@
 //     concurrently, so an engine that could see a *machine.Machine could
 //     share one between workers; machine-blindness makes that race
 //     structurally impossible.
+//   - chaosdet: the fault-injection layer (internal/chaos) must not import
+//     math/rand at all nor consult the wall clock — its replay guarantee
+//     (a failure reproduces from config + seed) requires every random draw
+//     to flow through the package's splittable seeded RNG.
 //
 // Diagnostics carry the rule name and a position; Run returns them in
 // deterministic (file, line, column) order.
@@ -84,7 +88,7 @@ func inSimPackages(mod *Module, pkg *Package) bool {
 
 // AllRules returns every rule, in a fixed order.
 func AllRules() []Rule {
-	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}, SweepShareRule{}}
+	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}, SweepShareRule{}, ChaosDetRule{}}
 }
 
 // RuleNames returns the names of rules, comma-joined, for usage text.

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// ChaosDetRule enforces the chaos layer's replay guarantee: a fault
+// schedule must be reproducible from (config, seed) alone. Inside
+// internal/chaos it therefore bans
+//
+//   - importing math/rand or math/rand/v2 at all — even an explicitly
+//     seeded *rand.Rand couples injector streams by draw order, which the
+//     package's splittable RNG (chaos.RNG.Split) exists to prevent;
+//   - the wall clock (time.Now/Since/Until) — the classic source of
+//     time-based seeding, which makes a failing schedule unreplayable.
+//
+// The banned rule does not cover internal/chaos (it is not a simulation
+// package: it hooks the machine from outside the event handlers), so this
+// rule carries the determinism contract there, stricter than banned.
+type ChaosDetRule struct{}
+
+// Name implements Rule.
+func (ChaosDetRule) Name() string { return "chaosdet" }
+
+// bannedTimeFuncs are the wall-clock entry points used for time-based
+// seeding.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// Check implements Rule.
+func (ChaosDetRule) Check(mod *Module, pkg *Package) []Diagnostic {
+	if mod.RelPath(pkg) != "internal/chaos" {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, Diagnostic{
+					Pos:  mod.Fset.Position(imp.Pos()),
+					Rule: "chaosdet",
+					Msg:  path + " import in the chaos layer: draw from the splittable seeded RNG (chaos.RNG) so failures replay from (config, seed)",
+				})
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pkg.Info.Uses[sel.Sel]
+			if !ok {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if bannedTimeFuncs[fn.Name()] {
+				out = append(out, Diagnostic{
+					Pos:  mod.Fset.Position(sel.Pos()),
+					Rule: "chaosdet",
+					Msg:  "time." + fn.Name() + " in the chaos layer: chaos schedules must derive from the trial seed alone, never the wall clock",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+
+	"amosim/internal/chaos"
+	"amosim/internal/sweep"
+	"amosim/internal/syncprim"
+)
+
+// TestTrialReplay is the determinism contract: the same spec yields a
+// byte-identical trace digest and identical injector stats on every run.
+func TestTrialReplay(t *testing.T) {
+	spec := chaos.TrialSpec{
+		Seed: 42, Mech: syncprim.AMO, Procs: 8,
+		Vars: 3, Ops: 5, Episodes: 2, LockPasses: 1, Level: 2,
+	}
+	first, err := chaos.RunTrial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := chaos.RunTrial(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Digest != first.Digest {
+			t.Fatalf("rerun %d digest %s, want %s", i, again.Digest, first.Digest)
+		}
+		if again.Injected != first.Injected {
+			t.Fatalf("rerun %d injector stats %+v, want %+v", i, again.Injected, first.Injected)
+		}
+	}
+}
+
+// TestInjectorExercised proves a hostile-level trial actually drives every
+// perturbation path and that the oracle inspected transitions.
+func TestInjectorExercised(t *testing.T) {
+	spec := chaos.TrialSpec{
+		Seed: 7, Mech: syncprim.AMO, Procs: 8,
+		Vars: 2, Ops: 12, Episodes: 3, LockPasses: 2, Level: 2, Squeeze: true,
+	}
+	res, err := chaos.RunTrial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected.JitteredMessages == 0 {
+		t.Error("no messages jittered at level 2")
+	}
+	if res.Injected.DelayedRequests == 0 {
+		t.Error("no directory requests delayed at level 2")
+	}
+	if res.Injected.ForcedEvictions == 0 {
+		t.Error("no AMU words force-evicted at level 2")
+	}
+	if res.Transitions == 0 {
+		t.Error("transition oracle never fired")
+	}
+}
+
+// TestLevelZeroIsClean: a disabled plan injects nothing, so chaos-threaded
+// code paths can run unconditionally.
+func TestLevelZeroIsClean(t *testing.T) {
+	spec := chaos.TrialSpec{
+		Seed: 9, Mech: syncprim.MAO, Procs: 4,
+		Vars: 2, Ops: 4, Episodes: 1, Level: 0,
+	}
+	res, err := chaos.RunTrial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != (chaos.Stats{}) {
+		t.Fatalf("level 0 injected %+v", res.Injected)
+	}
+}
+
+// TestAllMechanismsLevel1 runs one modest trial per mechanism so a failure
+// names the broken mechanism directly, outside the big sweep.
+func TestAllMechanismsLevel1(t *testing.T) {
+	for _, mech := range syncprim.Mechanisms {
+		mech := mech
+		t.Run(mech.String(), func(t *testing.T) {
+			spec := chaos.TrialSpec{
+				Seed: 11, Mech: mech, Procs: 4,
+				Vars: 2, Ops: 6, Episodes: 2, LockPasses: 1, Level: 1,
+			}
+			if _, err := chaos.RunTrial(spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDumpTrace: the replay companion emits a non-empty trace for a failing
+// or passing spec alike.
+func TestDumpTrace(t *testing.T) {
+	spec := chaos.TrialSpec{
+		Seed: 3, Mech: syncprim.ActMsg, Procs: 4,
+		Vars: 1, Ops: 3, Episodes: 1, Level: 1,
+	}
+	var sb strings.Builder
+	if err := spec.DumpTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "->") {
+		t.Fatalf("trace dump looks empty:\n%s", sb.String())
+	}
+}
+
+// TestCompareOutcomesDetects: the differential oracle flags a forged
+// divergence (and names both mechanisms), and accepts identical outcomes.
+func TestCompareOutcomesDetects(t *testing.T) {
+	a := chaos.TrialResult{
+		Spec:        chaos.TrialSpec{Seed: 1, Mech: syncprim.AMO},
+		FinalValues: []uint64{4, 4},
+		OpsDone:     []int{2, 2},
+	}
+	b := a
+	b.Spec.Mech = syncprim.Atomic
+	if err := chaos.CompareOutcomes([]chaos.TrialResult{a, b}); err != nil {
+		t.Fatalf("identical outcomes rejected: %v", err)
+	}
+	b.FinalValues = []uint64{4, 5}
+	err := chaos.CompareOutcomes([]chaos.TrialResult{a, b})
+	if err == nil {
+		t.Fatal("divergent outcomes accepted")
+	}
+	if !strings.Contains(err.Error(), "AMO") || !strings.Contains(err.Error(), "Atomic") {
+		t.Fatalf("divergence error does not name the mechanisms: %v", err)
+	}
+}
+
+// TestChaosSweep is the acceptance gate: ≥1000 seeded trials fanned across
+// all five mechanisms through the sweep engine, zero invariant or
+// differential violations, and a byte-identical digest for the same seeds
+// rerun at Workers 1 vs 4.
+func TestChaosSweep(t *testing.T) {
+	groups := 200 // × 5 mechanisms = 1000 trials
+	replayGroups := 8
+	if testing.Short() {
+		groups, replayGroups = 20, 3
+	}
+
+	var points []sweep.Point
+	for g := 0; g < groups; g++ {
+		points = append(points, chaos.NewGroup(uint64(1000+g)).Points()...)
+	}
+	results, err := sweep.RunPoints(points, sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perGroup := len(syncprim.Mechanisms)
+	if len(results) != groups*perGroup {
+		t.Fatalf("got %d results, want %d", len(results), groups*perGroup)
+	}
+	for g := 0; g < groups; g++ {
+		var rs []chaos.TrialResult
+		for _, r := range results[g*perGroup : (g+1)*perGroup] {
+			rs = append(rs, r.(chaos.TrialResult))
+		}
+		if err := chaos.CompareOutcomes(rs); err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Same seeds, sequential workers: digests must match byte for byte.
+	sequential, err := sweep.RunPoints(points[:replayGroups*perGroup], sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range sequential {
+		par := results[i].(chaos.TrialResult)
+		seq := r.(chaos.TrialResult)
+		if seq.Digest != par.Digest {
+			t.Errorf("%s: workers=1 digest %s != workers=4 digest %s",
+				seq.Spec.Label(), seq.Digest, par.Digest)
+		}
+	}
+}

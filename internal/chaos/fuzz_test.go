@@ -1,0 +1,33 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"amosim/internal/chaos"
+)
+
+// FuzzChaosTrial lets the fuzzer explore the chaos-schedule space: every
+// byte string maps to a small runnable trial (mechanism, shape and seed all
+// drawn from the input), and any invariant, conservation or quiescence
+// violation fails with the replayable spec in the message.
+func FuzzChaosTrial(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{4, 1, 2, 3, 1, 1, 1, 0, 0xde, 0xad})
+	f.Add([]byte("amo chaos"))
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 1, 4, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec := chaos.SpecFromBytes(data)
+		first, err := chaos.RunTrial(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := chaos.RunTrial(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Digest != first.Digest {
+			t.Fatalf("nondeterministic replay of %s: %s vs %s", spec, first.Digest, again.Digest)
+		}
+	})
+}

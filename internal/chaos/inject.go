@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"amosim/internal/core"
+	"amosim/internal/machine"
+	"amosim/internal/memsys"
+	"amosim/internal/network"
+	"amosim/internal/sim"
+)
+
+// Stats counts what an Injector actually did, for reporting and for tests
+// asserting that a chaos level exercised the paths it claims to.
+type Stats struct {
+	// JitteredMessages had extra delivery latency; JitterCycles is the sum.
+	JitteredMessages uint64
+	JitterCycles     uint64
+	// ClampedMessages drew a jitter that would have overtaken an earlier
+	// message on the same (src, dst, block) stream and were held back to
+	// its delivery time — the legal-reordering boundary in action.
+	ClampedMessages uint64
+	// DelayedRequests were held once at the directory (NACK-and-retry).
+	DelayedRequests uint64
+	// ForcedEvictions counts AMU operand-cache entries flushed by chaos.
+	ForcedEvictions uint64
+}
+
+// linkKey identifies one FIFO stream the protocol may depend on: messages
+// between the same endpoints about the same block. Jitter across different
+// keys is free; within a key it is clamped to preserve order.
+type linkKey struct {
+	src, dst network.Endpoint
+	block    uint64
+}
+
+// Injector perturbs one machine according to a Plan. Create with Attach;
+// all state is machine-private, so concurrent sweep points each carry their
+// own Injector.
+type Injector struct {
+	plan       Plan
+	k          knobs
+	eng        *sim.Engine
+	blockBytes int
+
+	netRNG, dirRNG, amuRNG *RNG
+
+	// last is the latest delivery time already promised on each FIFO
+	// stream; later sends on the same stream never deliver earlier.
+	last map[linkKey]sim.Time
+
+	stats Stats
+}
+
+// Attach hooks an Injector for plan into every layer of m: the network's
+// delivery-latency perturber, each directory controller's request-delay
+// perturber, and each AMU's after-operation eviction hook. A disabled plan
+// installs nothing. Attach before Run; the hooks live for the machine's
+// lifetime.
+func Attach(m *machine.Machine, plan Plan) *Injector {
+	inj := &Injector{
+		plan:       plan,
+		k:          plan.knobs(),
+		eng:        m.Eng,
+		blockBytes: m.Cfg.BlockBytes,
+		netRNG:     NewRNG(plan.Seed).Split("net"),
+		dirRNG:     NewRNG(plan.Seed).Split("dir"),
+		amuRNG:     NewRNG(plan.Seed).Split("amu"),
+		last:       make(map[linkKey]sim.Time),
+	}
+	if !plan.Enabled() {
+		return inj
+	}
+	m.Net.SetPerturber(inj)
+	for _, d := range m.Dirs {
+		d.SetPerturber(inj)
+	}
+	for _, a := range m.AMUs {
+		a := a
+		a.SetPerturber(func(addr uint64) { inj.afterAMUOp(a, addr) })
+	}
+	return inj
+}
+
+// Stats returns what the injector has done so far.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// DeliveryDelay implements network.Perturber: bounded random extra latency,
+// clamped so no message overtakes an earlier one on the same (src, dst,
+// block) stream. Cross-stream reordering is the interesting (and legal)
+// perturbation; same-stream reordering would forge protocol states — an
+// invalidation overtaking the data it chases creates a phantom shared line
+// no hardware network would produce.
+func (inj *Injector) DeliveryDelay(m network.Msg, lat sim.Time) sim.Time {
+	var jitter sim.Time
+	if inj.k.maxJitter > 0 && inj.netRNG.Below(inj.k.jitterPermille) {
+		jitter = sim.Time(inj.netRNG.Uint64() % (inj.k.maxJitter + 1))
+	}
+	key := linkKey{src: m.Src, dst: m.Dst, block: memsys.BlockAddr(m.Addr, inj.blockBytes)}
+	due := inj.eng.Now() + lat + jitter
+	if last, ok := inj.last[key]; ok && due < last {
+		inj.stats.ClampedMessages++
+		due = last
+	}
+	inj.last[key] = due
+	extra := due - (inj.eng.Now() + lat)
+	if extra > 0 {
+		inj.stats.JitteredMessages++
+		inj.stats.JitterCycles += uint64(extra)
+	}
+	return extra
+}
+
+// RequestDelay implements directory.Perturber: with probability
+// retryPermille a CPU request is held once for a bounded random time, the
+// timing signature of a NACKed request retrying.
+func (inj *Injector) RequestDelay(m network.Msg) sim.Time {
+	if inj.k.retryPermille == 0 || !inj.dirRNG.Below(inj.k.retryPermille) {
+		return 0
+	}
+	inj.stats.DelayedRequests++
+	return sim.Time(inj.k.retryDelay/2 + inj.dirRNG.Uint64()%(inj.k.retryDelay/2+1))
+}
+
+// afterAMUOp is the AMU per-operation hook: with probability evictPermille
+// it force-evicts a deterministically chosen cached word through the normal
+// flush path, attacking the AMU's residence assumptions (a put racing its
+// own eviction, spinners fed by FineEvict instead of FinePut).
+func (inj *Injector) afterAMUOp(a *core.AMU, _ uint64) {
+	if inj.k.evictPermille == 0 || !inj.amuRNG.Below(inj.k.evictPermille) {
+		return
+	}
+	words := a.CachedWords()
+	if len(words) == 0 {
+		return
+	}
+	if a.EvictWord(words[inj.amuRNG.Intn(len(words))]) {
+		inj.stats.ForcedEvictions++
+	}
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"amosim/internal/cache"
+	"amosim/internal/directory"
+	"amosim/internal/machine"
+)
+
+// maxViolations bounds how many distinct violations an oracle records; one
+// real protocol bug typically fires on every subsequent transaction, and
+// the first few reports are the ones that matter for debugging.
+const maxViolations = 16
+
+// Oracle watches a live machine for protocol-invariant violations as they
+// happen, not just at quiescence. Create with Observe, run the machine,
+// then call Check — which also folds in the quiescence-time
+// Machine.CheckCoherence pass.
+//
+// The mid-run checks fire at every directory transaction completion, while
+// the new record is in place:
+//
+//  1. at most one Modified copy of the block exists machine-wide;
+//  2. a Modified copy implies directory state E with that CPU as owner;
+//  3. directory state E implies no CPU other than the owner holds the
+//     block (the owner may still hold S mid-upgrade);
+//  4. every Shared copy's CPU appears in the directory's sharer list when
+//     the directory says S (the list may be a superset — silent evictions
+//     and in-flight grants — but never miss a holder);
+//  5. directory state U implies no cached copies at all.
+//
+// Word-value equality is deliberately not checked mid-run: in-flight word
+// updates legitimately lag (the paper's release-consistency window); the
+// quiescence pass covers values.
+type Oracle struct {
+	m           *machine.Machine
+	transitions uint64
+	violations  []string
+}
+
+// Observe attaches a transition oracle to every directory controller of m.
+func Observe(m *machine.Machine) *Oracle {
+	o := &Oracle{m: m}
+	for _, d := range m.Dirs {
+		d := d
+		d.SetObserver(func(block uint64) { o.onTransition(d, block) })
+	}
+	return o
+}
+
+// Transitions reports how many directory-transaction completions the oracle
+// inspected — tests use it to prove the oracle actually ran.
+func (o *Oracle) Transitions() uint64 { return o.transitions }
+
+// Violations returns the recorded mid-run violations (at most
+// maxViolations).
+func (o *Oracle) Violations() []string { return o.violations }
+
+// Check returns an error if any mid-run violation was recorded or the
+// quiescence coherence check fails. Call after Run.
+func (o *Oracle) Check() error {
+	if err := o.m.CheckCoherence(); err != nil {
+		return fmt.Errorf("chaos: quiescence coherence: %w", err)
+	}
+	if len(o.violations) > 0 {
+		return fmt.Errorf("chaos: %d transition violation(s):\n%s",
+			len(o.violations), strings.Join(o.violations, "\n"))
+	}
+	return nil
+}
+
+func (o *Oracle) violate(format string, args ...interface{}) {
+	if len(o.violations) < maxViolations {
+		o.violations = append(o.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// onTransition runs the SWMR/sharer-sync checks for block against d's
+// just-updated record. Read-only: it inspects caches and the directory
+// snapshot without scheduling events.
+func (o *Oracle) onTransition(d *directory.Controller, block uint64) {
+	o.transitions++
+	if len(o.violations) >= maxViolations {
+		return
+	}
+	snap := d.SnapshotOf(block)
+	at := o.m.Eng.Now()
+
+	inSharers := make(map[int]bool, len(snap.Sharers))
+	for _, cpu := range snap.Sharers {
+		inSharers[cpu] = true
+	}
+
+	modified := -1
+	for _, cpu := range o.m.CPUs {
+		ln := cpu.Cache().Lookup(block)
+		if ln == nil {
+			continue
+		}
+		switch ln.State {
+		case cache.Modified:
+			if modified >= 0 {
+				o.violate("cycle %d block %#x: Modified on both cpu %d and cpu %d", at, block, modified, cpu.ID())
+			}
+			modified = cpu.ID()
+			if snap.State != "E" || snap.Owner != cpu.ID() {
+				o.violate("cycle %d block %#x: cpu %d holds M but directory says state=%s owner=%d",
+					at, block, cpu.ID(), snap.State, snap.Owner)
+			}
+		case cache.Shared:
+			if snap.State == "E" && cpu.ID() != snap.Owner {
+				o.violate("cycle %d block %#x: cpu %d holds S but directory says Exclusive(owner %d)",
+					at, block, cpu.ID(), snap.Owner)
+			}
+			if snap.State == "S" && !inSharers[cpu.ID()] {
+				o.violate("cycle %d block %#x: cpu %d holds S but is not in sharers %v",
+					at, block, cpu.ID(), snap.Sharers)
+			}
+		default:
+			o.violate("cycle %d block %#x: cpu %d resident in state %v", at, block, cpu.ID(), ln.State)
+		}
+		if snap.State == "U" {
+			o.violate("cycle %d block %#x: cpu %d caches a copy of an unowned block", at, block, cpu.ID())
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package chaos
+
+// Plan selects a fault-injection intensity. The zero value injects nothing
+// (Attach becomes a no-op), so experiment code can thread a Plan through
+// unconditionally.
+type Plan struct {
+	// Seed drives every injector stream. Two runs with the same (config,
+	// Seed, Level) produce byte-identical event schedules.
+	Seed uint64
+	// Level is the intensity: 0 = off, 1 = mild (the robustness-report
+	// setting), 2+ = hostile.
+	Level int
+}
+
+// Enabled reports whether the plan injects anything.
+func (p Plan) Enabled() bool { return p.Level > 0 }
+
+// knobs are the per-level injector intensities derived from a Plan.
+type knobs struct {
+	// maxJitter bounds the extra delivery latency (cycles) added per
+	// message; jitter is clamped to preserve per-(src,dst,block) FIFO.
+	maxJitter uint64
+	// jitterPermille is the probability (per thousand) that a message
+	// draws jitter at all.
+	jitterPermille int
+	// retryPermille is the probability a directory request is held once.
+	retryPermille int
+	// retryDelay bounds the NACK-and-retry hold (cycles); the actual hold
+	// is uniform in [retryDelay/2, retryDelay].
+	retryDelay uint64
+	// evictPermille is the probability that an AMU operation is followed
+	// by a forced eviction of a (deterministically chosen) cached word.
+	evictPermille int
+}
+
+func (p Plan) knobs() knobs {
+	switch {
+	case p.Level <= 0:
+		return knobs{}
+	case p.Level == 1:
+		return knobs{
+			maxJitter:      40,
+			jitterPermille: 300,
+			retryPermille:  40,
+			retryDelay:     200,
+			evictPermille:  60,
+		}
+	default:
+		return knobs{
+			maxJitter:      160,
+			jitterPermille: 600,
+			retryPermille:  150,
+			retryDelay:     500,
+			evictPermille:  250,
+		}
+	}
+}

@@ -1,0 +1,429 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"amosim/internal/config"
+	"amosim/internal/machine"
+	"amosim/internal/proc"
+	"amosim/internal/sweep"
+	"amosim/internal/syncprim"
+	"amosim/internal/trace"
+)
+
+// traceCap bounds the per-trial message trace. The digest hashes the full
+// dump (including the Dropped count), so wraparound does not weaken the
+// byte-identical-replay guarantee.
+const traceCap = 4096
+
+// TrialSpec describes one seeded chaos trial: a mechanism-independent
+// schedule of counter increments, reads, lock-protected critical sections
+// and barrier episodes, derived entirely from Seed, executed under one
+// mechanism with fault injection at Level.
+type TrialSpec struct {
+	// Seed drives the workload schedule and every injector stream.
+	Seed uint64
+	// Mech is the synchronization mechanism under test.
+	Mech syncprim.Mechanism
+	// Procs is the CPU count (config.Default geometry).
+	Procs int
+	// Vars is the number of shared counters.
+	Vars int
+	// Ops is the number of counter operations per CPU per episode.
+	Ops int
+	// Episodes is the number of barrier episodes.
+	Episodes int
+	// LockPasses is the number of lock-protected increments of a shared
+	// word per CPU per episode (0 disables the lock phase).
+	LockPasses int
+	// Level is the chaos intensity (see Plan.Level); 0 runs clean.
+	Level int
+	// Squeeze shrinks processor caches to one line and the AMU operand
+	// cache to two words, forcing constant capacity evictions.
+	Squeeze bool
+}
+
+// String renders the spec as a replayable literal.
+func (s TrialSpec) String() string {
+	return fmt.Sprintf("chaos.TrialSpec{Seed: %d, Mech: syncprim.%s, Procs: %d, Vars: %d, Ops: %d, Episodes: %d, LockPasses: %d, Level: %d, Squeeze: %v}",
+		s.Seed, mechIdent(s.Mech), s.Procs, s.Vars, s.Ops, s.Episodes, s.LockPasses, s.Level, s.Squeeze)
+}
+
+// mechIdent is the Go identifier of a mechanism (String yields "LL/SC").
+func mechIdent(m syncprim.Mechanism) string {
+	if m == syncprim.LLSC {
+		return "LLSC"
+	}
+	return m.String()
+}
+
+// Label identifies the trial in sweep progress and errors.
+func (s TrialSpec) Label() string {
+	return fmt.Sprintf("chaos seed=%d %s p=%d L%d", s.Seed, s.Mech, s.Procs, s.Level)
+}
+
+// config builds the trial's machine configuration.
+func (s TrialSpec) config() config.Config {
+	cfg := config.Default(s.Procs)
+	if s.Squeeze {
+		cfg.CacheSets = 1
+		cfg.CacheWays = 1
+		cfg.AMUCacheWords = 2
+	}
+	return cfg
+}
+
+// op is one scheduled counter operation.
+type op struct {
+	v     int  // counter index
+	read  bool // read instead of increment
+	think int  // local work after the op
+}
+
+// schedule derives the mechanism-independent workload from the seed:
+// schedule[cpu][episode] is that CPU's op list for the episode. Every
+// mechanism runs this exact schedule, so functional outcomes must agree.
+func (s TrialSpec) schedule() [][][]op {
+	root := NewRNG(s.Seed).Split("schedule")
+	sched := make([][][]op, s.Procs)
+	for cpu := 0; cpu < s.Procs; cpu++ {
+		r := root.Split(fmt.Sprintf("cpu%d", cpu))
+		sched[cpu] = make([][]op, s.Episodes)
+		for e := 0; e < s.Episodes; e++ {
+			ops := make([]op, s.Ops)
+			for i := range ops {
+				ops[i] = op{
+					v:     r.Intn(s.Vars),
+					read:  r.Below(250),
+					think: r.Intn(96),
+				}
+			}
+			sched[cpu][e] = ops
+		}
+	}
+	return sched
+}
+
+// TrialResult is the functional outcome plus determinism evidence of one
+// trial. Functional fields (FinalValues, LockWord, OpsDone) must be
+// identical across mechanisms for the same seed; Cycles and Digest are
+// mechanism-specific, but byte-identical across reruns of the same spec.
+type TrialResult struct {
+	Spec TrialSpec
+	// FinalValues are the counters' authoritative values after the run.
+	FinalValues []uint64
+	// LockWord is the lock-protected word's final value.
+	LockWord uint64
+	// OpsDone is the per-CPU completed-operation count.
+	OpsDone []int
+	// Cycles is the run length.
+	Cycles uint64
+	// Digest is a sha256 over the full message trace and the outcome —
+	// the byte-identical replay witness.
+	Digest string
+	// Injected reports what the chaos injector actually did.
+	Injected Stats
+	// Transitions is the number of directory transitions the oracle saw.
+	Transitions uint64
+}
+
+// RunTrial executes the trial and checks every oracle: the transition
+// oracle, quiescence coherence, cycle-attribution conservation, word-value
+// conservation against the schedule, fetch-add atomicity (the old-value
+// multiset must be a permutation of 0..n-1), lock mutual exclusion, and
+// barrier-episode quiescence. Any violation is an error carrying the
+// replayable spec.
+func RunTrial(s TrialSpec) (TrialResult, error) {
+	r, _, err := runTrial(s, nil)
+	return r, err
+}
+
+// DumpTrace replays the trial with the same seed and writes its message
+// trace to w — the divergence report companion to RunTrial.
+func (s TrialSpec) DumpTrace(w io.Writer) error {
+	_, tr, err := runTrial(s, nil)
+	if dumpErr := tr.Dump(w); dumpErr != nil {
+		return dumpErr
+	}
+	return err
+}
+
+func (s TrialSpec) fail(format string, args ...interface{}) error {
+	return fmt.Errorf("chaos trial %s: %s [replay: %s]", s.Label(), fmt.Sprintf(format, args...), s)
+}
+
+// runTrial is the shared core. mutate, when non-nil, adjusts the config
+// (tests use it to cross-check squeeze handling).
+func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tracer, error) {
+	if s.Procs < 2 || s.Vars < 1 || s.Episodes < 1 {
+		return TrialResult{}, nil, fmt.Errorf("chaos: underspecified trial %s", s)
+	}
+	cfg := s.config()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return TrialResult{}, nil, err
+	}
+	defer m.Shutdown()
+
+	tr := m.EnableTrace(traceCap)
+	inj := Attach(m, Plan{Seed: s.Seed, Level: s.Level})
+	orc := Observe(m)
+
+	layout := NewRNG(s.Seed).Split("layout")
+	nodes := cfg.Nodes()
+	vars := make([]uint64, s.Vars)
+	for i := range vars {
+		vars[i] = m.AllocWord(layout.Intn(nodes))
+	}
+	b := syncprim.NewBarrier(m, s.Mech, s.Procs, layout.Intn(nodes))
+	var lock *syncprim.TicketLock
+	var lockWord uint64
+	if s.LockPasses > 0 {
+		lock = syncprim.NewTicketLock(m, s.Mech, layout.Intn(nodes))
+		lockWord = m.AllocWord(layout.Intn(nodes))
+	}
+
+	sched := s.schedule()
+	expected := make([]uint64, s.Vars)
+	expectedOps := make([]int, s.Procs)
+	for cpu := range sched {
+		for _, eps := range sched[cpu] {
+			for _, o := range eps {
+				if !o.read {
+					expected[o.v]++
+				}
+			}
+			expectedOps[cpu] += len(eps) + s.LockPasses
+		}
+	}
+
+	// Oracle state mutated by the (serialized) CPU coroutines.
+	arrived := make([]int, s.Procs)
+	opsDone := make([]int, s.Procs)
+	oldVals := make([][]uint64, s.Vars)
+	var bodyViolations []string
+	bodyViolate := func(format string, args ...interface{}) {
+		if len(bodyViolations) < maxViolations {
+			bodyViolations = append(bodyViolations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	m.OnAllCPUs(func(c *proc.CPU) {
+		id := c.ID()
+		for e := 0; e < s.Episodes; e++ {
+			for _, o := range sched[id][e] {
+				switch {
+				case o.read && s.Mech == syncprim.MAO:
+					// MAO counters are non-coherent; reads must bypass caches.
+					c.UncachedLoad(vars[o.v])
+				case o.read:
+					c.Load(vars[o.v])
+				default:
+					old := syncprim.FetchAdd(c, s.Mech, vars[o.v], 1)
+					oldVals[o.v] = append(oldVals[o.v], old)
+				}
+				opsDone[id]++
+				c.Think(uint64(o.think))
+			}
+			for p := 0; p < s.LockPasses; p++ {
+				t := lock.Acquire(c)
+				v := c.Load(lockWord)
+				c.Think(8)
+				c.Store(lockWord, v+1)
+				lock.Release(c, t)
+				opsDone[id]++
+			}
+			arrived[id] = e + 1
+			b.Wait(c)
+			for j := range arrived {
+				if arrived[j] < e+1 {
+					bodyViolate("episode %d released cpu %d before cpu %d arrived", e, id, j)
+				}
+			}
+		}
+	})
+
+	before := m.Metrics()
+	cycles, err := m.Run()
+	if err != nil {
+		return TrialResult{}, tr, s.fail("run: %v", err)
+	}
+
+	res := TrialResult{
+		Spec:        s,
+		FinalValues: make([]uint64, s.Vars),
+		OpsDone:     opsDone,
+		Cycles:      uint64(cycles),
+		Injected:    inj.Stats(),
+		Transitions: orc.Transitions(),
+	}
+	for i, a := range vars {
+		res.FinalValues[i] = m.ReadWordCoherent(a)
+	}
+	if lock != nil {
+		res.LockWord = m.ReadWordCoherent(lockWord)
+	}
+	res.Digest = digest(tr, res)
+
+	// Oracles, cheapest-to-diagnose first.
+	if len(bodyViolations) > 0 {
+		return res, tr, s.fail("quiescence: %s", strings.Join(bodyViolations, "; "))
+	}
+	if err := orc.Check(); err != nil {
+		return res, tr, s.fail("%v", err)
+	}
+	if err := m.Metrics().Diff(before).CheckConservation(); err != nil {
+		return res, tr, s.fail("cycle attribution: %v", err)
+	}
+	for i := range vars {
+		if res.FinalValues[i] != expected[i] {
+			return res, tr, s.fail("counter %d = %d, want %d (value conservation)", i, res.FinalValues[i], expected[i])
+		}
+		n := int(expected[i])
+		if len(oldVals[i]) != n {
+			return res, tr, s.fail("counter %d saw %d increments, want %d", i, len(oldVals[i]), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range oldVals[i] {
+			if v >= uint64(n) || seen[v] {
+				return res, tr, s.fail("counter %d: fetch-add old values %v are not a permutation of 0..%d", i, oldVals[i], n-1)
+			}
+			seen[v] = true
+		}
+	}
+	if lock != nil {
+		want := uint64(s.Procs * s.Episodes * s.LockPasses)
+		if res.LockWord != want {
+			return res, tr, s.fail("lock-protected word = %d, want %d (mutual exclusion)", res.LockWord, want)
+		}
+	}
+	for id, n := range opsDone {
+		if n != expectedOps[id] {
+			return res, tr, s.fail("cpu %d completed %d ops, want %d", id, n, expectedOps[id])
+		}
+	}
+	return res, tr, nil
+}
+
+// digest hashes the trial's trace and outcome into the replay witness.
+func digest(tr *trace.Tracer, r TrialResult) string {
+	h := sha256.New()
+	_ = tr.Dump(h)
+	fmt.Fprintf(h, "dropped=%d cycles=%d finals=%v lock=%d ops=%v\n",
+		tr.Dropped(), r.Cycles, r.FinalValues, r.LockWord, r.OpsDone)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Group is one differential unit: the same seeded workload expanded across
+// all five mechanisms.
+type Group struct {
+	Seed  uint64
+	Specs []TrialSpec
+}
+
+// NewGroup derives a group's shape from its seed: scale, operation mix,
+// chaos level and cache squeeze all vary seed-to-seed so a sweep covers the
+// parameter space without hand-written tables.
+func NewGroup(seed uint64) Group {
+	r := NewRNG(seed).Split("group")
+	base := TrialSpec{
+		Seed:       seed,
+		Procs:      []int{4, 8}[r.Intn(2)],
+		Vars:       2 + r.Intn(2),
+		Ops:        3 + r.Intn(4),
+		Episodes:   1 + r.Intn(2),
+		LockPasses: r.Intn(2),
+		Level:      1 + r.Intn(2),
+		Squeeze:    r.Below(250),
+	}
+	g := Group{Seed: seed}
+	for _, mech := range syncprim.Mechanisms {
+		spec := base
+		spec.Mech = mech
+		g.Specs = append(g.Specs, spec)
+	}
+	return g
+}
+
+// Points expands the group into sweep points, one per mechanism, in
+// syncprim.Mechanisms order. Each point's Run executes RunTrial and fails
+// on any oracle violation.
+func (g Group) Points() []sweep.Point {
+	pts := make([]sweep.Point, len(g.Specs))
+	for i, spec := range g.Specs {
+		spec := spec
+		pts[i] = sweep.Point{
+			Label: spec.Label(),
+			Run: func() (any, error) {
+				r, err := RunTrial(spec)
+				if err != nil {
+					return nil, err
+				}
+				return r, nil
+			},
+		}
+	}
+	return pts
+}
+
+// CompareOutcomes is the differential oracle: every mechanism's trial of a
+// group must produce identical final counter values, lock word and per-CPU
+// completion counts. Cycles and traffic legitimately differ; function must
+// not. The returned error names the diverging mechanisms and the group
+// seed, and each result's spec replays with DumpTrace for the full message
+// history.
+func CompareOutcomes(results []TrialResult) error {
+	if len(results) < 2 {
+		return nil
+	}
+	ref := results[0]
+	for _, r := range results[1:] {
+		if r.Spec.Seed != ref.Spec.Seed {
+			return fmt.Errorf("chaos: comparing trials of different seeds (%d vs %d)", ref.Spec.Seed, r.Spec.Seed)
+		}
+		if fmt.Sprint(r.FinalValues) != fmt.Sprint(ref.FinalValues) ||
+			r.LockWord != ref.LockWord ||
+			fmt.Sprint(r.OpsDone) != fmt.Sprint(ref.OpsDone) {
+			return fmt.Errorf("chaos: seed %d diverges between %s and %s: finals %v/%v lock %d/%d ops %v/%v [replay: %s and %s]",
+				ref.Spec.Seed, ref.Spec.Mech, r.Spec.Mech,
+				ref.FinalValues, r.FinalValues, ref.LockWord, r.LockWord,
+				ref.OpsDone, r.OpsDone, ref.Spec, r.Spec)
+		}
+	}
+	return nil
+}
+
+// SpecFromBytes derives a small trial from fuzzer input: the first bytes
+// select the mechanism and shape, the rest fold into the seed. Every byte
+// string yields a runnable spec, so the fuzz target explores the chaos
+// schedule space freely.
+func SpecFromBytes(data []byte) TrialSpec {
+	at := func(i int) uint64 {
+		if i < len(data) {
+			return uint64(data[i])
+		}
+		return 0
+	}
+	seed := uint64(1)
+	for _, b := range data {
+		seed = seed*1099511628211 + uint64(b)
+	}
+	return TrialSpec{
+		Seed:       seed,
+		Mech:       syncprim.Mechanisms[at(0)%uint64(len(syncprim.Mechanisms))],
+		Procs:      []int{2, 4}[at(1)%2],
+		Vars:       1 + int(at(2)%3),
+		Ops:        1 + int(at(3)%4),
+		Episodes:   1 + int(at(4)%2),
+		LockPasses: int(at(5) % 2),
+		Level:      1 + int(at(6)%2),
+		Squeeze:    at(7)%4 == 0,
+	}
+}

@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"amosim/internal/directory"
 	"amosim/internal/memsys"
@@ -154,6 +155,8 @@ type AMU struct {
 	queue []network.Msg
 	busy  bool
 
+	perturb func(addr uint64)
+
 	stats metrics.AMUStats
 }
 
@@ -192,6 +195,42 @@ func (a *AMU) Stats() metrics.AMUStats { return a.stats }
 func (a *AMU) occupy(cycles uint64, job func()) {
 	a.stats.OccupancyCycles += cycles
 	a.eng.Schedule(sim.Time(cycles), job)
+}
+
+// SetPerturber installs fn, invoked after every completed AMO/MAO operation
+// with the operation's word address — the fault-injection hook used by
+// internal/chaos to force operand-cache evictions at adversarial moments.
+// It runs in event context while the FU still owns the cycle, so anything
+// it evicts goes through the normal FineEvict/write-back paths before the
+// next request dispatches. Pass nil to disable.
+func (a *AMU) SetPerturber(fn func(addr uint64)) { a.perturb = fn }
+
+// CachedWords returns the addresses of every valid operand-cache entry in
+// ascending order, for introspection and deterministic chaos victim
+// selection.
+func (a *AMU) CachedWords() []uint64 {
+	var out []uint64
+	for i := range a.cache {
+		if a.cache[i].valid {
+			out = append(out, a.cache[i].addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EvictWord force-evicts the operand-cache entry holding addr through the
+// normal eviction path (FineEvict for coherent words, a direct memory
+// write-back for MAO words), reporting whether an entry was evicted. Word
+// values are conserved: eviction flushes, never discards.
+func (a *AMU) EvictWord(addr uint64) bool {
+	for i := range a.cache {
+		if a.cache[i].valid && a.cache[i].addr == addr {
+			a.evict(i)
+			return true
+		}
+	}
+	return false
 }
 
 // Peek returns the AMU-cached value of addr without touching LRU state,
@@ -285,6 +324,9 @@ func (a *AMU) execute(m network.Msg) {
 		// the latch so the put reads the value; the put path flushes memory
 		// itself and FineDrop follows on the next fill's eviction.
 		a.evictAddr(m.Addr)
+	}
+	if a.perturb != nil {
+		a.perturb(m.Addr)
 	}
 	a.busy = false
 	a.eng.Schedule(0, a.dispatch)

@@ -96,7 +96,21 @@ type Controller struct {
 
 	entries map[uint64]*entry
 
+	perturb  Perturber
+	observer func(block uint64)
+
 	stats metrics.DirectoryStats
+}
+
+// Perturber injects protocol-legal pressure into the controller — the
+// fault-injection hook used by internal/chaos. RequestDelay returns extra
+// cycles to hold the CPU request m before it is submitted to its block's
+// transaction queue, modeling a NACK-and-retry: the requester's message
+// bounces once and comes back later. It is consulted exactly once per
+// request (no unbounded re-delay) and only for GETS/GETX/UPGRADE —
+// writebacks and acks resolve races and must never be held.
+type Perturber interface {
+	RequestDelay(m network.Msg) sim.Time
 }
 
 // New creates a directory controller for node p.Node. The AMU port may be
@@ -116,6 +130,16 @@ func New(eng *sim.Engine, net *network.Network, mem *memsys.Memory, p Params) *C
 
 // SetAMU installs the AMU recall port.
 func (c *Controller) SetAMU(a AMUPort) { c.amu = a }
+
+// SetPerturber installs a request-delay perturber (nil disables).
+func (c *Controller) SetPerturber(p Perturber) { c.perturb = p }
+
+// SetObserver installs fn, called at the completion of every transaction on
+// this controller with the block address, while the new directory record is
+// in place. Observers must be read-only: they run in event context between
+// a transaction's final state update and the dispatch of the next queued
+// one. internal/chaos attaches its SWMR/sharer-sync oracle here.
+func (c *Controller) SetObserver(fn func(block uint64)) { c.observer = fn }
 
 // Node returns the home node id.
 func (c *Controller) Node() int { return c.p.Node }
@@ -163,7 +187,14 @@ func (c *Controller) Handle(m network.Msg) {
 	case network.KindInterventionAck:
 		c.applyIvnAck(e, m)
 	case network.KindGetShared, network.KindGetExclusive, network.KindUpgrade:
-		c.submit(block, func() { c.processRequest(block, m) })
+		job := func() { c.submit(block, func() { c.processRequest(block, m) }) }
+		if c.perturb != nil {
+			if d := c.perturb.RequestDelay(m); d > 0 {
+				c.eng.Schedule(d, job)
+				return
+			}
+		}
+		job()
 	default:
 		panic(fmt.Sprintf("directory: unexpected message %v", m))
 	}
@@ -192,6 +223,9 @@ func (c *Controller) complete(block uint64) {
 		panic("directory: complete on idle block")
 	}
 	e.txn = nil
+	if c.observer != nil {
+		c.observer(block)
+	}
 	if len(e.waitq) == 0 {
 		e.busy = false
 		return

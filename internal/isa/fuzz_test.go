@@ -1,0 +1,63 @@
+package isa
+
+import (
+	"testing"
+
+	"amosim/internal/core"
+)
+
+// FuzzAMOEncodeDecode checks the codec contract from both directions:
+// every word Decode accepts must re-Encode to the identical word, and an
+// Instr built from arbitrary fields must Encode exactly when its fields are
+// legal — with Decode recovering the exact instruction.
+func FuzzAMOEncodeDecode(f *testing.F) {
+	f.Add(uint32(0x7000003B), uint8(0), uint8(0), uint8(0), uint8(0), false, false)
+	f.Add(uint32(0x7065383B), uint8(3), uint8(5), uint8(7), uint8(1), true, false)
+	f.Add(uint32(0xFFFFFFFF), uint8(31), uint8(31), uint8(31), uint8(7), true, true)
+	f.Add(uint32(0x70000000), uint8(200), uint8(1), uint8(2), uint8(9), false, true)
+	f.Fuzz(func(t *testing.T, w uint32, base, value, dest, op uint8, test, upd bool) {
+		// Direction 1: decode-accepted words round-trip bit-exactly.
+		if i, err := Decode(w); err == nil {
+			back, err := Encode(i)
+			if err != nil {
+				t.Fatalf("Decode(%#x) = %+v but Encode rejects it: %v", w, i, err)
+			}
+			if back != w {
+				t.Fatalf("Decode(%#x) re-encodes to %#x", w, back)
+			}
+			if i.Mnemonic() == "" {
+				t.Fatalf("Decode(%#x) has empty mnemonic", w)
+			}
+		}
+
+		// Direction 2: encode and decode agree on which instructions are
+		// legal, and agree field-for-field on the legal ones. int8 widens
+		// the register range into negatives so the bounds checks are hit.
+		i := Instr{
+			Op:           core.Op(op),
+			Base:         int(int8(base)),
+			Value:        int(int8(value)),
+			Dest:         int(int8(dest)),
+			Test:         test,
+			UpdateAlways: upd,
+		}
+		legal := i.Op.Valid() &&
+			i.Base >= 0 && i.Base <= 31 &&
+			i.Value >= 0 && i.Value <= 31 &&
+			i.Dest >= 0 && i.Dest <= 31
+		word, err := Encode(i)
+		if (err == nil) != legal {
+			t.Fatalf("Encode(%+v) err=%v, but legal=%v", i, err, legal)
+		}
+		if err != nil {
+			return
+		}
+		back, err := Decode(word)
+		if err != nil {
+			t.Fatalf("Encode(%+v) = %#x but Decode rejects it: %v", i, word, err)
+		}
+		if back != i {
+			t.Fatalf("round trip %+v -> %#x -> %+v", i, word, back)
+		}
+	})
+}

@@ -103,6 +103,26 @@ func (m *Machine) CheckCoherence() error {
 	return nil
 }
 
+// ReadWordCoherent returns the authoritative value of the word at addr at
+// quiescence, without scheduling events or perturbing any cache: the home
+// AMU's operand-cache copy if present (authoritative for both AMO words
+// inside the release-consistency window and MAO words, which live in the
+// AMU until evicted), else a Modified processor-cache copy, else home
+// memory. Call only between runs — mid-run the answer can be mid-transaction.
+func (m *Machine) ReadWordCoherent(addr uint64) uint64 {
+	if v, ok := m.AMUs[memsys.HomeNode(addr)].Peek(addr); ok {
+		return v
+	}
+	for _, cpu := range m.CPUs {
+		if v, ok := cpu.Cache().ReadWord(addr); ok {
+			if ln := cpu.Cache().Lookup(addr); ln != nil && ln.State == cache.Modified {
+				return v
+			}
+		}
+	}
+	return m.Mem.ReadWord(addr)
+}
+
 // copyInfo is one cached copy of a block, for invariant checking.
 type copyInfo struct {
 	cpu   int

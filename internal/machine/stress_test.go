@@ -9,6 +9,7 @@ package machine
 // invariant check.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -32,21 +33,38 @@ func llscInc(c *proc.CPU, addr uint64) {
 	}
 }
 
+// TestStressMixedMechanisms fans seeded trials across machine shapes. Every
+// subtest is named by its shape and seed, and a failure logs the exact
+// runMixedStress call that replays it.
 func TestStressMixedMechanisms(t *testing.T) {
-	seeds := []int64{1, 7, 42}
-	if testing.Short() {
-		seeds = seeds[:1]
+	cases := []struct {
+		name             string
+		procs, vars, ops int
+		seeds            []int64
+	}{
+		{name: "baseline", procs: 8, vars: 3, ops: 25, seeds: []int64{1, 7, 42}},
+		{name: "contended", procs: 8, vars: 1, ops: 30, seeds: []int64{3, 99}},
+		{name: "wide", procs: 16, vars: 5, ops: 15, seeds: []int64{11, 1234}},
+		{name: "small", procs: 4, vars: 2, ops: 40, seeds: []int64{8, 4096}},
 	}
-	for _, seed := range seeds {
-		seed := seed
-		t.Run("", func(t *testing.T) {
-			runMixedStress(t, seed, 8, 3, 25)
-		})
+	for _, tc := range cases {
+		tc := tc
+		if testing.Short() {
+			tc.seeds = tc.seeds[:1]
+		}
+		for _, seed := range tc.seeds {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, seed), func(t *testing.T) {
+				runMixedStress(t, seed, tc.procs, tc.vars, tc.ops)
+			})
+		}
 	}
 }
 
 func runMixedStress(t *testing.T, seed int64, procs, vars, opsPerCPU int) {
 	t.Helper()
+	// Every failure below carries the replay line for this exact trial.
+	replay := fmt.Sprintf("runMixedStress(t, %d, %d, %d, %d)", seed, procs, vars, opsPerCPU)
 	m := newMachine(t, procs)
 	coherent := make([]uint64, vars)
 	maoVars := make([]uint64, vars)
@@ -86,43 +104,16 @@ func runMixedStress(t *testing.T, seed int64, procs, vars, opsPerCPU int) {
 	mustRun(t, m)
 
 	if err := m.CheckCoherence(); err != nil {
-		t.Fatalf("seed %d: coherence violated: %v", seed, err)
+		t.Fatalf("coherence violated: %v [replay: %s]", err, replay)
 	}
 	for i := 0; i < vars; i++ {
-		// Force the coherent value out of AMU/caches: recall via snapshot.
-		got := coherentValue(m, coherent[i])
-		if got != incs[i] {
-			t.Errorf("seed %d: coherent var %d = %d, want %d", seed, i, got, incs[i])
+		if got := m.ReadWordCoherent(coherent[i]); got != incs[i] {
+			t.Errorf("coherent var %d = %d, want %d [replay: %s]", i, got, incs[i], replay)
 		}
-		maoGot := maoValue(m, maoVars[i])
-		if maoGot != maoIncs[i] {
-			t.Errorf("seed %d: MAO var %d = %d, want %d", seed, i, maoGot, maoIncs[i])
+		if got := m.ReadWordCoherent(maoVars[i]); got != maoIncs[i] {
+			t.Errorf("MAO var %d = %d, want %d [replay: %s]", i, got, maoIncs[i], replay)
 		}
 	}
-}
-
-// coherentValue reads the authoritative value of a coherent word: the AMU
-// copy if held, else a Modified cache copy, else memory.
-func coherentValue(m *Machine, addr uint64) uint64 {
-	home := int(addr >> 32)
-	if m.Dirs[home].AMUHolds(addr) {
-		m.AMUs[home].Recall(addr &^ uint64(m.Cfg.BlockBytes-1))
-		return m.Mem.ReadWord(addr)
-	}
-	return readCoherent(m, addr)
-}
-
-// maoValue reads a MAO word: AMU cache is authoritative, falling back to
-// memory. Recall only flushes coherent words, so flush by reading the AMU
-// indirectly: MAO words are non-coherent, so we peek via memory after the
-// run only when the AMU evicted them; otherwise use the AMU's view through
-// an uncached load equivalent (direct counter access in tests).
-func maoValue(m *Machine, addr uint64) uint64 {
-	home := int(addr >> 32)
-	if v, ok := m.AMUs[home].Peek(addr); ok {
-		return v
-	}
-	return m.Mem.ReadWord(addr)
 }
 
 func TestStressWithTinyCaches(t *testing.T) {
@@ -153,7 +144,7 @@ func TestStressWithTinyCaches(t *testing.T) {
 		t.Fatalf("coherence violated: %v", err)
 	}
 	for i, a := range vars {
-		if got := coherentValue(m, a); got != want[i] {
+		if got := m.ReadWordCoherent(a); got != want[i] {
 			t.Errorf("var %d = %d, want %d", i, got, want[i])
 		}
 	}

@@ -28,8 +28,20 @@ type Network struct {
 	hubs map[int]Handler
 	cpus map[int]Handler // keyed by global CPU id
 
-	stats  Stats
-	tracer *trace.Tracer
+	stats   Stats
+	tracer  *trace.Tracer
+	perturb Perturber
+}
+
+// Perturber injects extra, bounded delivery latency into the network — the
+// fault-injection hook used by internal/chaos. DeliveryDelay returns the
+// extra cycles to add to m's delivery latency (lat is the unperturbed
+// value). Implementations must be deterministic functions of their own
+// seeded state and the message stream; they must never reorder messages
+// whose order the protocol depends on (the chaos layer enforces per-link,
+// per-block FIFO by clamping its jitter).
+type Perturber interface {
+	DeliveryDelay(m Msg, lat sim.Time) sim.Time
 }
 
 // Stats accumulates traffic counters. All counters are monotonically
@@ -138,6 +150,11 @@ func (n *Network) Metrics() metrics.NetworkStats {
 // disable.
 func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
 
+// SetPerturber installs a delivery-latency perturber (nil disables). The
+// perturbed latency is what the traffic stats record: TransitCycles stays a
+// faithful gauge of actual link occupancy under fault injection.
+func (n *Network) SetPerturber(p Perturber) { n.perturb = p }
+
 // PacketBytes returns the on-wire size of m: header plus payload, rounded up
 // to the minimum packet size.
 func (n *Network) PacketBytes(m Msg) int {
@@ -174,6 +191,9 @@ func (n *Network) Send(m Msg) {
 	}
 	bytes := n.PacketBytes(m)
 	lat := n.Latency(m.Src, m.Dst)
+	if n.perturb != nil {
+		lat += n.perturb.DeliveryDelay(m, lat)
+	}
 	if hops > 0 {
 		n.stats.NetMessages++
 		n.stats.NetMessagesByKind[m.Kind]++

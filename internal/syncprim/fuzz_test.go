@@ -1,0 +1,58 @@
+package syncprim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMechanism checks the parser never panics, is case-insensitive,
+// round-trips with String, and accepts a parsed name's canonical form.
+func FuzzParseMechanism(f *testing.F) {
+	for _, m := range Mechanisms {
+		f.Add(m.String())
+	}
+	f.Add("llsc")
+	f.Add("LL/SC")
+	f.Add("")
+	f.Add("amoX")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMechanism(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "unknown mechanism") {
+				t.Fatalf("ParseMechanism(%q) unexpected error: %v", s, err)
+			}
+			return
+		}
+		if upper, err2 := ParseMechanism(strings.ToUpper(s)); err2 != nil || upper != m {
+			t.Fatalf("ParseMechanism(%q) = %v but upper-cased parse gives %v, %v", s, m, upper, err2)
+		}
+		if back, err2 := ParseMechanism(m.String()); err2 != nil || back != m {
+			t.Fatalf("ParseMechanism(%v.String()) = %v, %v; does not round-trip", m, back, err2)
+		}
+	})
+}
+
+// FuzzParseLockKind is the same contract for lock-algorithm names.
+func FuzzParseLockKind(f *testing.F) {
+	for _, k := range []LockKind{Ticket, Array, MCS} {
+		f.Add(k.String())
+	}
+	f.Add("TICKET")
+	f.Add("")
+	f.Add("mcs2")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseLockKind(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "unknown lock kind") {
+				t.Fatalf("ParseLockKind(%q) unexpected error: %v", s, err)
+			}
+			return
+		}
+		if upper, err2 := ParseLockKind(strings.ToUpper(s)); err2 != nil || upper != k {
+			t.Fatalf("ParseLockKind(%q) = %v but upper-cased parse gives %v, %v", s, k, upper, err2)
+		}
+		if back, err2 := ParseLockKind(k.String()); err2 != nil || back != k {
+			t.Fatalf("ParseLockKind(%v.String()) = %v, %v; does not round-trip", k, back, err2)
+		}
+	})
+}

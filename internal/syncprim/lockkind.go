@@ -1,0 +1,44 @@
+package syncprim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LockKind selects one of the lock algorithms implemented in this package.
+type LockKind int
+
+// Lock algorithms: ticket and array are the paper's Table 4; MCS is this
+// reproduction's extension baseline (the strongest conventional queue
+// lock).
+const (
+	Ticket LockKind = iota
+	Array
+	MCS
+)
+
+func (k LockKind) String() string {
+	switch k {
+	case Ticket:
+		return "ticket"
+	case Array:
+		return "array"
+	case MCS:
+		return "mcs"
+	}
+	return fmt.Sprintf("LockKind(%d)", int(k))
+}
+
+// ParseLockKind parses a lock-algorithm name, case-insensitively. It
+// round-trips with String: ParseLockKind(k.String()) == k for every kind.
+func ParseLockKind(s string) (LockKind, error) {
+	switch strings.ToLower(s) {
+	case "ticket":
+		return Ticket, nil
+	case "array":
+		return Array, nil
+	case "mcs":
+		return MCS, nil
+	}
+	return 0, fmt.Errorf("syncprim: unknown lock kind %q (ticket, array, mcs)", s)
+}

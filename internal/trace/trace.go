@@ -59,6 +59,7 @@ func (t *Tracer) Add(cycle uint64, kind, format string, args ...interface{}) {
 		t.records = append(t.records, r)
 		return
 	}
+	t.dropped++ // the overwritten record is lost
 	t.records[t.start] = r
 	t.start = (t.start + 1) % t.cap
 	t.full = true
@@ -72,7 +73,9 @@ func (t *Tracer) Len() int {
 	return len(t.records)
 }
 
-// Dropped reports how many records the filter rejected.
+// Dropped reports how many records were lost: rejected by the filter or
+// overwritten by ring-buffer wraparound. Len() + Dropped() therefore equals
+// the total number of Add calls since the last Reset.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0

@@ -88,6 +88,65 @@ func TestDumpFormat(t *testing.T) {
 	}
 }
 
+// TestWraparoundCountsDropped: every record lost to ring wraparound is
+// accounted for, so Len() + Dropped() == Add calls.
+func TestWraparoundCountsDropped(t *testing.T) {
+	tr := New(3)
+	for i := uint64(0); i < 7; i++ {
+		tr.Add(i, "msg", "e%d", i)
+	}
+	if got := tr.Dropped(); got != 4 {
+		t.Fatalf("Dropped() = %d after 7 adds into cap 3, want 4", got)
+	}
+	if tr.Len()+int(tr.Dropped()) != 7 {
+		t.Fatalf("Len()+Dropped() = %d+%d, want 7", tr.Len(), tr.Dropped())
+	}
+	tr.Reset()
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d after Reset, want 0", tr.Dropped())
+	}
+}
+
+// TestFilterAndCapacityInteraction: filter rejections and wraparound losses
+// accumulate in one Dropped counter, and filtered records never consume
+// ring slots.
+func TestFilterAndCapacityInteraction(t *testing.T) {
+	tr := New(2)
+	tr.SetFilter(func(r Record) bool { return r.Kind == "amu" })
+	for i := uint64(0); i < 4; i++ {
+		tr.Add(i, "msg", "rejected%d", i) // 4 filter drops, no slots used
+	}
+	for i := uint64(10); i < 13; i++ {
+		tr.Add(i, "amu", "kept%d", i) // fills cap 2, then 1 wrap drop
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", tr.Len())
+	}
+	if got := tr.Dropped(); got != 5 {
+		t.Fatalf("Dropped() = %d, want 4 filtered + 1 wrapped = 5", got)
+	}
+	rs := tr.Records()
+	if rs[0].Cycle != 11 || rs[1].Cycle != 12 {
+		t.Fatalf("records = %+v, want cycles 11,12", rs)
+	}
+}
+
+// TestDumpGolden pins the exact Dump rendering — cycle right-aligned to 10,
+// kind left-aligned to 4, one record per line — so debugging transcripts
+// and chaos trace digests stay stable.
+func TestDumpGolden(t *testing.T) {
+	tr := New(4)
+	tr.Add(7, "msg", "GETS hub0 -> hub1")
+	tr.Add(1234, "dir", "E owner 3")
+	tr.Add(4294967296, "amu", "amo.inc @0x80")
+	want := "         7  msg  GETS hub0 -> hub1\n" +
+		"      1234  dir  E owner 3\n" +
+		"4294967296  amu  amo.inc @0x80\n"
+	if got := tr.String(); got != want {
+		t.Fatalf("Dump output changed:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
 // Property: the tracer retains exactly min(n, cap) records and they are
 // always the n most recent, in order.
 func TestRingProperty(t *testing.T) {
