@@ -26,8 +26,10 @@ func benchProcs(full []int, short []int, b *testing.B) []int {
 // BenchmarkFig1MessageCount regenerates Figure 1 (E1): one-way network
 // messages for a 3-CPU barrier arrival phase.
 func BenchmarkFig1MessageCount(b *testing.B) {
+	b.ReportAllocs()
 	for _, mech := range Mechanisms {
 		b.Run(mech.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var msgs uint64
 			for i := 0; i < b.N; i++ {
 				n, err := IncrementMessageCount(mech)
@@ -45,10 +47,12 @@ func BenchmarkFig1MessageCount(b *testing.B) {
 // mechanism, every scale. The simcyc/barrier metric is the table input; the
 // speedup column is cycles(LL/SC)/cycles(mech).
 func BenchmarkTable2Barriers(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs(Table2Procs, []int{4, 16}, b)
 	for _, p := range procs {
 		for _, mech := range Mechanisms {
 			b.Run(fmt.Sprintf("p%d/%s", p, mech), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := DefaultConfig(p)
 				var r BarrierResult
 				for i := 0; i < b.N; i++ {
@@ -71,10 +75,12 @@ func BenchmarkTable2Barriers(b *testing.B) {
 // alone, and sampled at four scales by default (amotables -exp fig5 prints
 // the full sweep).
 func BenchmarkFig5CyclesPerProcessor(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs([]int{4, 16, 64, 256}, []int{4, 16}, b)
 	for _, p := range procs {
 		for _, mech := range Mechanisms {
 			b.Run(fmt.Sprintf("p%d/%s", p, mech), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := DefaultConfig(p)
 				var r BarrierResult
 				for i := 0; i < b.N; i++ {
@@ -93,10 +99,12 @@ func BenchmarkFig5CyclesPerProcessor(b *testing.B) {
 // BenchmarkTable3TreeBarriers regenerates Table 3 (E4): two-level combining
 // trees with the best branching factor per cell, plus the flat AMO column.
 func BenchmarkTable3TreeBarriers(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs([]int{16, 64, 256}, []int{16}, b)
 	for _, p := range procs {
 		for _, mech := range Mechanisms {
 			b.Run(fmt.Sprintf("p%d/%s+tree", p, mech), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := DefaultConfig(p)
 				var r BarrierResult
 				for i := 0; i < b.N; i++ {
@@ -111,6 +119,7 @@ func BenchmarkTable3TreeBarriers(b *testing.B) {
 			})
 		}
 		b.Run(fmt.Sprintf("p%d/AMO-flat", p), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := DefaultConfig(p)
 			var r BarrierResult
 			for i := 0; i < b.N; i++ {
@@ -127,10 +136,12 @@ func BenchmarkTable3TreeBarriers(b *testing.B) {
 
 // BenchmarkFig6TreeCyclesPerProcessor regenerates Figure 6 (E5).
 func BenchmarkFig6TreeCyclesPerProcessor(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs([]int{16, 256}, []int{16}, b)
 	for _, p := range procs {
 		for _, mech := range Mechanisms {
 			b.Run(fmt.Sprintf("p%d/%s+tree", p, mech), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := DefaultConfig(p)
 				var r BarrierResult
 				for i := 0; i < b.N; i++ {
@@ -150,11 +161,13 @@ func BenchmarkFig6TreeCyclesPerProcessor(b *testing.B) {
 // under every mechanism; speedups are over the LL/SC ticket lock's
 // simcyc/pass.
 func BenchmarkTable4Locks(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs([]int{4, 16, 64, 256}, []int{4, 16}, b)
 	for _, p := range procs {
 		for _, mech := range Mechanisms {
 			for _, kind := range []LockKind{Ticket, Array} {
 				b.Run(fmt.Sprintf("p%d/%s/%s", p, mech, kind), func(b *testing.B) {
+					b.ReportAllocs()
 					cfg := DefaultConfig(p)
 					var r LockResult
 					for i := 0; i < b.N; i++ {
@@ -176,10 +189,12 @@ func BenchmarkTable4Locks(b *testing.B) {
 // traffic (byte-hops over the measured window), normalized offline against
 // the LL/SC row.
 func BenchmarkFig7LockTraffic(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs(Figure7Procs, []int{16}, b)
 	for _, p := range procs {
 		for _, mech := range Mechanisms {
 			b.Run(fmt.Sprintf("p%d/%s", p, mech), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := DefaultConfig(p)
 				var r LockResult
 				for i := 0; i < b.N; i++ {
@@ -199,10 +214,12 @@ func BenchmarkFig7LockTraffic(b *testing.B) {
 // BenchmarkAblationAMUCache regenerates ablation A1: AMO barrier cost as
 // the AMU operand cache shrinks from 8 words to none.
 func BenchmarkAblationAMUCache(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs([]int{16, 64, 256}, []int{16}, b)
 	for _, p := range procs {
 		for _, words := range []int{0, 1, 8} {
 			b.Run(fmt.Sprintf("p%d/words%d", p, words), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := DefaultConfig(p)
 				cfg.AMUCacheWords = words
 				var r BarrierResult
@@ -222,10 +239,12 @@ func BenchmarkAblationAMUCache(b *testing.B) {
 // BenchmarkAblationDelayedUpdate regenerates ablation A2: the paper's
 // delayed (test-value-gated) update versus updating on every increment.
 func BenchmarkAblationDelayedUpdate(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs([]int{16, 64, 256}, []int{16}, b)
 	for _, p := range procs {
 		cfg := DefaultConfig(p)
 		b.Run(fmt.Sprintf("p%d/delayed", p), func(b *testing.B) {
+			b.ReportAllocs()
 			var r BarrierResult
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -238,6 +257,7 @@ func BenchmarkAblationDelayedUpdate(b *testing.B) {
 			b.ReportMetric(r.NetMessagesPerBarrier, "netmsgs/barrier")
 		})
 		b.Run(fmt.Sprintf("p%d/always", p), func(b *testing.B) {
+			b.ReportAllocs()
 			var r BarrierResult
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -255,10 +275,12 @@ func BenchmarkAblationDelayedUpdate(b *testing.B) {
 // BenchmarkAblationTreeBranching regenerates ablation A3: the tree-barrier
 // branching-factor grid for the LL/SC mechanism.
 func BenchmarkAblationTreeBranching(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs([]int{64, 256}, []int{16}, b)
 	for _, p := range procs {
 		for _, br := range TreeBranchings(p) {
 			b.Run(fmt.Sprintf("p%d/b%d", p, br), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := DefaultConfig(p)
 				var r BarrierResult
 				for i := 0; i < b.N; i++ {
@@ -277,10 +299,12 @@ func BenchmarkAblationTreeBranching(b *testing.B) {
 // BenchmarkApplications regenerates the application table (E8): verified
 // parallel kernels end to end under LL/SC, MAO and AMO synchronization.
 func BenchmarkApplications(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs([]int{16, 64}, []int{16}, b)
 	for _, p := range procs {
 		for _, mech := range []Mechanism{LLSC, MAO, AMO} {
 			b.Run(fmt.Sprintf("p%d/stencil/%s", p, mech), func(b *testing.B) {
+				b.ReportAllocs()
 				var cycles uint64
 				for i := 0; i < b.N; i++ {
 					r, err := appStencil(DefaultConfig(p), mech)
@@ -297,10 +321,12 @@ func BenchmarkApplications(b *testing.B) {
 
 // BenchmarkExtensionMCS regenerates the MCS extension rows.
 func BenchmarkExtensionMCS(b *testing.B) {
+	b.ReportAllocs()
 	procs := benchProcs([]int{16, 64, 256}, []int{16}, b)
 	for _, p := range procs {
 		for _, mech := range []Mechanism{LLSC, AMO} {
 			b.Run(fmt.Sprintf("p%d/%s/mcs", p, mech), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := DefaultConfig(p)
 				var r LockResult
 				for i := 0; i < b.N; i++ {

@@ -1,0 +1,178 @@
+package amosim
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// The hot-path benchmark behind `amotables -bench-hotpath`: one "op" is
+// the same workload as BenchmarkSimulatorThroughput — build a fresh
+// 32-processor machine and run the flat AMO barrier for its episode
+// budget — so the checked-in BENCH_hotpath.json tracks the event kernel's
+// throughput and allocation trajectory release over release.
+//
+// The document mixes two kinds of fields. Plain fields are deterministic:
+// simulated cycles, per-barrier costs, and the kernel's event and
+// allocation gauges for the simulation phase, identical on every host
+// (the ci.sh determinism gate regenerates the document twice and diffs
+// everything except Host* lines). Host-prefixed fields read the host
+// clock and allocator and vary between machines and runs; the ci.sh
+// throughput gate compares them against the checked-in baseline with a
+// benchstat-style ±20% tolerance instead of diffing.
+
+// HotpathBench is the BENCH_hotpath.json document.
+type HotpathBench struct {
+	Generator string
+
+	// Workload identity: the BenchmarkSimulatorThroughput configuration.
+	Procs     int
+	Mechanism string
+	Episodes  int
+	Warmup    int
+
+	// Deterministic outputs of one op.
+	SimCycles             uint64  // measurement-window simulated cycles
+	CyclesPerBarrier      float64 // simulated cost per barrier episode
+	NetMessagesPerBarrier float64
+	EventsPerRun          uint64 // kernel events dispatched by the simulation phase
+
+	// Host measurements (nondeterministic; excluded from determinism
+	// diffs, gated by tolerance instead).
+	HostIterations  int     // timed ops behind the averages below
+	HostNsPerOp     float64 // wall-clock nanoseconds per op
+	HostAllocsPerOp float64 // heap allocations per op (construction + run)
+	HostBytesPerOp  float64 // heap bytes per op
+	// HostSimAllocs counts heap allocations during the simulation phase
+	// alone (machine construction excluded) of one instrumented run: the
+	// steady-state figure the event/message pooling drives toward zero.
+	HostSimAllocs uint64
+}
+
+// hotpathConfig pins the benchmark workload to the
+// BenchmarkSimulatorThroughput shape.
+func hotpathConfig() (Config, Mechanism, BarrierOptions) {
+	return DefaultConfig(32), AMO, BarrierOptions{Episodes: 4, Warmup: 1}
+}
+
+// BenchHotpath measures the hot path and returns the BENCH_hotpath.json
+// document. iterations is the timed-loop length; <= 0 selects the default
+// of 50 (one op is ~1-3ms, so the default keeps the gate fast).
+func BenchHotpath(iterations int) ([]byte, error) {
+	if iterations <= 0 {
+		iterations = 50
+	}
+	cfg, mech, bopts := hotpathConfig()
+
+	// Deterministic section: one reference run plus one instrumented run
+	// with kernel metrics enabled (the opt-in Kernel snapshot section).
+	r, err := RunBarrier(cfg, mech, bopts)
+	if err != nil {
+		return nil, err
+	}
+	events, simAllocs, err := hotpathKernelRun(cfg, mech, bopts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Host section: warm once, then time the op loop with the allocator
+	// counters bracketing it.
+	if _, err := RunBarrier(cfg, mech, bopts); err != nil {
+		return nil, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		if _, err := RunBarrier(cfg, mech, bopts); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	n := float64(iterations)
+	doc := HotpathBench{
+		Generator: "amotables -bench-hotpath",
+		Procs:     cfg.Processors,
+		Mechanism: mech.String(),
+		Episodes:  bopts.Episodes,
+		Warmup:    bopts.Warmup,
+
+		SimCycles:             r.TotalCycles,
+		CyclesPerBarrier:      r.CyclesPerBarrier,
+		NetMessagesPerBarrier: r.NetMessagesPerBarrier,
+		EventsPerRun:          events,
+
+		HostIterations:  iterations,
+		HostNsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		HostAllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		HostBytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		HostSimAllocs:   simAllocs,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// hotpathKernelRun executes the benchmark workload on a machine with
+// kernel metrics enabled and returns the simulation phase's dispatched
+// event count (deterministic) and heap allocation count (host gauge),
+// both from the Kernel snapshot diff.
+func hotpathKernelRun(cfg Config, mech Mechanism, bopts BarrierOptions) (events, simAllocs uint64, err error) {
+	bopts = bopts.WithDefaults()
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer m.Shutdown()
+	m.EnableKernelMetrics()
+	b := NewBarrier(m, mech, cfg.Processors, 0)
+	m.OnAllCPUs(func(c *CPU) {
+		for e := 0; e < bopts.Warmup+bopts.Episodes; e++ {
+			c.Think(uint64((c.ID()*37 + e*13) % bopts.WorkCycles))
+			b.Wait(c)
+		}
+	})
+	before := m.Metrics()
+	if _, err := m.Run(); err != nil {
+		return 0, 0, err
+	}
+	d := m.Metrics().Diff(before)
+	return d.Kernel.EventsExecuted, d.Kernel.HostMallocs, nil
+}
+
+// CompareHotpath gates current against the checked-in baseline document:
+// it fails if wall-clock throughput or allocations per op regressed by
+// more than tolerance (benchstat-style ratio; 0 selects the default 20%).
+// Improvements of any size pass — the baseline is re-generated when the
+// trajectory moves.
+func CompareHotpath(baseline, current []byte, tolerance float64) error {
+	if tolerance <= 0 {
+		tolerance = 0.20
+	}
+	var base, cur HotpathBench
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return fmt.Errorf("amosim: bad hotpath baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return fmt.Errorf("amosim: bad hotpath measurement: %w", err)
+	}
+	check := func(name string, baseV, curV float64) error {
+		if baseV <= 0 {
+			return nil
+		}
+		if ratio := curV / baseV; ratio > 1+tolerance {
+			return fmt.Errorf("amosim: hotpath %s regressed %.0f%% (baseline %.0f, now %.0f, tolerance %.0f%%)",
+				name, (ratio-1)*100, baseV, curV, tolerance*100)
+		}
+		return nil
+	}
+	if err := check("ns/op", base.HostNsPerOp, cur.HostNsPerOp); err != nil {
+		return err
+	}
+	return check("allocs/op", base.HostAllocsPerOp, cur.HostAllocsPerOp)
+}

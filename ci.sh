@@ -71,4 +71,31 @@ go run ./cmd/amotables -exp table2 -procs 4,8,16 -episodes 2 -warmup 1 -workers 
 go run ./cmd/amotables -exp table2 -procs 4,8,16 -episodes 2 -warmup 1 -workers 4 >"$parout"
 diff -u "$seqout" "$parout"
 
+echo "== hot path: zero-alloc regression tests"
+# The pooled event and message paths are pinned at exactly 0 allocs/op.
+go test -run 'ZeroAlloc' ./internal/sim ./internal/network
+
+echo "== hot path: determinism and throughput gate"
+# Generate the hot-path document twice: every non-Host field (simulated
+# cycles, per-barrier costs, kernel event counts) must be byte-identical
+# across runs. Host* fields read the host clock/allocator and are instead
+# gated against the checked-in BENCH_hotpath.json baseline with a
+# benchstat-style ±20% tolerance (the second run exercises the gate).
+hot1=$(mktemp)
+hot2=$(mktemp)
+trap 'rm -f "$tmpjson" "$seqout" "$parout" "$hot1" "$hot2" "$hot1.det" "$hot2.det" "$hot1.base"' EXIT
+go run ./cmd/amotables -bench-hotpath "$hot1"
+go run ./cmd/amotables -bench-hotpath "$hot2" -bench-hotpath-gate BENCH_hotpath.json
+grep -v Host "$hot1" >"$hot1.det"
+grep -v Host "$hot2" >"$hot2.det"
+grep -v Host BENCH_hotpath.json >"$hot1.base"
+if ! diff -u "$hot1.det" "$hot2.det"; then
+	echo "hot-path document is nondeterministic across runs" >&2
+	exit 1
+fi
+if ! diff -u "$hot1.base" "$hot1.det"; then
+	echo "hot-path deterministic fields drifted from checked-in BENCH_hotpath.json; regenerate it deliberately" >&2
+	exit 1
+fi
+
 echo "CI PASS"

@@ -4,14 +4,15 @@
 //
 // Usage:
 //
-//	amotables -exp all
-//	amotables -exp table2 -procs 4,8,16,32
-//	amotables -exp table4 -acquires 8
-//	amotables -exp all -workers 8 -progress
+//	amotables -only all
+//	amotables -only table2 -procs 4,8,16,32
+//	amotables -only table4 -acquires 8
+//	amotables -only all -workers 8 -progress
+//	amotables -list
 //
-// Experiments: fig1, table2, fig5, table3, fig6, table4, fig7,
-// ablation-amucache, ablation-update, ablation-tree, ablation-interconnect,
-// ablation-naive, ablation-multicast, extension-mcs, apps, all.
+// Experiments come from the amosim.Experiments() registry; -list prints
+// every name with its description. -only selects one by name (-exp is a
+// deprecated synonym), "all" runs the registry in order.
 //
 // Every experiment runs on the parallel sweep engine: -workers sets the
 // worker-pool size (default: all CPUs; 1 forces the sequential path), and
@@ -24,6 +25,16 @@
 // ticket-lock benchmark per mechanism and writes a compact JSON summary —
 // per-operation cost plus the machine-wide cycle attribution of each
 // measurement window — to PATH (the repo checks in BENCH_metrics.json).
+//
+// With -bench-hotpath PATH it measures the event kernel's hot path (the
+// BenchmarkSimulatorThroughput workload) and writes the BENCH_hotpath.json
+// trajectory document; -bench-hotpath-gate BASELINE additionally compares
+// the fresh measurement against a checked-in baseline and exits nonzero on
+// a >20% throughput or allocation regression.
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever the
+// invocation runs; sweep points are labeled (pprof tag "sweep_point") so
+// profile samples attribute to the experiment cell that produced them.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -42,7 +54,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("amotables: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig1, table2, fig5, table3, fig6, table4, fig7, ablation-*, extension-mcs, apps, all; see package doc)")
+		only     = flag.String("only", "", "experiment name from the registry (see -list), or \"all\"")
+		exp      = flag.String("exp", "", "deprecated synonym for -only")
+		list     = flag.Bool("list", false, "print the experiment registry and exit")
 		procs    = flag.String("procs", "", "comma-separated processor counts (default: the paper's sweep for the experiment)")
 		episodes = flag.Int("episodes", 8, "measured barrier episodes")
 		warmup   = flag.Int("warmup", 2, "warm-up barrier episodes")
@@ -52,8 +66,45 @@ func main() {
 		mech     = flag.String("mech", "llsc", "mechanism for ablation-tree (llsc, atomic, actmsg, mao, amo)")
 		benchOut = flag.String("bench-metrics", "", "write the per-mechanism benchmark summary (with cycle attribution) to this file as JSON, then exit")
 		benchP   = flag.Int("bench-procs", 32, "processor count for -bench-metrics")
+		hotOut   = flag.String("bench-hotpath", "", "write the hot-path benchmark document (BENCH_hotpath.json) to this file, then exit")
+		hotGate  = flag.String("bench-hotpath-gate", "", "with -bench-hotpath: baseline JSON to gate the fresh measurement against (±20%)")
+		hotIters = flag.Int("bench-iters", 0, "timed iterations for -bench-hotpath (0 = default)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, e := range amosim.Experiments() {
+			fmt.Printf("%-22s %s\n", e.Name, e.Describe)
+		}
+		return
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	amosim.SetSweepWorkers(*workers)
 	if *progress {
@@ -84,110 +135,69 @@ func main() {
 		return
 	}
 
-	parseProcs := func(def []int) []int {
-		if *procs == "" {
-			return def
+	if *hotOut != "" {
+		doc, err := amosim.BenchHotpath(*hotIters)
+		if err != nil {
+			log.Fatal(err)
 		}
-		var out []int
+		if err := os.WriteFile(*hotOut, doc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if *hotGate != "" {
+			baseline, err := os.ReadFile(*hotGate)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := amosim.CompareHotpath(baseline, doc, 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	params := amosim.ExperimentParams{
+		Barrier:  bopts,
+		Lock:     lopts,
+		TreeMech: treeMech,
+	}
+	if *procs != "" {
 		for _, f := range strings.Split(*procs, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || n <= 0 {
 				log.Fatalf("bad -procs entry %q", f)
 			}
-			out = append(out, n)
+			params.Procs = append(params.Procs, n)
 		}
-		return out
 	}
 
-	type runner struct {
-		id  string
-		run func() error
+	sel := *only
+	if sel == "" {
+		sel = *exp
 	}
-	show := func(t interface{ Render() string }, err error) error {
+	if sel == "" {
+		sel = "all"
+	}
+
+	run := func(e amosim.ExperimentInfo) {
+		t, err := e.Run(params)
 		if err != nil {
-			return err
+			log.Fatalf("%s: %v", e.Name, err)
 		}
 		fmt.Println(t.Render())
-		return nil
-	}
-	runners := []runner{
-		{"fig1", func() error { t, err := amosim.Figure1(); return show(t, err) }},
-		{"table2", func() error {
-			t, err := amosim.Table2(parseProcs(amosim.Table2Procs), bopts)
-			return show(t, err)
-		}},
-		{"fig5", func() error {
-			t, err := amosim.Figure5(parseProcs(amosim.Table2Procs), bopts)
-			return show(t, err)
-		}},
-		{"table3", func() error {
-			t, err := amosim.Table3(parseProcs(amosim.Table3Procs), bopts)
-			return show(t, err)
-		}},
-		{"fig6", func() error {
-			t, err := amosim.Figure6(parseProcs(amosim.Table3Procs), bopts)
-			return show(t, err)
-		}},
-		{"table4", func() error {
-			t, err := amosim.Table4(parseProcs(amosim.Table2Procs), lopts)
-			return show(t, err)
-		}},
-		{"fig7", func() error {
-			t, err := amosim.Figure7(parseProcs(amosim.Figure7Procs), lopts)
-			return show(t, err)
-		}},
-		{"ablation-amucache", func() error {
-			t, err := amosim.AblationAMUCache(parseProcs([]int{16, 64, 256}), bopts)
-			return show(t, err)
-		}},
-		{"ablation-update", func() error {
-			t, err := amosim.AblationUpdate(parseProcs([]int{16, 64, 256}), bopts)
-			return show(t, err)
-		}},
-		{"ablation-tree", func() error {
-			t, err := amosim.AblationTree(treeMech, parseProcs([]int{64, 256}), bopts)
-			return show(t, err)
-		}},
-		{"ablation-interconnect", func() error {
-			t, err := amosim.AblationInterconnect(parseProcs([]int{16, 64, 256}), bopts)
-			return show(t, err)
-		}},
-		{"extension-mcs", func() error {
-			t, err := amosim.ExtensionMCS(parseProcs([]int{16, 64, 256}), lopts)
-			return show(t, err)
-		}},
-		{"apps", func() error {
-			t, err := amosim.ApplicationTable(parseProcs([]int{16, 64}))
-			return show(t, err)
-		}},
-		{"ablation-naive", func() error {
-			t, err := amosim.AblationNaiveCoding(parseProcs([]int{16, 64}), bopts)
-			return show(t, err)
-		}},
-		{"ablation-multicast", func() error {
-			t, err := amosim.AblationMulticast(parseProcs([]int{16, 64, 256}), bopts)
-			return show(t, err)
-		}},
 	}
 
-	if *exp == "all" {
-		for _, r := range runners {
-			fmt.Printf("== %s ==\n", r.id)
-			if err := r.run(); err != nil {
-				log.Fatalf("%s: %v", r.id, err)
-			}
+	if sel == "all" {
+		for _, e := range amosim.Experiments() {
+			fmt.Printf("== %s ==\n", e.Name)
+			run(e)
 		}
 		return
 	}
-	for _, r := range runners {
-		if r.id == *exp {
-			if err := r.run(); err != nil {
-				log.Fatalf("%s: %v", r.id, err)
-			}
-			return
-		}
+	e, ok := amosim.ExperimentByName(sel)
+	if !ok {
+		log.Printf("unknown experiment %q (see -list)", sel)
+		flag.Usage()
+		os.Exit(2)
 	}
-	log.Printf("unknown experiment %q", *exp)
-	flag.Usage()
-	os.Exit(2)
+	run(e)
 }

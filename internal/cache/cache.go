@@ -57,8 +57,13 @@ type Cache struct {
 	sets       int
 	ways       int
 	blockBytes int
-	lines      [][]Line // [set][way]
+	lines      []Line // flat [set*ways+way] backing, one allocation
 	tick       uint64
+
+	// recycle, when set, receives word buffers the cache drops silently
+	// (replaced-in-place contents, clean victims), so callers running a
+	// buffer pool can reclaim them.
+	recycle func([]uint64)
 
 	hits      uint64
 	misses    uint64
@@ -74,15 +79,23 @@ func New(sets, ways, blockBytes int) *Cache {
 		panic(fmt.Sprintf("cache: ways must be positive, got %d", ways))
 	}
 	c := &Cache{sets: sets, ways: ways, blockBytes: blockBytes}
-	c.lines = make([][]Line, sets)
-	for i := range c.lines {
-		c.lines[i] = make([]Line, ways)
-	}
+	c.lines = make([]Line, sets*ways)
 	return c
 }
 
+// SetRecycler installs fn, called with every word buffer the cache discards
+// without returning it to the caller (a line replaced in place, a clean
+// victim). The owning CPU wires this to its network's payload pool so block
+// buffers cycle instead of garbage-collecting.
+func (c *Cache) SetRecycler(fn func([]uint64)) { c.recycle = fn }
+
 func (c *Cache) setOf(block uint64) int {
 	return int((block / uint64(c.blockBytes)) % uint64(c.sets))
+}
+
+// set returns the ways of one set as a slice of the flat backing array.
+func (c *Cache) set(i int) []Line {
+	return c.lines[i*c.ways : (i+1)*c.ways]
 }
 
 // BlockBytes returns the line size.
@@ -92,7 +105,7 @@ func (c *Cache) BlockBytes() int { return c.blockBytes }
 // update LRU state; use Touch for accesses.
 func (c *Cache) Lookup(addr uint64) *Line {
 	block := memsys.BlockAddr(addr, c.blockBytes)
-	set := c.lines[c.setOf(block)]
+	set := c.set(c.setOf(block))
 	for i := range set {
 		if set[i].State != Invalid && set[i].Addr == block {
 			return &set[i]
@@ -123,12 +136,15 @@ func (c *Cache) Insert(addr uint64, st State, words []uint64) (Victim, bool) {
 		panic(fmt.Sprintf("cache: Insert with %d words, want %d", len(words), c.blockBytes/memsys.WordBytes))
 	}
 	block := memsys.BlockAddr(addr, c.blockBytes)
-	set := c.lines[c.setOf(block)]
+	set := c.set(c.setOf(block))
 	c.tick++
 	c.misses++
 	// Replace in place if resident.
 	for i := range set {
 		if set[i].State != Invalid && set[i].Addr == block {
+			if c.recycle != nil && set[i].Words != nil {
+				c.recycle(set[i].Words)
+			}
 			set[i].State = st
 			set[i].Words = words
 			set[i].lru = c.tick
@@ -154,6 +170,10 @@ func (c *Cache) Insert(addr uint64, st State, words []uint64) (Victim, bool) {
 		if set[victimIdx].State == Modified {
 			v = Victim{Addr: set[victimIdx].Addr, State: Modified, Words: set[victimIdx].Words}
 			dirty = true
+		} else if c.recycle != nil && set[victimIdx].Words != nil {
+			// Clean victim: the directory's sharer list stays a conservative
+			// superset, and the buffer goes back to the pool.
+			c.recycle(set[victimIdx].Words)
 		}
 	}
 	set[victimIdx] = Line{Addr: block, State: st, Words: words, lru: c.tick}
@@ -164,7 +184,7 @@ func (c *Cache) Insert(addr uint64, st State, words []uint64) (Victim, bool) {
 // state and words (for intervention replies). Returns Invalid if absent.
 func (c *Cache) Invalidate(addr uint64) (State, []uint64) {
 	block := memsys.BlockAddr(addr, c.blockBytes)
-	set := c.lines[c.setOf(block)]
+	set := c.set(c.setOf(block))
 	for i := range set {
 		if set[i].State != Invalid && set[i].Addr == block {
 			st, w := set[i].State, set[i].Words
@@ -241,11 +261,9 @@ func lineState(ln *Line) State {
 // ascending order (for coherence checking and introspection).
 func (c *Cache) ResidentBlocks() []uint64 {
 	var out []uint64
-	for _, set := range c.lines {
-		for i := range set {
-			if set[i].State != Invalid {
-				out = append(out, set[i].Addr)
-			}
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			out = append(out, c.lines[i].Addr)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

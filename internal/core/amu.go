@@ -137,7 +137,23 @@ type amuEntry struct {
 	lru      uint64
 }
 
+// finePut is a pooled fine-put request record. Its read/done callbacks are
+// bound once at construction and handed to directory.FinePut, so issuing a
+// put never allocates: the record returns to its AMU's free list when the
+// directory signals completion.
+type finePut struct {
+	a    *AMU
+	addr uint64
+	read func() (uint64, bool)
+	done func()
+}
+
 // AMU is one node's active memory unit.
+//
+// The FU pipeline (dispatch -> start -> execute) is allocation-free in
+// steady state: the single in-flight request lives in cur, the pipeline
+// stages are prebound func values, the request queue is a head-indexed
+// FIFO, and fine puts ride pooled finePut records.
 type AMU struct {
 	eng *sim.Engine
 	net *network.Network
@@ -152,8 +168,19 @@ type AMU struct {
 	transient  bool
 	blockBytes int
 
-	queue []network.Msg
-	busy  bool
+	queue     []network.Msg
+	queueHead int
+	busy      bool
+
+	// cur is the request owned by the FU pipeline; valid while busy. The
+	// prebound stage funcs below read it instead of capturing a message.
+	cur         network.Msg
+	dispatchFn  func()
+	startFn     func()
+	executeFn   func()
+	fillMAOFn   func()
+	fineGetDone func(val uint64)
+	putFree     []*finePut
 
 	perturb func(addr uint64)
 
@@ -175,10 +202,43 @@ func New(eng *sim.Engine, net *network.Network, mem *memsys.Memory, dir *directo
 		cache:     make([]amuEntry, words),
 		transient: transient,
 	}
+	a.dispatchFn = a.dispatch
+	a.startFn = a.start
+	a.executeFn = a.execute
+	a.fillMAOFn = func() {
+		a.fill(a.cur.Addr, a.mem.ReadWord(a.cur.Addr), false)
+		a.occupy(a.p.OpCycles, a.executeFn)
+	}
+	a.fineGetDone = func(val uint64) {
+		a.fill(a.cur.Addr, val, true)
+		a.occupy(a.p.OpCycles, a.executeFn)
+	}
 	if dir != nil {
 		dir.SetAMU(a)
 	}
 	return a
+}
+
+// acquirePut pops a pooled fine-put record (or builds one, binding its
+// callbacks exactly once).
+func (a *AMU) acquirePut() *finePut {
+	if k := len(a.putFree) - 1; k >= 0 {
+		p := a.putFree[k]
+		a.putFree = a.putFree[:k]
+		return p
+	}
+	p := &finePut{a: a}
+	p.read = func() (uint64, bool) {
+		if cur := p.a.lookup(p.addr); cur != nil {
+			return cur.val, true
+		}
+		return 0, false
+	}
+	p.done = func() {
+		p.addr = 0
+		p.a.putFree = append(p.a.putFree, p)
+	}
+	return p
 }
 
 // SetBlockBytes informs the AMU of the coherence block size (needed by
@@ -262,62 +322,60 @@ func (a *AMU) Handle(m network.Msg) {
 
 // dispatch starts the head-of-queue request if the FU is idle.
 func (a *AMU) dispatch() {
-	if a.busy || len(a.queue) == 0 {
+	if a.busy || a.queueHead == len(a.queue) {
 		return
 	}
 	a.busy = true
-	m := a.queue[0]
-	a.queue = a.queue[1:]
-	a.occupy(a.p.QueueCycles, func() { a.start(m) })
+	a.cur = a.queue[a.queueHead]
+	a.queue[a.queueHead] = network.Msg{}
+	a.queueHead++
+	if a.queueHead == len(a.queue) {
+		a.queue = a.queue[:0]
+		a.queueHead = 0
+	}
+	a.occupy(a.p.QueueCycles, a.startFn)
 }
 
-func (a *AMU) start(m network.Msg) {
+// start begins processing a.cur at the FU.
+func (a *AMU) start() {
+	m := &a.cur
 	if e := a.lookup(m.Addr); e != nil {
 		a.stats.CacheHits++
-		a.occupy(a.p.OpCycles, func() { a.execute(m) })
+		a.occupy(a.p.OpCycles, a.executeFn)
 		return
 	}
 	// Miss: fetch the operand. MAOs read memory directly (non-coherent);
 	// AMOs perform a coherent fine-grained get through the directory.
 	if m.Flags&FlagMAO != 0 || m.Kind == network.KindMAORequest {
-		a.occupy(a.p.DRAMCycles, func() {
-			a.fill(m.Addr, a.mem.ReadWord(m.Addr), false)
-			a.occupy(a.p.OpCycles, func() { a.execute(m) })
-		})
+		a.occupy(a.p.DRAMCycles, a.fillMAOFn)
 		return
 	}
-	a.dir.FineGet(m.Addr, func(val uint64) {
-		a.fill(m.Addr, val, true)
-		a.occupy(a.p.OpCycles, func() { a.execute(m) })
-	})
+	a.dir.FineGet(m.Addr, a.fineGetDone)
 }
 
 // execute performs the operation at the FU. The operand may have been
 // recalled between start and execute (a racing GETX); in that case restart
 // the request, which will re-acquire the word coherently.
-func (a *AMU) execute(m network.Msg) {
+func (a *AMU) execute() {
+	m := &a.cur
 	e := a.lookup(m.Addr)
 	if e == nil {
-		a.start(m)
+		a.start()
 		return
 	}
 	a.stats.Ops++
 	old := e.val
 	e.val = Op(m.Op).Apply(old, m.Value, m.Aux)
-	a.reply(m, old)
+	a.reply(*m, old)
 
 	wantPut := e.coherent &&
 		(m.Flags&FlagUpdateAlways != 0 ||
 			(m.Flags&FlagTest != 0 && e.val == m.Aux))
 	if wantPut {
 		a.stats.FinePuts++
-		addr := m.Addr
-		a.dir.FinePut(addr, func() (uint64, bool) {
-			if cur := a.lookup(addr); cur != nil {
-				return cur.val, true
-			}
-			return 0, false
-		}, func() {})
+		p := a.acquirePut()
+		p.addr = m.Addr
+		a.dir.FinePut(p.addr, p.read, p.done)
 	}
 	if a.transient && !wantPut {
 		// No operand cache: flush the latch. When a put is pending we keep
@@ -329,7 +387,8 @@ func (a *AMU) execute(m network.Msg) {
 		a.perturb(m.Addr)
 	}
 	a.busy = false
-	a.eng.Schedule(0, a.dispatch)
+	a.cur = network.Msg{}
+	a.eng.Schedule(0, a.dispatchFn)
 }
 
 // evictAddr flushes the entry holding addr, if any.

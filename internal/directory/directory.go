@@ -47,13 +47,17 @@ func (s state) String() string {
 // entry is the directory record for one block.
 type entry struct {
 	state    state
-	owner    int              // CPU id, valid when state == exclusive
-	sharers  map[int]struct{} // CPU ids, valid when state == shared
-	amuWords map[uint64]bool  // word addrs currently held by the local AMU
+	owner    int             // CPU id, valid when state == exclusive
+	sharers  []int           // CPU ids in ascending order, valid when state == shared
+	amuWords map[uint64]bool // word addrs currently held by the local AMU
 	busy     bool
-	waitq    []func()
-	// txn is live while busy; interventions and inv-acks continue it.
-	txn *txn
+	waitq    []func() // head-indexed FIFO of queued transactions
+	waitHead int
+	// txn is live (txnLive) while busy; interventions and inv-acks continue
+	// it. The record is inlined in the entry so starting a transaction never
+	// allocates.
+	txn     txn
+	txnLive bool
 }
 
 type txn struct {
@@ -61,6 +65,34 @@ type txn struct {
 	onAcks      func()
 	onIvnAck    func(m network.Msg)
 }
+
+// addSharer inserts cpu into the sorted sharer list (no-op if present).
+func (e *entry) addSharer(cpu int) {
+	i := sort.SearchInts(e.sharers, cpu)
+	if i < len(e.sharers) && e.sharers[i] == cpu {
+		return
+	}
+	e.sharers = append(e.sharers, 0)
+	copy(e.sharers[i+1:], e.sharers[i:])
+	e.sharers[i] = cpu
+}
+
+// removeSharer deletes cpu from the sharer list (no-op if absent).
+func (e *entry) removeSharer(cpu int) {
+	i := sort.SearchInts(e.sharers, cpu)
+	if i < len(e.sharers) && e.sharers[i] == cpu {
+		e.sharers = append(e.sharers[:i], e.sharers[i+1:]...)
+	}
+}
+
+// hasSharer reports whether cpu is recorded as a sharer.
+func (e *entry) hasSharer(cpu int) bool {
+	i := sort.SearchInts(e.sharers, cpu)
+	return i < len(e.sharers) && e.sharers[i] == cpu
+}
+
+// clearSharers empties the sharer list, keeping its backing storage.
+func (e *entry) clearSharers() { e.sharers = e.sharers[:0] }
 
 // AMUPort is how the directory reaches the Active Memory Unit that shares
 // its hub. Recall must synchronously write every AMU-cached word of the
@@ -96,10 +128,110 @@ type Controller struct {
 
 	entries map[uint64]*entry
 
+	// reqFree/fineFree recycle the request and fine-put/evict records below,
+	// so accepting a CPU request or flushing an AMU word never allocates.
+	reqFree  []*dirReq
+	fineFree []*fineJob
+
 	perturb  Perturber
 	observer func(block uint64)
 
 	stats metrics.DirectoryStats
+}
+
+// dirReq is a pooled CPU-request record. Its run/deferred funcs are bound
+// once at construction; the record returns to the controller's free list the
+// moment its transaction starts (processRequest copies the message).
+type dirReq struct {
+	c       *Controller
+	block   uint64
+	m       network.Msg
+	run     func() // start the transaction, releasing the record first
+	delayed func() // submit after a perturber delay
+}
+
+func (c *Controller) acquireReq() *dirReq {
+	if k := len(c.reqFree) - 1; k >= 0 {
+		r := c.reqFree[k]
+		c.reqFree = c.reqFree[:k]
+		return r
+	}
+	r := &dirReq{c: c}
+	r.run = func() {
+		block, m := r.block, r.m
+		r.block, r.m = 0, network.Msg{}
+		r.c.reqFree = append(r.c.reqFree, r)
+		r.c.processRequest(block, m)
+	}
+	r.delayed = func() { r.c.submit(r.block, r.run) }
+	return r
+}
+
+// fineJob is a pooled fine-put (read != nil) or fine-evict (read == nil)
+// record: the two-stage submit/occupy chain runs through prebound funcs, so
+// flushing an AMU word to sharers never allocates.
+type fineJob struct {
+	c     *Controller
+	block uint64
+	addr  uint64
+	val   uint64
+	read  func() (uint64, bool) // fine put: AMU value read at execution time
+	done  func()                // fine put: completion callback
+	start func()
+	flush func()
+}
+
+func (c *Controller) acquireFine() *fineJob {
+	if k := len(c.fineFree) - 1; k >= 0 {
+		j := c.fineFree[k]
+		c.fineFree = c.fineFree[:k]
+		return j
+	}
+	j := &fineJob{c: c}
+	j.start = func() {
+		ctl := j.c
+		e := ctl.entryOf(j.block)
+		if j.read != nil {
+			val, ok := j.read()
+			if !ok || !e.amuWords[j.addr] {
+				block, done := j.block, j.done
+				ctl.releaseFine(j)
+				ctl.complete(block)
+				done()
+				return
+			}
+			j.val = val
+		}
+		ctl.occupy(ctl.p.DirCycles, j.flush)
+	}
+	j.flush = func() {
+		ctl := j.c
+		e := ctl.entryOf(j.block)
+		ctl.mem.WriteWord(j.addr, j.val)
+		for i, cpu := range e.sharers {
+			ctl.stats.WordUpdates++
+			ctl.sendStaggered(i, network.Msg{
+				Kind:      network.KindWordUpdate,
+				Src:       network.Hub(ctl.p.Node),
+				Dst:       ctl.cpuEndpoint(cpu),
+				Addr:      j.addr,
+				Value:     j.val,
+				DataBytes: memsys.WordBytes,
+			})
+		}
+		block, done := j.block, j.done
+		ctl.releaseFine(j)
+		ctl.complete(block)
+		if done != nil {
+			done()
+		}
+	}
+	return j
+}
+
+func (c *Controller) releaseFine(j *fineJob) {
+	j.block, j.addr, j.val, j.read, j.done = 0, 0, 0, nil, nil
+	c.fineFree = append(c.fineFree, j)
 }
 
 // Perturber injects protocol-legal pressure into the controller — the
@@ -160,7 +292,7 @@ func (c *Controller) occupy(cycles uint64, job func()) {
 func (c *Controller) entryOf(block uint64) *entry {
 	e := c.entries[block]
 	if e == nil {
-		e = &entry{sharers: make(map[int]struct{}), amuWords: make(map[uint64]bool)}
+		e = &entry{amuWords: make(map[uint64]bool)}
 		c.entries[block] = e
 	}
 	return e
@@ -187,14 +319,15 @@ func (c *Controller) Handle(m network.Msg) {
 	case network.KindInterventionAck:
 		c.applyIvnAck(e, m)
 	case network.KindGetShared, network.KindGetExclusive, network.KindUpgrade:
-		job := func() { c.submit(block, func() { c.processRequest(block, m) }) }
+		r := c.acquireReq()
+		r.block, r.m = block, m
 		if c.perturb != nil {
 			if d := c.perturb.RequestDelay(m); d > 0 {
-				c.eng.Schedule(d, job)
+				c.eng.Schedule(d, r.delayed)
 				return
 			}
 		}
-		job()
+		c.submit(block, r.run)
 	default:
 		panic(fmt.Sprintf("directory: unexpected message %v", m))
 	}
@@ -222,16 +355,24 @@ func (c *Controller) complete(block uint64) {
 	if !e.busy {
 		panic("directory: complete on idle block")
 	}
-	e.txn = nil
+	e.txn = txn{}
+	e.txnLive = false
 	if c.observer != nil {
 		c.observer(block)
 	}
-	if len(e.waitq) == 0 {
+	if e.waitHead == len(e.waitq) {
 		e.busy = false
+		e.waitq = e.waitq[:0]
+		e.waitHead = 0
 		return
 	}
-	next := e.waitq[0]
-	e.waitq = e.waitq[1:]
+	next := e.waitq[e.waitHead]
+	e.waitq[e.waitHead] = nil
+	e.waitHead++
+	if e.waitHead == len(e.waitq) {
+		e.waitq = e.waitq[:0]
+		e.waitHead = 0
+	}
 	c.occupy(c.p.DirCycles, next)
 }
 
@@ -245,7 +386,7 @@ func (c *Controller) recallAMU(e *entry, block uint64) {
 		panic("directory: AMU words held but no AMU port")
 	}
 	c.amu.Recall(block)
-	e.amuWords = make(map[uint64]bool)
+	clear(e.amuWords)
 }
 
 // processRequest starts a CPU-originated transaction. The block is busy.
@@ -263,7 +404,7 @@ func (c *Controller) processRequest(block uint64, m network.Msg) {
 			// without invalidating sharers, losing their wake-up.
 			c.replyData(block, req, network.KindDataShared, func() {
 				e.state = shared
-				e.sharers[req.CPU] = struct{}{}
+				e.addSharer(req.CPU)
 				c.complete(block)
 			})
 		case exclusive:
@@ -274,12 +415,12 @@ func (c *Controller) processRequest(block uint64, m network.Msg) {
 				// Recording the departed owner here would create a phantom
 				// sharer that could later be granted a data-less upgrade
 				// for a line it no longer holds.
-				sharers := map[int]struct{}{req.CPU: {}}
+				e.clearSharers()
+				e.addSharer(req.CPU)
 				if !stale {
-					sharers[e.owner] = struct{}{}
+					e.addSharer(e.owner)
 				}
 				e.state = shared
-				e.sharers = sharers
 				c.replyData(block, req, network.KindDataShared, func() { c.complete(block) })
 			})
 		}
@@ -291,14 +432,14 @@ func (c *Controller) processRequest(block uint64, m network.Msg) {
 			// AMU-held: sharers may be stale with respect to the AMU's value
 			// (release consistency), so a block with AMU words must be
 			// recalled and re-supplied as a full GETX.
-			if _, ok := e.sharers[req.CPU]; ok {
+			if e.hasSharer(req.CPU) {
 				// True upgrade: invalidate other sharers, grant without data.
 				c.recallAMU(e, block)
-				delete(e.sharers, req.CPU)
+				e.removeSharer(req.CPU)
 				c.invalidateSharers(e, block, func() {
 					e.state = exclusive
 					e.owner = req.CPU
-					e.sharers = make(map[int]struct{})
+					e.clearSharers()
 					c.send(network.Msg{
 						Kind: network.KindAckExclusive,
 						Src:  network.Hub(c.p.Node), Dst: req,
@@ -329,12 +470,12 @@ func (c *Controller) grantExclusive(block uint64, e *entry, req network.Endpoint
 		})
 	case shared:
 		c.recallAMU(e, block)
-		delete(e.sharers, req.CPU)
+		e.removeSharer(req.CPU)
 		c.invalidateSharers(e, block, func() {
 			c.replyData(block, req, network.KindDataExclusive, func() {
 				e.state = exclusive
 				e.owner = req.CPU
-				e.sharers = make(map[int]struct{})
+				e.clearSharers()
 				c.complete(block)
 			})
 		})
@@ -355,16 +496,19 @@ func (c *Controller) grantExclusive(block uint64, e *entry, req network.Endpoint
 }
 
 // replyData reads the block from memory (charging directory + DRAM latency)
-// and sends it to dst, then runs done.
+// and sends it to dst, then runs done. The payload rides a pooled buffer
+// that the network recycles after delivery.
 func (c *Controller) replyData(block uint64, dst network.Endpoint, kind network.Kind, done func()) {
 	c.occupy(c.p.DirCycles+c.p.DRAMCycles, func() {
-		words := c.mem.ReadBlock(block)
+		words := c.net.AcquireData(c.p.BlockBytes / memsys.WordBytes)
+		c.mem.ReadBlockInto(block, words)
 		c.send(network.Msg{
 			Kind: kind,
 			Src:  network.Hub(c.p.Node), Dst: dst,
 			Addr:      block,
 			DataBytes: c.p.BlockBytes,
 			Data:      words,
+			DataOwned: true,
 		})
 		done()
 	})
@@ -379,8 +523,9 @@ func (c *Controller) invalidateSharers(e *entry, block uint64, done func()) {
 		c.occupy(c.p.DirCycles, done)
 		return
 	}
-	e.txn = &txn{waitingAcks: n, onAcks: done}
-	for i, cpu := range sortedSharers(e) {
+	e.txn = txn{waitingAcks: n, onAcks: done}
+	e.txnLive = true
+	for i, cpu := range e.sharers {
 		c.stats.Invalidations++
 		m := network.Msg{
 			Kind: network.KindInvalidate,
@@ -389,7 +534,7 @@ func (c *Controller) invalidateSharers(e *entry, block uint64, done func()) {
 		}
 		c.sendStaggered(i, m)
 	}
-	e.sharers = make(map[int]struct{})
+	e.clearSharers()
 }
 
 // sendStaggered injects the i-th message of a fan-out burst after
@@ -399,22 +544,7 @@ func (c *Controller) sendStaggered(i int, m network.Msg) {
 	if c.p.MulticastUpdates && m.Kind == network.KindWordUpdate {
 		i = 0
 	}
-	if i == 0 || c.p.InjectCycles == 0 {
-		c.send(m)
-		return
-	}
-	c.eng.Schedule(sim.Time(uint64(i)*c.p.InjectCycles), func() { c.send(m) })
-}
-
-// sortedSharers returns the block's sharers in ascending CPU order, for
-// deterministic fan-out.
-func sortedSharers(e *entry) []int {
-	out := make([]int, 0, len(e.sharers))
-	for cpu := range e.sharers { //lint:order-independent (keys sorted below)
-		out = append(out, cpu)
-	}
-	sort.Ints(out)
-	return out
+	c.net.SendAfter(sim.Time(uint64(i)*c.p.InjectCycles), m)
 }
 
 // sortedWords returns the AMU-held word addresses of the block in ascending
@@ -429,13 +559,14 @@ func sortedWords(e *entry) []uint64 {
 }
 
 func (c *Controller) applyInvAck(e *entry) {
-	if e.txn == nil || e.txn.waitingAcks == 0 {
+	if !e.txnLive || e.txn.waitingAcks == 0 {
 		panic("directory: unexpected invalidation ack")
 	}
 	e.txn.waitingAcks--
 	if e.txn.waitingAcks == 0 {
 		done := e.txn.onAcks
-		e.txn = nil
+		e.txn = txn{}
+		e.txnLive = false
 		done()
 	}
 }
@@ -450,14 +581,16 @@ func (c *Controller) applyInvAck(e *entry) {
 // been cleared by the raced writeback).
 func (c *Controller) intervene(block uint64, e *entry, invalidate bool, done func(stale bool)) {
 	c.stats.Interventions++
-	e.txn = &txn{onIvnAck: func(m network.Msg) {
-		e.txn = nil
+	e.txn = txn{onIvnAck: func(m network.Msg) {
+		e.txn = txn{}
+		e.txnLive = false
 		stale := m.Flags&IvnAckStale != 0
 		if !stale {
 			c.mem.WriteBlock(block, m.Data)
 		}
 		done(stale)
 	}}
+	e.txnLive = true
 	flags := uint32(0)
 	if invalidate {
 		flags = IvnInvalidate
@@ -481,7 +614,7 @@ const (
 )
 
 func (c *Controller) applyIvnAck(e *entry, m network.Msg) {
-	if e.txn == nil || e.txn.onIvnAck == nil {
+	if !e.txnLive || e.txn.onIvnAck == nil {
 		panic("directory: unexpected intervention ack")
 	}
 	e.txn.onIvnAck(m)
@@ -527,7 +660,8 @@ func (c *Controller) FineGet(addr uint64, done func(val uint64)) {
 					return
 				}
 				e.state = shared
-				e.sharers = map[int]struct{}{e.owner: {}}
+				e.clearSharers()
+				e.addSharer(e.owner)
 				finish()
 			})
 		}
@@ -541,32 +675,9 @@ func (c *Controller) FineGet(addr uint64, done func(val uint64)) {
 // recall already flushed, and the recalling transaction's invalidations
 // supersede the updates. done runs when the put has been processed.
 func (c *Controller) FinePut(addr uint64, read func() (uint64, bool), done func()) {
-	block := c.block(addr)
-	c.submit(block, func() {
-		e := c.entryOf(block)
-		val, ok := read()
-		if !ok || !e.amuWords[addr] {
-			c.complete(block)
-			done()
-			return
-		}
-		c.occupy(c.p.DirCycles, func() {
-			c.mem.WriteWord(addr, val)
-			for i, cpu := range sortedSharers(e) {
-				c.stats.WordUpdates++
-				c.sendStaggered(i, network.Msg{
-					Kind:      network.KindWordUpdate,
-					Src:       network.Hub(c.p.Node),
-					Dst:       c.cpuEndpoint(cpu),
-					Addr:      addr,
-					Value:     val,
-					DataBytes: memsys.WordBytes,
-				})
-			}
-			c.complete(block)
-			done()
-		})
-	})
+	j := c.acquireFine()
+	j.block, j.addr, j.read, j.done = c.block(addr), addr, read, done
+	c.submit(j.block, j.start)
 }
 
 // FineDrop records that the AMU evicted its copy of the word at addr after
@@ -585,23 +696,9 @@ func (c *Controller) FineEvict(addr, val uint64) {
 	block := c.block(addr)
 	e := c.entryOf(block)
 	delete(e.amuWords, addr)
-	c.submit(block, func() {
-		c.occupy(c.p.DirCycles, func() {
-			c.mem.WriteWord(addr, val)
-			for i, cpu := range sortedSharers(e) {
-				c.stats.WordUpdates++
-				c.sendStaggered(i, network.Msg{
-					Kind:      network.KindWordUpdate,
-					Src:       network.Hub(c.p.Node),
-					Dst:       c.cpuEndpoint(cpu),
-					Addr:      addr,
-					Value:     val,
-					DataBytes: memsys.WordBytes,
-				})
-			}
-			c.complete(block)
-		})
-	})
+	j := c.acquireFine()
+	j.block, j.addr, j.val = block, addr, val
+	c.submit(block, j.start)
 }
 
 // AMUHolds reports whether the AMU is registered for the word at addr.
@@ -622,7 +719,7 @@ type Snapshot struct {
 func (c *Controller) SnapshotOf(addr uint64) Snapshot {
 	e := c.entryOf(c.block(addr))
 	s := Snapshot{State: e.state.String(), Owner: e.owner, Busy: e.busy}
-	s.Sharers = sortedSharers(e)
+	s.Sharers = append([]int(nil), e.sharers...)
 	s.AMUWords = sortedWords(e)
 	return s
 }
@@ -641,7 +738,8 @@ func (c *Controller) Blocks() []uint64 {
 // Sharers returns the CPUs currently recorded as sharing the block at addr,
 // in ascending order (for tests and introspection).
 func (c *Controller) Sharers(addr uint64) []int {
-	return sortedSharers(c.entryOf(c.block(addr)))
+	e := c.entryOf(c.block(addr))
+	return append([]int(nil), e.sharers...)
 }
 
 func (c *Controller) send(m network.Msg) { c.net.Send(m) }

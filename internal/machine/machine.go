@@ -6,6 +6,7 @@ package machine
 
 import (
 	"fmt"
+	"runtime"
 
 	"amosim/internal/cache"
 	"amosim/internal/config"
@@ -36,8 +37,32 @@ type Machine struct {
 	// keep serving active messages until every program body has completed.
 	bodies     int
 	bodiesDone int
+	allDone    func() bool
 
 	reg *metrics.Registry
+}
+
+// Hub-side consumers of a message kind, indexed by hubRoute.
+const (
+	routeNone = iota
+	routeDir
+	routeAMU
+)
+
+// hubRoute is the hub dispatch function table: it maps each message kind to
+// the node component that consumes it, replacing a long kind-comparison
+// chain on the delivery hot path.
+var hubRoute = [network.NumKinds]uint8{
+	network.KindGetShared:       routeDir,
+	network.KindGetExclusive:    routeDir,
+	network.KindUpgrade:         routeDir,
+	network.KindWriteback:       routeDir,
+	network.KindInvalidateAck:   routeDir,
+	network.KindInterventionAck: routeDir,
+	network.KindAMORequest:      routeAMU,
+	network.KindMAORequest:      routeAMU,
+	network.KindUncachedLoad:    routeAMU,
+	network.KindUncachedStore:   routeAMU,
 }
 
 // New builds a machine for the given configuration.
@@ -68,6 +93,7 @@ func New(cfg config.Config) (*Machine, error) {
 	mem := memsys.New(cfg.Nodes(), cfg.BlockBytes, cfg.DRAMCycles)
 
 	m := &Machine{Cfg: cfg, Eng: eng, Topo: topo, Net: net, Mem: mem}
+	m.allDone = func() bool { return m.bodiesDone == m.bodies }
 
 	for n := 0; n < cfg.Nodes(); n++ {
 		dir := directory.New(eng, net, mem, directory.Params{
@@ -136,15 +162,32 @@ func New(cfg config.Config) (*Machine, error) {
 // scheduled, no simulated time passes).
 func (m *Machine) Metrics() metrics.Snapshot { return m.reg.Snapshot() }
 
-// hubHandler routes hub-bound messages to the node's directory or AMU.
+// EnableKernelMetrics adds the opt-in Kernel section to this machine's
+// snapshots: the event kernel's dispatch count plus host allocator gauges
+// (runtime.MemStats), for tracking hot-path allocation behaviour. The
+// Host fields are nondeterministic across runs, so golden-output
+// comparisons must not enable this; machines that never call it produce
+// byte-identical snapshots with no Kernel section.
+func (m *Machine) EnableKernelMetrics() {
+	m.reg.RegisterKernel(func() metrics.KernelStats {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return metrics.KernelStats{
+			EventsExecuted: m.Eng.Executed(),
+			HostMallocs:    ms.Mallocs,
+			HostAllocBytes: ms.TotalAlloc,
+		}
+	})
+}
+
+// hubHandler routes hub-bound messages to the node's directory or AMU via
+// the hubRoute function table.
 func (m *Machine) hubHandler(dir *directory.Controller, amu *core.AMU) network.Handler {
 	return func(msg network.Msg) {
-		switch msg.Kind {
-		case network.KindGetShared, network.KindGetExclusive, network.KindUpgrade,
-			network.KindWriteback, network.KindInvalidateAck, network.KindInterventionAck:
+		switch hubRoute[msg.Kind] {
+		case routeDir:
 			dir.Handle(msg)
-		case network.KindAMORequest, network.KindMAORequest,
-			network.KindUncachedLoad, network.KindUncachedStore:
+		case routeAMU:
 			amu.Handle(msg)
 		default:
 			panic(fmt.Sprintf("machine: hub %d got unexpected %v", dir.Node(), msg))
@@ -169,7 +212,7 @@ func (m *Machine) OnCPU(id int, program func(c *proc.CPU)) {
 				other.Poke()
 			}
 		}
-		c.ServeUntil(func() bool { return m.bodiesDone == m.bodies })
+		c.ServeUntil(m.allDone)
 	})
 }
 

@@ -118,6 +118,21 @@ func (m *Memory) ReadBlock(addr uint64) []uint64 {
 	return out
 }
 
+// ReadBlockInto reads the words of the block containing addr into out,
+// which must hold exactly one block. It is the allocation-free form of
+// ReadBlock for callers that bring their own (typically pooled) buffer.
+func (m *Memory) ReadBlockInto(addr uint64, out []uint64) {
+	base := BlockAddr(addr, m.blockBytes)
+	n := m.blockBytes / WordBytes
+	if len(out) != n {
+		panic(fmt.Sprintf("memsys: ReadBlockInto with %d words, want %d", len(out), n))
+	}
+	m.reads++
+	for i := 0; i < n; i++ {
+		out[i] = m.words[base+uint64(i*WordBytes)]
+	}
+}
+
 // WriteBlock stores words (len = block words) at the block containing addr.
 func (m *Memory) WriteBlock(addr uint64, words []uint64) {
 	base := BlockAddr(addr, m.blockBytes)

@@ -114,15 +114,39 @@ type NodeMetrics struct {
 	AMU       AMUStats
 }
 
+// KernelStats gauges the event kernel and the host allocator behind it.
+// EventsExecuted is deterministic (it counts dispatched simulation
+// events); the Host-prefixed fields read the Go runtime's allocator and
+// vary between hosts and runs — they exist to track the hot path's
+// allocation behaviour, never to feed experiment results. The collector
+// is opt-in (Machine.EnableKernelMetrics); machines that do not enable it
+// produce snapshots without a Kernel section, so default JSON outputs are
+// unchanged.
+type KernelStats struct {
+	// EventsExecuted counts events the simulation kernel has dispatched.
+	EventsExecuted uint64
+	// HostMallocs and HostAllocBytes are cumulative heap allocation
+	// counters of the host Go runtime (runtime.MemStats Mallocs /
+	// TotalAlloc). Diffing two snapshots bounds the allocations the
+	// window performed. Nondeterministic across hosts and runs.
+	HostMallocs    uint64
+	HostAllocBytes uint64
+}
+
 // Snapshot is an immutable point-in-time view of every counter in the
 // machine. It is safe to retain, marshal, and diff; two snapshots of
-// identical runs marshal to byte-identical JSON.
+// identical runs marshal to byte-identical JSON (the opt-in Kernel
+// section excepted — its Host fields read the host allocator).
 type Snapshot struct {
 	Cycle   uint64 // simulated time the snapshot was taken
 	CPUs    []CPUMetrics
 	Nodes   []NodeMetrics
 	Memory  MemoryStats
 	Network NetworkStats
+	// Kernel is present only on machines that called
+	// EnableKernelMetrics; omitted from JSON otherwise so golden outputs
+	// are unaffected.
+	Kernel *KernelStats `json:",omitempty"`
 }
 
 // Attribution aggregates a Snapshot's cycle accounting across the machine.
@@ -156,6 +180,13 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 			Writes: s.Memory.Writes - prev.Memory.Writes,
 		},
 		Network: s.Network.diff(prev.Network),
+	}
+	if s.Kernel != nil && prev.Kernel != nil {
+		d.Kernel = &KernelStats{
+			EventsExecuted: s.Kernel.EventsExecuted - prev.Kernel.EventsExecuted,
+			HostMallocs:    s.Kernel.HostMallocs - prev.Kernel.HostMallocs,
+			HostAllocBytes: s.Kernel.HostAllocBytes - prev.Kernel.HostAllocBytes,
+		}
 	}
 	for i, c := range s.CPUs {
 		p := prev.CPUs[i]
@@ -266,6 +297,7 @@ type Registry struct {
 	nodes   []func() NodeMetrics
 	memory  func() MemoryStats
 	network func() NetworkStats
+	kernel  func() KernelStats
 }
 
 // NewRegistry creates a registry reading the simulation clock from clock.
@@ -286,6 +318,10 @@ func (r *Registry) RegisterMemory(f func() MemoryStats) { r.memory = f }
 // RegisterNetwork installs the interconnect collector.
 func (r *Registry) RegisterNetwork(f func() NetworkStats) { r.network = f }
 
+// RegisterKernel installs the opt-in event-kernel collector; snapshots
+// then carry a Kernel section.
+func (r *Registry) RegisterKernel(f func() KernelStats) { r.kernel = f }
+
 // Snapshot collects every registered component into an immutable Snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
@@ -304,6 +340,10 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if r.network != nil {
 		s.Network = r.network()
+	}
+	if r.kernel != nil {
+		k := r.kernel()
+		s.Kernel = &k
 	}
 	return s
 }

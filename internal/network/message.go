@@ -144,6 +144,11 @@ type Msg struct {
 	// Data carries block contents for data-bearing kinds. Senders must not
 	// retain or mutate the slice after Send.
 	Data []uint64
+	// DataOwned transfers ownership of Data to the network: after the
+	// message is delivered the network zeroes the slice and recycles it into
+	// its payload pool (see Network.AcquireData). Receivers must copy Data
+	// they wish to retain past the delivery handler.
+	DataOwned bool
 	// Txn threads a reply back to the transaction that caused it.
 	Txn uint64
 }

@@ -16,6 +16,12 @@ type Handler func(Msg)
 // Network delivers messages between endpoints with fat-tree hop latency for
 // remote traffic and bus latency for CPU<->local-hub traffic, recording
 // traffic statistics as it goes.
+//
+// The delivery path is allocation-free in steady state: in-flight messages
+// live in a pooled arena recycled after delivery, hop distances come from a
+// table precomputed at construction (no topology interface call per Send),
+// and handler lookup indexes dense slices. Block payloads can ride the
+// network's word-buffer pool via AcquireData/Msg.DataOwned.
 type Network struct {
 	eng  *sim.Engine
 	topo topology.Topology
@@ -25,8 +31,21 @@ type Network struct {
 	minPacket  int
 	headerSize int
 
-	hubs map[int]Handler
-	cpus map[int]Handler // keyed by global CPU id
+	// hopTable[a*nodes+b] is topo.Hops(a, b), precomputed so Send never
+	// crosses the topology interface.
+	hopTable []int32
+	nodes    int
+
+	hubs []Handler
+	cpus []Handler // indexed by global CPU id
+
+	// msgFree recycles in-flight message slots; deliverCall is the prebound
+	// dispatch adapter so scheduling a delivery never allocates.
+	msgFree     []*Msg
+	deliverCall func(any)
+	sendCall    func(any)
+	// dataFree recycles block-payload word buffers (see AcquireData).
+	dataFree [][]uint64
 
 	stats   Stats
 	tracer  *trace.Tracer
@@ -92,21 +111,40 @@ type Params struct {
 
 // New creates a network over the given topology.
 func New(eng *sim.Engine, topo topology.Topology, p Params) *Network {
-	return &Network{
+	nodes := topo.Nodes()
+	n := &Network{
 		eng:        eng,
 		topo:       topo,
 		hopCycles:  p.HopCycles,
 		busCycles:  p.BusCycles,
 		minPacket:  p.MinPacket,
 		headerSize: p.HeaderSize,
-		hubs:       make(map[int]Handler),
-		cpus:       make(map[int]Handler),
+		hopTable:   make([]int32, nodes*nodes),
+		nodes:      nodes,
+		hubs:       make([]Handler, nodes),
 	}
+	for a := 0; a < nodes; a++ {
+		for b := 0; b < nodes; b++ {
+			n.hopTable[a*nodes+b] = int32(topo.Hops(a, b))
+		}
+	}
+	n.deliverCall = func(a any) { n.deliver(a.(*Msg)) }
+	n.sendCall = func(a any) {
+		pm := a.(*Msg)
+		m := *pm
+		*pm = Msg{}
+		n.msgFree = append(n.msgFree, pm)
+		n.Send(m)
+	}
+	return n
 }
 
 // RegisterHub installs the message handler for node n's hub.
 func (n *Network) RegisterHub(node int, h Handler) {
-	if _, dup := n.hubs[node]; dup {
+	if node < 0 || node >= len(n.hubs) {
+		panic(fmt.Sprintf("network: hub %d out of range", node))
+	}
+	if n.hubs[node] != nil {
 		panic(fmt.Sprintf("network: hub %d registered twice", node))
 	}
 	n.hubs[node] = h
@@ -114,7 +152,13 @@ func (n *Network) RegisterHub(node int, h Handler) {
 
 // RegisterCPU installs the message handler for global CPU id c.
 func (n *Network) RegisterCPU(cpu int, h Handler) {
-	if _, dup := n.cpus[cpu]; dup {
+	if cpu < 0 {
+		panic(fmt.Sprintf("network: cpu %d out of range", cpu))
+	}
+	for cpu >= len(n.cpus) {
+		n.cpus = append(n.cpus, nil)
+	}
+	if n.cpus[cpu] != nil {
 		panic(fmt.Sprintf("network: cpu %d registered twice", cpu))
 	}
 	n.cpus[cpu] = h
@@ -165,20 +209,50 @@ func (n *Network) PacketBytes(m Msg) int {
 	return b
 }
 
+// hops returns the precomputed hop distance between two nodes.
+func (n *Network) hops(src, dst int) int {
+	return int(n.hopTable[src*n.nodes+dst])
+}
+
 // Latency returns the delivery latency for a message from src to dst,
 // without sending anything.
 func (n *Network) Latency(src, dst Endpoint) sim.Time {
 	var lat sim.Time
 	if !src.IsHub() {
-		lat += sim.Time(n.busCycles) // CPU -> local hub
+		lat += n.busCycles // CPU -> local hub
 	}
 	if src.Node != dst.Node {
-		lat += sim.Time(n.topo.Hops(src.Node, dst.Node)) * n.hopCycles
+		lat += sim.Time(n.hops(src.Node, dst.Node)) * n.hopCycles
 	}
 	if !dst.IsHub() {
-		lat += sim.Time(n.busCycles) // hub -> CPU
+		lat += n.busCycles // hub -> CPU
 	}
 	return lat
+}
+
+// AcquireData returns a zeroed word buffer of the given length from the
+// network's payload pool. Pair it with Msg.DataOwned so the buffer returns
+// to the pool after delivery, or hand it back directly with ReleaseData.
+func (n *Network) AcquireData(words int) []uint64 {
+	if k := len(n.dataFree) - 1; k >= 0 && cap(n.dataFree[k]) >= words {
+		b := n.dataFree[k][:words]
+		n.dataFree = n.dataFree[:k]
+		return b
+	}
+	return make([]uint64, words)
+}
+
+// ReleaseData recycles a buffer obtained from AcquireData (or an equivalent
+// buffer whose ownership the caller holds). The buffer is zeroed so stale
+// words can never leak into a later payload. nil is ignored.
+func (n *Network) ReleaseData(b []uint64) {
+	if b == nil {
+		return
+	}
+	for i := range b {
+		b[i] = 0
+	}
+	n.dataFree = append(n.dataFree, b)
 }
 
 // Send schedules delivery of m after the appropriate latency and records
@@ -186,11 +260,18 @@ func (n *Network) Latency(src, dst Endpoint) sim.Time {
 // latency only and are counted as local.
 func (n *Network) Send(m Msg) {
 	hops := 0
+	var lat sim.Time
+	if !m.Src.IsHub() {
+		lat += n.busCycles
+	}
 	if m.Src.Node != m.Dst.Node {
-		hops = n.topo.Hops(m.Src.Node, m.Dst.Node)
+		hops = n.hops(m.Src.Node, m.Dst.Node)
+		lat += sim.Time(hops) * n.hopCycles
+	}
+	if !m.Dst.IsHub() {
+		lat += n.busCycles
 	}
 	bytes := n.PacketBytes(m)
-	lat := n.Latency(m.Src, m.Dst)
 	if n.perturb != nil {
 		lat += n.perturb.DeliveryDelay(m, lat)
 	}
@@ -204,20 +285,60 @@ func (n *Network) Send(m Msg) {
 	} else {
 		n.stats.LocalMessages++
 	}
-	n.tracer.Add(uint64(n.eng.Now()), "msg", "%-9s %-10s -> %-10s addr=%#x val=%d (%dB, %d hops)",
-		m.Kind, m.Src, m.Dst, m.Addr, m.Value, bytes, hops)
-	n.eng.Schedule(lat, func() { n.deliver(m) })
+	if n.tracer != nil {
+		n.tracer.Add(uint64(n.eng.Now()), "msg", "%-9s %-10s -> %-10s addr=%#x val=%d (%dB, %d hops)",
+			m.Kind, m.Src, m.Dst, m.Addr, m.Value, bytes, hops)
+	}
+	var pm *Msg
+	if k := len(n.msgFree) - 1; k >= 0 {
+		pm = n.msgFree[k]
+		n.msgFree = n.msgFree[:k]
+	} else {
+		pm = new(Msg)
+	}
+	*pm = m
+	n.eng.ScheduleCall(lat, n.deliverCall, pm)
 }
 
-func (n *Network) deliver(m Msg) {
+// SendAfter injects m into the network delay cycles from now: traffic is
+// recorded and delivery latency paid at injection time, exactly as if Send
+// were called then. Fan-out bursts use it to model a single hub port
+// injecting one packet at a time, without allocating per deferred message.
+func (n *Network) SendAfter(delay sim.Time, m Msg) {
+	if delay == 0 {
+		n.Send(m)
+		return
+	}
+	var pm *Msg
+	if k := len(n.msgFree) - 1; k >= 0 {
+		pm = n.msgFree[k]
+		n.msgFree = n.msgFree[:k]
+	} else {
+		pm = new(Msg)
+	}
+	*pm = m
+	n.eng.ScheduleCall(delay, n.sendCall, pm)
+}
+
+func (n *Network) deliver(pm *Msg) {
+	m := *pm
+	// Recycle the slot before dispatching (the handler may Send); zero it
+	// defensively so a stale payload can never leak into a later message.
+	*pm = Msg{}
+	n.msgFree = append(n.msgFree, pm)
 	var h Handler
 	if m.Dst.IsHub() {
-		h = n.hubs[m.Dst.Node]
-	} else {
+		if m.Dst.Node >= 0 && m.Dst.Node < len(n.hubs) {
+			h = n.hubs[m.Dst.Node]
+		}
+	} else if m.Dst.CPU >= 0 && m.Dst.CPU < len(n.cpus) {
 		h = n.cpus[m.Dst.CPU]
 	}
 	if h == nil {
 		panic(fmt.Sprintf("network: no handler for %s (msg %s)", m.Dst, m))
 	}
 	h(m)
+	if m.DataOwned {
+		n.ReleaseData(m.Data)
+	}
 }

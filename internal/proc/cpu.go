@@ -80,11 +80,21 @@ type CPU struct {
 	proc     *sim.Process
 	attached bool
 
-	pending     *pendingOp
+	// pending is the single outstanding cache transaction, inlined so
+	// issuing an operation never allocates; pendingLive marks it in flight.
+	pending     pendingOp
+	pendingLive bool
 	pendingWake func()
-	wakeOnAmsg  bool
+	// registerWake is the prebound Await callback (stores the process's
+	// wake function into pendingWake without a per-park closure).
+	registerWake func(wake func())
+	wakeOnAmsg   bool
 
-	replyQ []network.Msg
+	// replyQ/amsgQ are head-indexed FIFOs: popping advances the head and
+	// the backing array is reused once drained, so steady-state message
+	// traffic never grows them.
+	replyQ    []network.Msg
+	replyHead int
 
 	linkAddr  uint64
 	linkValid bool
@@ -95,6 +105,7 @@ type CPU struct {
 	lineEvents *sim.Cond
 
 	amsgQ    []network.Msg
+	amsgHead int
 	handlers map[int]Handler
 
 	stats metrics.CPUStats
@@ -125,6 +136,8 @@ func New(eng *sim.Engine, net *network.Network, cch *cache.Cache, p Params) *CPU
 		lineEvents: sim.NewCond(eng),
 		handlers:   make(map[int]Handler),
 	}
+	c.registerWake = func(wake func()) { c.pendingWake = wake }
+	cch.SetRecycler(net.ReleaseData)
 	net.RegisterCPU(p.ID, c.deliver)
 	return c
 }
@@ -285,8 +298,8 @@ func (c *CPU) deliver(m network.Msg) {
 // applyCacheReply completes the pending cache transaction at delivery time,
 // so a racing intervention a cycle later sees fully committed state.
 func (c *CPU) applyCacheReply(m network.Msg) {
-	op := c.pending
-	if op == nil || op.filled {
+	op := &c.pending
+	if !c.pendingLive || op.filled {
 		panic(fmt.Sprintf("proc: cpu %d cache reply with no pending op: %v", c.p.ID, m))
 	}
 	block := c.block(op.addr)
@@ -337,7 +350,7 @@ func (c *CPU) applyCacheReply(m network.Msg) {
 }
 
 func (c *CPU) installLine(block uint64, st cache.State, data []uint64) {
-	words := make([]uint64, len(data))
+	words := c.net.AcquireData(len(data))
 	copy(words, data)
 	victim, dirty := c.c.Insert(block, st, words)
 	if dirty {
@@ -346,6 +359,8 @@ func (c *CPU) installLine(block uint64, st cache.State, data []uint64) {
 }
 
 func (c *CPU) writeback(v cache.Victim) {
+	// The victim's buffer leaves the cache for good: hand it to the network,
+	// which recycles it into the payload pool after the home copies it.
 	c.net.Send(network.Msg{
 		Kind:      network.KindWriteback,
 		Src:       c.endpoint(),
@@ -353,11 +368,13 @@ func (c *CPU) writeback(v cache.Victim) {
 		Addr:      v.Addr,
 		DataBytes: c.p.BlockBytes,
 		Data:      v.Words,
+		DataOwned: true,
 	})
 }
 
 func (c *CPU) applyInvalidate(m network.Msg) {
-	c.c.Invalidate(m.Addr)
+	_, dropped := c.c.Invalidate(m.Addr)
+	c.net.ReleaseData(dropped)
 	if c.linkValid && c.linkAddr == c.block(m.Addr) {
 		c.linkValid = false
 	}
@@ -383,18 +400,27 @@ func (c *CPU) applyIntervention(m network.Msg) {
 			c.linkValid = false
 		}
 		if st == cache.Modified {
-			reply.Data = copyWords(words)
+			// The line is gone from the cache; its buffer rides the reply
+			// and returns to the pool after the home copies it.
+			reply.Data = words
 			reply.DataBytes = c.p.BlockBytes
+			reply.DataOwned = true
 		} else {
 			// Already written back or only shared: the home's out-of-band
 			// writeback processing has (or will have) current data.
+			c.net.ReleaseData(words)
 			reply.Flags = directory.IvnAckStale
 		}
 		c.lineEvents.Broadcast()
 	} else {
 		if words, ok := c.c.Downgrade(m.Addr); ok {
-			reply.Data = copyWords(words)
+			// The line keeps its buffer (now Shared); the reply needs its
+			// own copy.
+			buf := c.net.AcquireData(len(words))
+			copy(buf, words)
+			reply.Data = buf
 			reply.DataBytes = c.p.BlockBytes
+			reply.DataOwned = true
 		} else {
 			reply.Flags = directory.IvnAckStale
 		}
@@ -402,19 +428,30 @@ func (c *CPU) applyIntervention(m network.Msg) {
 	c.net.Send(reply)
 }
 
-func copyWords(w []uint64) []uint64 {
-	out := make([]uint64, len(w))
-	copy(out, w)
-	return out
-}
-
 func (c *CPU) pushReply(m network.Msg) {
 	c.replyQ = append(c.replyQ, m)
 	c.wakePending()
 }
 
+// popReply removes and returns the oldest queued reply; the backing array
+// is reused once the queue drains.
+func (c *CPU) popReply() network.Msg {
+	m := c.replyQ[c.replyHead]
+	c.replyQ[c.replyHead] = network.Msg{}
+	c.replyHead++
+	if c.replyHead == len(c.replyQ) {
+		c.replyQ = c.replyQ[:0]
+		c.replyHead = 0
+	}
+	return m
+}
+
+func (c *CPU) replyPending() int { return len(c.replyQ) - c.replyHead }
+
+func (c *CPU) amsgPending() int { return len(c.amsgQ) - c.amsgHead }
+
 func (c *CPU) acceptActiveMessage(m network.Msg) {
-	if len(c.amsgQ) >= c.p.ActMsgQueueDepth {
+	if c.amsgPending() >= c.p.ActMsgQueueDepth {
 		c.net.Send(network.Msg{
 			Kind: network.KindActiveMessageNack,
 			Src:  c.endpoint(), Dst: m.Src,
@@ -452,18 +489,19 @@ func (c *CPU) parkForReply() {
 		panic(fmt.Sprintf("proc: cpu %d has two outstanding waits", c.p.ID))
 	}
 	c.beginWait(&c.cyc.MemoryStall)
-	c.proc.Await(func(wake func()) { c.pendingWake = wake })
+	c.proc.Await(c.registerWake)
 	c.endWait()
 }
 
 // awaitCacheReply issues no messages itself; the caller has sent the request
 // and installed c.pending.
-func (c *CPU) awaitCacheReply() *pendingOp {
-	op := c.pending
-	for !op.filled {
+func (c *CPU) awaitCacheReply() pendingOp {
+	for !c.pending.filled {
 		c.parkForReply()
 	}
-	c.pending = nil
+	op := c.pending
+	c.pending = pendingOp{}
+	c.pendingLive = false
 	return op
 }
 
@@ -473,12 +511,10 @@ func (c *CPU) awaitCacheReply() *pendingOp {
 // other must keep draining their own handler queues).
 func (c *CPU) awaitMsg(serveAmsg bool) network.Msg {
 	for {
-		if len(c.replyQ) > 0 {
-			m := c.replyQ[0]
-			c.replyQ = c.replyQ[1:]
-			return m
+		if c.replyPending() > 0 {
+			return c.popReply()
 		}
-		if serveAmsg && len(c.amsgQ) > 0 {
+		if serveAmsg && c.amsgPending() > 0 {
 			c.serveOneActiveMessage()
 			continue
 		}
@@ -504,7 +540,8 @@ func (c *CPU) Load(addr uint64) uint64 {
 			}
 			continue
 		}
-		c.pending = &pendingOp{kind: opLoad, addr: addr}
+		c.pending = pendingOp{kind: opLoad, addr: addr}
+		c.pendingLive = true
 		c.net.Send(network.Msg{
 			Kind: network.KindGetShared,
 			Src:  c.endpoint(), Dst: c.home(addr),
@@ -538,7 +575,8 @@ func (c *CPU) LoadLinked(addr uint64) uint64 {
 		if ln != nil { // shared: upgrade to exclusive
 			kind = network.KindUpgrade
 		}
-		c.pending = &pendingOp{kind: opLoadLinked, addr: addr}
+		c.pending = pendingOp{kind: opLoadLinked, addr: addr}
+		c.pendingLive = true
 		c.net.Send(network.Msg{
 			Kind: kind,
 			Src:  c.endpoint(), Dst: c.home(addr),
@@ -567,7 +605,8 @@ func (c *CPU) Store(addr, val uint64) {
 		if ln != nil { // shared: upgrade
 			kind = network.KindUpgrade
 		}
-		c.pending = &pendingOp{kind: opStore, addr: addr, val: val}
+		c.pending = pendingOp{kind: opStore, addr: addr, val: val}
+		c.pendingLive = true
 		c.net.Send(network.Msg{
 			Kind: kind,
 			Src:  c.endpoint(), Dst: c.home(addr),
@@ -603,7 +642,8 @@ func (c *CPU) StoreConditional(addr, val uint64) bool {
 		c.stats.SCFailures++
 		return false
 	}
-	c.pending = &pendingOp{kind: opStoreConditional, addr: addr, val: val}
+	c.pending = pendingOp{kind: opStoreConditional, addr: addr, val: val}
+	c.pendingLive = true
 	c.net.Send(network.Msg{
 		Kind: network.KindUpgrade,
 		Src:  c.endpoint(), Dst: c.home(addr),
@@ -655,7 +695,8 @@ func (c *CPU) atomicRMW(op core.Op, addr, operand, aux uint64) uint64 {
 		if ln != nil {
 			kind = network.KindUpgrade
 		}
-		c.pending = &pendingOp{kind: opAtomicRMW, addr: addr, val: operand, aux: aux, rmw: op}
+		c.pending = pendingOp{kind: opAtomicRMW, addr: addr, val: operand, aux: aux, rmw: op}
+		c.pendingLive = true
 		c.net.Send(network.Msg{
 			Kind: kind,
 			Src:  c.endpoint(), Dst: c.home(addr),
@@ -806,8 +847,13 @@ func (c *CPU) ActiveMessageCall(handler int, addr, arg uint64) uint64 {
 // serveOneActiveMessage runs the oldest queued handler. Called from process
 // context.
 func (c *CPU) serveOneActiveMessage() {
-	m := c.amsgQ[0]
-	c.amsgQ = c.amsgQ[1:]
+	m := c.amsgQ[c.amsgHead]
+	c.amsgQ[c.amsgHead] = network.Msg{}
+	c.amsgHead++
+	if c.amsgHead == len(c.amsgQ) {
+		c.amsgQ = c.amsgQ[:0]
+		c.amsgHead = 0
+	}
 	c.stats.AmsgServed++
 	c.sleep(&c.cyc.Compute, c.p.ActMsgInvokeCycles)
 	result := c.runHandler(m.Op, m.Addr, m.Value)
@@ -834,7 +880,7 @@ func (c *CPU) runHandler(id int, addr, arg uint64) uint64 {
 // CPUs keep making progress while they wait. Reports whether any ran.
 func (c *CPU) ServeActiveMessages() bool {
 	ran := false
-	for len(c.amsgQ) > 0 {
+	for c.amsgPending() > 0 {
 		c.serveOneActiveMessage()
 		ran = true
 	}

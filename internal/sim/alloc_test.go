@@ -1,0 +1,69 @@
+package sim
+
+import "testing"
+
+// The event kernel's pooled-arena contract: once the arena has warmed up,
+// scheduling and dispatching events — and context-switching processes —
+// allocates nothing. These tests pin that at exactly zero so a regression
+// on the hot path fails CI rather than silently eroding throughput.
+
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	eng := NewEngine()
+	var n int
+	fn := func() { n++ }
+	burst := func() {
+		for i := 0; i < 64; i++ {
+			eng.Schedule(Time(i%7), fn)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	burst() // warm the arena and the heap slice
+	if allocs := testing.AllocsPerRun(100, burst); allocs != 0 {
+		t.Fatalf("Schedule steady state allocates %.1f/op, want 0", allocs)
+	}
+}
+
+var testCall = func(a any) { *a.(*int)++ }
+
+func TestScheduleCallSteadyStateZeroAlloc(t *testing.T) {
+	eng := NewEngine()
+	var n int
+	arg := &n
+	burst := func() {
+		for i := 0; i < 64; i++ {
+			eng.ScheduleCall(Time(i%7), testCall, arg)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	burst()
+	if allocs := testing.AllocsPerRun(100, burst); allocs != 0 {
+		t.Fatalf("ScheduleCall steady state allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestProcessSwitchSteadyStateZeroAlloc(t *testing.T) {
+	eng := NewEngine()
+	defer eng.Shutdown()
+	for i := 0; i < 4; i++ {
+		eng.Spawn("spinner", 0, func(p *Process) {
+			for {
+				p.Sleep(10)
+			}
+		})
+	}
+	deadline := Time(0)
+	window := func() {
+		deadline += 1000
+		if err := eng.RunUntil(deadline); err != ErrDeadline {
+			t.Fatalf("RunUntil = %v, want ErrDeadline (spinners never finish)", err)
+		}
+	}
+	window() // warm: first parks create the goroutines' channel buffers
+	if allocs := testing.AllocsPerRun(50, window); allocs != 0 {
+		t.Fatalf("process context switching allocates %.1f/op, want 0", allocs)
+	}
+}

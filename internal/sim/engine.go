@@ -13,63 +13,64 @@
 //
 // The engine detects deadlock (live processes but no pending events) and
 // supports bounded runs via RunUntil.
+//
+// The event queue is allocation-free in steady state: events live in a
+// pooled arena recycled through a free list, and the priority queue is an
+// indexed binary heap of arena slots, so neither scheduling nor dispatch
+// boxes through interfaces or grows the heap once the arena has warmed up.
+// Hot callers use ScheduleCall with a prebound func(any) plus a pointer
+// argument, which stores both without allocating.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
 // Time is a point in simulated time, in CPU cycles.
 type Time = uint64
 
+// event is one arena slot. Exactly one of fn / call is set: fn is the
+// plain-closure form (Schedule), call+arg the prebound allocation-free form
+// (ScheduleCall).
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+	at   Time
+	seq  uint64
+	fn   func()
+	call func(any)
+	arg  any
 }
 
 // Engine is a discrete-event simulator instance. The zero value is not
 // usable; create one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	procs   int // live (spawned, not yet finished) processes
-	stopped bool
-	// done is closed by Shutdown to unwind parked process goroutines.
-	done chan struct{}
-	// stepping guards against re-entrant Run calls from event handlers.
+	now Time
+	seq uint64
+	// arena holds every event slot ever allocated; free lists the recycled
+	// slots; order is the binary heap of live slots in (at, seq) order.
+	arena    []event
+	free     []int32
+	order    []int32
+	executed uint64
+	procs    int // live (spawned, not yet finished) processes
+	// plist records every spawned process so Shutdown can unwind the parked
+	// ones by closing their resume channels.
+	plist    []*Process
+	stopped  bool
+	shutdown bool
+	// running guards against re-entrant Run calls from event handlers.
 	running bool
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{done: make(chan struct{})}
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// Executed reports the total number of events the engine has dispatched.
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // Schedule runs fn at now+delay. Events scheduled at the same instant run in
 // scheduling order. Schedule may be called from event handlers and from
@@ -78,12 +79,76 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
 	}
+	e.push(e.now+delay, fn, nil, nil)
+}
+
+// ScheduleCall runs call(arg) at now+delay. It is the allocation-free form
+// of Schedule: with a prebound call (package-level func or a func value
+// created once at construction) and a pointer-typed arg, scheduling stores
+// both into a pooled event slot without heap allocation.
+func (e *Engine) ScheduleCall(delay Time, call func(any), arg any) {
+	if call == nil {
+		panic("sim: ScheduleCall with nil call")
+	}
+	e.push(e.now+delay, nil, call, arg)
+}
+
+func (e *Engine) push(at Time, fn func(), call func(any), arg any) {
 	e.seq++
-	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		id = int32(len(e.arena) - 1)
+	}
+	ev := &e.arena[id]
+	ev.at, ev.seq, ev.fn, ev.call, ev.arg = at, e.seq, fn, call, arg
+	e.order = append(e.order, id)
+	e.siftUp(len(e.order) - 1)
+}
+
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(e.order[i], e.order[parent]) {
+			break
+		}
+		e.order[i], e.order[parent] = e.order[parent], e.order[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.order)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e.less(e.order[r], e.order[l]) {
+			m = r
+		}
+		if !e.less(e.order[m], e.order[i]) {
+			break
+		}
+		e.order[i], e.order[m] = e.order[m], e.order[i]
+		i = m
+	}
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.order) }
 
 // LiveProcesses reports the number of spawned processes that have not yet
 // returned.
@@ -116,16 +181,33 @@ func (e *Engine) RunUntil(deadline Time) error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].at > deadline {
+	for len(e.order) > 0 && !e.stopped {
+		id := e.order[0]
+		ev := &e.arena[id]
+		if ev.at > deadline {
 			return ErrDeadline
 		}
-		ev := heap.Pop(&e.queue).(event)
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.at
-		ev.fn()
+		fn, call, arg := ev.fn, ev.call, ev.arg
+		// Release the slot before dispatching so the handler can reuse it;
+		// zero it defensively so stale callbacks can never leak.
+		*ev = event{}
+		last := len(e.order) - 1
+		e.order[0] = e.order[last]
+		e.order = e.order[:last]
+		if last > 0 {
+			e.siftDown(0)
+		}
+		e.free = append(e.free, id)
+		e.executed++
+		if fn != nil {
+			fn()
+		} else {
+			call(arg)
+		}
 	}
 	if e.procs > 0 && !e.stopped {
 		return &ErrDeadlock{At: e.now, Procs: e.procs}
@@ -144,11 +226,15 @@ func (e *Engine) Stop() { e.stopped = true }
 // Shutdown unwinds every parked process goroutine. After Shutdown the engine
 // must not be used. It is safe to call Shutdown multiple times. Shutdown must
 // not be called from inside a process or event handler.
+// A process that already finished has no receiver on its resume channel;
+// closing it anyway is harmless.
 func (e *Engine) Shutdown() {
-	select {
-	case <-e.done:
+	if e.shutdown {
 		return
-	default:
-		close(e.done)
 	}
+	e.shutdown = true
+	for _, p := range e.plist {
+		close(p.resume)
+	}
+	e.plist = nil
 }

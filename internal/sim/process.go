@@ -7,10 +7,22 @@ package sim
 type Process struct {
 	eng  *Engine
 	name string
-	// resume carries control kernel->process, yield carries it back.
-	resume chan struct{}
+	// resume carries control kernel->process (true = run; the channel is
+	// closed by Shutdown, so a false receive unwinds the goroutine). yield
+	// carries control back. Plain receives, not selects: parking is on the
+	// context-switch hot path.
+	resume chan bool
 	yield  chan struct{}
+	// wakeFn is the prebound wake function handed out by parkWaiting; it is
+	// created once at Spawn so parking never allocates. wakeArmed guards
+	// against waking a process that is not parked (or waking it twice).
+	wakeFn    func()
+	wakeArmed bool
 }
+
+// dispatchCall adapts Process.dispatch to the engine's allocation-free
+// ScheduleCall form; a single package-level func value serves every process.
+var dispatchCall = func(a any) { a.(*Process).dispatch() }
 
 // shutdownSentinel is panicked inside a process goroutine when the engine is
 // shut down, unwinding the stack so the goroutine exits.
@@ -23,10 +35,12 @@ func (e *Engine) Spawn(name string, delay Time, fn func(p *Process)) *Process {
 	p := &Process{
 		eng:    e,
 		name:   name,
-		resume: make(chan struct{}),
+		resume: make(chan bool),
 		yield:  make(chan struct{}),
 	}
+	p.wakeFn = p.wake
 	e.procs++
+	e.plist = append(e.plist, p)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -41,22 +55,20 @@ func (e *Engine) Spawn(name string, delay Time, fn func(p *Process)) *Process {
 		e.procs--
 		p.yield <- struct{}{} // final handoff back to the kernel
 	}()
-	e.Schedule(delay, func() { p.dispatch() })
+	e.ScheduleCall(delay, dispatchCall, p)
 	return p
 }
 
 // dispatch transfers control from the kernel to the process and waits until
 // the process parks again or finishes. Called only from event context.
 func (p *Process) dispatch() {
-	p.resume <- struct{}{}
+	p.resume <- true
 	<-p.yield
 }
 
 // parkInitial blocks the fresh goroutine until its start event dispatches it.
 func (p *Process) parkInitial() {
-	select {
-	case <-p.resume:
-	case <-p.eng.done:
+	if !<-p.resume {
 		panic(shutdownSentinel{})
 	}
 }
@@ -66,9 +78,7 @@ func (p *Process) parkInitial() {
 // Wake/Sleep/Cond), never by touching the channels directly.
 func (p *Process) park() {
 	p.yield <- struct{}{}
-	select {
-	case <-p.resume:
-	case <-p.eng.done:
+	if !<-p.resume {
 		panic(shutdownSentinel{})
 	}
 }
@@ -85,27 +95,36 @@ func (p *Process) Now() Time { return p.eng.now }
 // Sleep suspends the process for d cycles. Sleep(0) yields to other work
 // scheduled at the current instant.
 func (p *Process) Sleep(d Time) {
-	p.eng.Schedule(d, func() { p.dispatch() })
+	p.eng.ScheduleCall(d, dispatchCall, p)
 	p.park()
 }
 
-// Park suspends the process indefinitely; it runs again only when another
-// event calls the returned wake function. Calling wake more than once is a
-// bug and panics.
-func (p *Process) parkWaiting() (wake func()) {
-	woken := false
-	return func() {
-		if woken {
-			panic("sim: process woken twice")
-		}
-		woken = true
-		p.eng.Schedule(0, func() { p.dispatch() })
+// wake is the prebound wake function: it schedules the process's dispatch
+// and disarms itself so a second call (waking the same park twice) panics.
+func (p *Process) wake() {
+	if !p.wakeArmed {
+		panic("sim: process woken twice")
 	}
+	p.wakeArmed = false
+	p.eng.ScheduleCall(0, dispatchCall, p)
+}
+
+// parkWaiting arms the process's wake function and returns it; it runs again
+// only when another event calls the returned wake function. Calling wake
+// more than once per park is a bug and panics.
+func (p *Process) parkWaiting() (wake func()) {
+	if p.wakeArmed {
+		panic("sim: process already parked")
+	}
+	p.wakeArmed = true
+	return p.wakeFn
 }
 
 // Await parks the process until wake() is invoked by some event handler. The
 // register callback receives the wake function and must arrange for it to be
 // called exactly once; register itself runs in the process before parking.
+// The wake function is the same func value across every Await of a given
+// process, so registrants may cache it.
 func (p *Process) Await(register func(wake func())) {
 	register(p.parkWaiting())
 	p.park()
@@ -117,7 +136,7 @@ func (p *Process) Await(register func(wake func())) {
 // mirroring how cache-line events wake all local spin loops.
 type Cond struct {
 	eng     *Engine
-	waiters []func()
+	waiters []*Process
 }
 
 // NewCond returns a condition variable bound to e.
@@ -125,18 +144,21 @@ func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
 
 // Wait parks the calling process until the next Broadcast.
 func (c *Cond) Wait(p *Process) {
-	c.waiters = append(c.waiters, p.parkWaiting())
+	p.parkWaiting()
+	c.waiters = append(c.waiters, p)
 	p.park()
 }
 
 // Broadcast wakes every currently parked waiter. Processes that call Wait
-// after Broadcast returns wait for the next one.
+// after Broadcast returns wait for the next one. Waking only schedules the
+// waiters' dispatch events, so no waiter re-enters Wait during the loop and
+// the waiter slice can be recycled in place.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
-		w()
+	for i, w := range c.waiters {
+		c.waiters[i] = nil
+		w.wake()
 	}
+	c.waiters = c.waiters[:0]
 }
 
 // Waiters reports how many processes are parked on c.

@@ -89,7 +89,13 @@ func (c *Cache) Do(key string, run func() (any, error)) (any, bool, error) {
 		v, err := run()
 		c.mu.Lock()
 		if err != nil {
-			delete(c.entries, key)
+			// Identity-checked delete: a concurrent Reset may have replaced
+			// the entry map, and an unrelated run could since have installed
+			// a fresh in-flight entry under the same key. Only remove the
+			// entry this owner installed.
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
 		} else {
 			e.val, e.ready = v, true
 		}

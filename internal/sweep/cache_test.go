@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestResetDoesNotOrphanNewInFlightEntry is the regression test for the
+// Reset race: an in-flight owner orphaned by Reset fails, and its cleanup
+// must not delete the unrelated fresh entry another caller has since
+// installed under the same key (the delete is identity-checked).
+func TestResetDoesNotOrphanNewInFlightEntry(t *testing.T) {
+	c := NewCache()
+	block := make(chan struct{})
+	firstStarted := make(chan struct{})
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		_, _, err := c.Do("k", func() (any, error) {
+			close(firstStarted)
+			<-block
+			return nil, errors.New("boom")
+		})
+		if err == nil {
+			t.Error("first owner unexpectedly succeeded")
+		}
+	}()
+	<-firstStarted
+	c.Reset() // orphans the first owner's entry
+
+	secondStarted := make(chan struct{})
+	release := make(chan struct{})
+	secondDone := make(chan any, 1)
+	go func() {
+		v, _, err := c.Do("k", func() (any, error) {
+			close(secondStarted)
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		secondDone <- v
+	}()
+	<-secondStarted
+
+	// Fail the orphaned owner while the fresh entry is still in flight; its
+	// cleanup runs to completion before we proceed.
+	close(block)
+	<-firstDone
+
+	close(release)
+	if v := <-secondDone; v.(int) != 42 {
+		t.Fatalf("second owner returned %v, want 42", v)
+	}
+	// The fresh entry must have survived the orphan's cleanup: a third
+	// caller hits it instead of re-executing.
+	v, hit, err := c.Do("k", func() (any, error) {
+		t.Fatal("third caller re-executed: fresh entry was deleted")
+		return nil, nil
+	})
+	if err != nil || !hit || v.(int) != 42 {
+		t.Fatalf("third caller got (%v, hit=%v, err=%v), want cached 42", v, hit, err)
+	}
+}
+
+// TestCacheResetStatsRaceWithInFlight hammers Do (with failures mixed in)
+// against concurrent Reset and Stats calls; run under -race it checks the
+// cache's locking holds with in-flight singleflight entries.
+func TestCacheResetStatsRaceWithInFlight(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				i := i
+				key := fmt.Sprintf("k%d", (g*7+i)%17)
+				c.Do(key, func() (any, error) {
+					if i%13 == 0 {
+						return nil, errors.New("synthetic failure")
+					}
+					return i, nil
+				})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.Reset()
+			c.Stats()
+		}
+	}()
+	wg.Wait()
+}

@@ -36,9 +36,11 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +76,11 @@ type Spec interface {
 
 // Options tunes Run/RunPoints. The zero value selects every default.
 type Options struct {
+	// Context, when non-nil, cancels the sweep: points not yet started are
+	// skipped and in-flight attempts are abandoned as soon as the context
+	// is done, with RunPoints returning ctx.Err(). Nil means no
+	// cancellation (context.Background()).
+	Context context.Context
 	// Workers is the worker-pool size (default runtime.GOMAXPROCS(0)).
 	// Workers == 1 reproduces the sequential path exactly: points run one
 	// at a time in expansion order.
@@ -174,6 +181,10 @@ func RunPoints(points []Point, opts Options) ([]any, error) {
 	if retries < 0 {
 		retries = 0
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	results := make([]any, len(points))
 	errs := make([]error, len(points))
@@ -206,10 +217,10 @@ func RunPoints(points []Point, opts Options) ([]any, error) {
 				if i >= len(points) {
 					return
 				}
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue // drain remaining indexes without running
 				}
-				v, cached, attempts, err := runPoint(points[i], i, opts, retries)
+				v, cached, attempts, err := runPoint(ctx, points[i], i, opts, retries)
 				results[i], errs[i] = v, err
 				if err != nil {
 					failed.Store(true)
@@ -220,6 +231,9 @@ func RunPoints(points []Point, opts Options) ([]any, error) {
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err
@@ -231,14 +245,18 @@ func RunPoints(points []Point, opts Options) ([]any, error) {
 // runPoint executes one point, consulting the cache and applying the retry
 // budget. It reports whether the result was served from cache and how many
 // attempts ran.
-func runPoint(p Point, index int, opts Options, retries int) (v any, cached bool, attempts int, err error) {
+func runPoint(ctx context.Context, p Point, index int, opts Options, retries int) (v any, cached bool, attempts int, err error) {
 	if p.Run == nil {
 		return nil, false, 0, &PointError{Index: index, Label: p.Label, Err: errors.New("sweep: point has nil Run")}
 	}
 	run := func() (any, error) {
 		var rv any
 		var rerr error
-		rv, attempts, rerr = execute(p, index, opts.Timeout, retries)
+		// Label the attempt so a -cpuprofile/-memprofile capture attributes
+		// samples to the sweep point that produced them.
+		pprof.Do(ctx, pprof.Labels("sweep_point", p.Label), func(ctx context.Context) {
+			rv, attempts, rerr = execute(ctx, p, index, opts.Timeout, retries)
+		})
 		return rv, rerr
 	}
 	if opts.Cache != nil && p.Key != "" {
@@ -259,18 +277,19 @@ func cacheRun(c *Cache, key string, run func() (any, error), attempts *int) (any
 }
 
 // execute runs p's attempts: the first execution plus up to retries
-// re-executions, never retrying a simulated deadlock (deterministic).
-func execute(p Point, index int, timeout time.Duration, retries int) (any, int, error) {
+// re-executions, never retrying a simulated deadlock (deterministic) or a
+// cancelled context (the sweep is being torn down).
+func execute(ctx context.Context, p Point, index int, timeout time.Duration, retries int) (any, int, error) {
 	attempts := 0
 	for {
 		attempts++
-		v, err := attempt(p.Run, timeout)
+		v, err := attempt(ctx, p.Run, timeout)
 		if err == nil {
 			return v, attempts, nil
 		}
 		var dl *sim.ErrDeadlock
 		deadlock := errors.As(err, &dl)
-		if deadlock || attempts > retries {
+		if deadlock || ctx.Err() != nil || attempts > retries {
 			return nil, attempts, &PointError{
 				Index: index, Label: p.Label,
 				Attempts: attempts, Deadlock: deadlock, Err: err,
@@ -280,10 +299,11 @@ func execute(p Point, index int, timeout time.Duration, retries int) (any, int, 
 }
 
 // attempt invokes run, bounding it by the wall-clock timeout when one is
-// set. On timeout the attempt's goroutine is abandoned (it holds only
-// point-private state, so nothing it later does can corrupt other runs).
-func attempt(run func() (any, error), timeout time.Duration) (any, error) {
-	if timeout <= 0 {
+// set and abandoning it when ctx is cancelled. On timeout or cancellation
+// the attempt's goroutine is abandoned (it holds only point-private state,
+// so nothing it later does can corrupt other runs).
+func attempt(ctx context.Context, run func() (any, error), timeout time.Duration) (any, error) {
+	if timeout <= 0 && ctx.Done() == nil {
 		return run()
 	}
 	type outcome struct {
@@ -295,12 +315,18 @@ func attempt(run func() (any, error), timeout time.Duration) (any, error) {
 		v, err := run()
 		ch <- outcome{v, err}
 	}()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
 	select {
 	case o := <-ch:
 		return o.v, o.err
-	case <-timer.C:
+	case <-deadline:
 		return nil, ErrTimeout
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }

@@ -1,0 +1,185 @@
+package amosim
+
+import "amosim/internal/stats"
+
+// The experiment registry: every table, figure, and ablation the harness
+// can reproduce, described uniformly so CLIs and scripts enumerate and
+// select experiments by name instead of hand-maintaining call sites. New
+// experiments are added here once and appear in every consumer.
+
+// ExperimentParams carries the shared knobs an experiment may consume.
+// Zero-valued fields select the experiment's documented defaults (the
+// paper's processor sweep, the default episode/acquire counts).
+type ExperimentParams struct {
+	// Procs overrides the processor-count sweep; nil selects the
+	// experiment's paper-standard scales (ExperimentInfo.DefaultProcs).
+	Procs []int
+	// Barrier configures barrier-based experiments; Lock configures
+	// lock-based ones. Experiments read only the one they use.
+	Barrier BarrierOptions
+	Lock    LockOptions
+	// TreeMech selects the mechanism for the tree-branching ablation
+	// (zero value: LLSC). Other experiments ignore it.
+	TreeMech Mechanism
+}
+
+// procs resolves the processor sweep against an experiment's default.
+func (p ExperimentParams) procs(def []int) []int {
+	if len(p.Procs) == 0 {
+		return def
+	}
+	return p.Procs
+}
+
+// ExperimentInfo describes one registered experiment.
+type ExperimentInfo struct {
+	// Name is the stable identifier used on CLI flags ("table2",
+	// "ablation-tree").
+	Name string
+	// Describe is a one-line human description.
+	Describe string
+	// DefaultProcs is the paper-standard processor sweep the experiment
+	// runs at when ExperimentParams.Procs is nil (nil for experiments
+	// with a fixed internal configuration, like fig1).
+	DefaultProcs []int
+	// Run executes the experiment and returns its rendered table.
+	Run func(ExperimentParams) (*stats.Table, error)
+}
+
+// Experiments returns the registry in canonical presentation order: paper
+// tables and figures first, then ablations, extensions, and applications.
+// The returned slice is freshly allocated; callers may reorder or filter.
+func Experiments() []ExperimentInfo {
+	return []ExperimentInfo{
+		{
+			Name:     "fig1",
+			Describe: "Figure 1: message counts of one lock handoff per mechanism",
+			Run: func(ExperimentParams) (*stats.Table, error) {
+				return Figure1()
+			},
+		},
+		{
+			Name:         "table2",
+			Describe:     "Table 2: flat barrier speedup over LL/SC per mechanism and scale",
+			DefaultProcs: Table2Procs,
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return Table2(p.procs(Table2Procs), p.Barrier)
+			},
+		},
+		{
+			Name:         "fig5",
+			Describe:     "Figure 5: flat barrier cycles per processor per mechanism and scale",
+			DefaultProcs: Table2Procs,
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return Figure5(p.procs(Table2Procs), p.Barrier)
+			},
+		},
+		{
+			Name:         "table3",
+			Describe:     "Table 3: combining-tree barrier speedup over LL/SC per mechanism and scale",
+			DefaultProcs: Table3Procs,
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return Table3(p.procs(Table3Procs), p.Barrier)
+			},
+		},
+		{
+			Name:         "fig6",
+			Describe:     "Figure 6: combining-tree barrier cycles per processor per mechanism and scale",
+			DefaultProcs: Table3Procs,
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return Figure6(p.procs(Table3Procs), p.Barrier)
+			},
+		},
+		{
+			Name:         "table4",
+			Describe:     "Table 4: ticket lock speedup over LL/SC per mechanism and scale",
+			DefaultProcs: Table2Procs,
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return Table4(p.procs(Table2Procs), p.Lock)
+			},
+		},
+		{
+			Name:         "fig7",
+			Describe:     "Figure 7: ticket lock network traffic per mechanism at large scale",
+			DefaultProcs: Figure7Procs,
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return Figure7(p.procs(Figure7Procs), p.Lock)
+			},
+		},
+		{
+			Name:         "ablation-amucache",
+			Describe:     "Ablation: AMU operand cache on vs off",
+			DefaultProcs: []int{16, 64, 256},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return AblationAMUCache(p.procs([]int{16, 64, 256}), p.Barrier)
+			},
+		},
+		{
+			Name:         "ablation-update",
+			Describe:     "Ablation: delayed word-update multicast on vs off",
+			DefaultProcs: []int{16, 64, 256},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return AblationUpdate(p.procs([]int{16, 64, 256}), p.Barrier)
+			},
+		},
+		{
+			Name:         "ablation-tree",
+			Describe:     "Ablation: combining-tree branching factor for one mechanism (-mech)",
+			DefaultProcs: []int{64, 256},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return AblationTree(p.TreeMech, p.procs([]int{64, 256}), p.Barrier)
+			},
+		},
+		{
+			Name:         "ablation-interconnect",
+			Describe:     "Ablation: interconnect topology (mesh vs torus vs fat hop)",
+			DefaultProcs: []int{16, 64, 256},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return AblationInterconnect(p.procs([]int{16, 64, 256}), p.Barrier)
+			},
+		},
+		{
+			Name:         "extension-mcs",
+			Describe:     "Extension: MCS queue lock per mechanism and scale",
+			DefaultProcs: []int{16, 64, 256},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return ExtensionMCS(p.procs([]int{16, 64, 256}), p.Lock)
+			},
+		},
+		{
+			Name:         "apps",
+			Describe:     "Application kernels: speedup per mechanism and scale",
+			DefaultProcs: []int{16, 64},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return ApplicationTable(p.procs([]int{16, 64}))
+			},
+		},
+		{
+			Name:         "ablation-naive",
+			Describe:     "Ablation: naive vs paper-faithful AMO barrier coding",
+			DefaultProcs: []int{16, 64},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return AblationNaiveCoding(p.procs([]int{16, 64}), p.Barrier)
+			},
+		},
+		{
+			Name:         "ablation-multicast",
+			Describe:     "Ablation: word-update multicast fanout limit",
+			DefaultProcs: []int{16, 64, 256},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return AblationMulticast(p.procs([]int{16, 64, 256}), p.Barrier)
+			},
+		},
+	}
+}
+
+// ExperimentByName returns the registered experiment with the given name,
+// or false if none matches.
+func ExperimentByName(name string) (ExperimentInfo, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return ExperimentInfo{}, false
+}

@@ -1,0 +1,63 @@
+package amosim
+
+import "testing"
+
+// TestRegistryNamesUniqueAndResolvable checks the experiment registry's
+// invariants: non-empty unique names, descriptions, and Run functions,
+// with ExperimentByName resolving every entry.
+func TestRegistryNamesUniqueAndResolvable(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range Experiments() {
+		if e.Name == "" || e.Describe == "" || e.Run == nil {
+			t.Fatalf("incomplete registry entry %+v", e)
+		}
+		if e.Name == "all" {
+			t.Fatalf("experiment name %q collides with the CLI's run-everything selector", e.Name)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment name %q", e.Name)
+		}
+		seen[e.Name] = true
+		got, ok := ExperimentByName(e.Name)
+		if !ok || got.Name != e.Name {
+			t.Fatalf("ExperimentByName(%q) = %v, %v", e.Name, got.Name, ok)
+		}
+	}
+	if _, ok := ExperimentByName("no-such-experiment"); ok {
+		t.Fatal("ExperimentByName resolved a nonexistent name")
+	}
+}
+
+// TestRegistryRunsExperiment executes the cheapest registered experiment
+// end to end through the registry interface.
+func TestRegistryRunsExperiment(t *testing.T) {
+	e, ok := ExperimentByName("fig1")
+	if !ok {
+		t.Fatal("fig1 not registered")
+	}
+	tb, err := e.Run(ExperimentParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Render() == "" {
+		t.Fatal("fig1 rendered empty")
+	}
+}
+
+// TestRegistryProcsOverride checks ExperimentParams.Procs narrows a sweep.
+func TestRegistryProcsOverride(t *testing.T) {
+	e, ok := ExperimentByName("table2")
+	if !ok {
+		t.Fatal("table2 not registered")
+	}
+	tb, err := e.Run(ExperimentParams{
+		Procs:   []int{4},
+		Barrier: BarrierOptions{Episodes: 1, Warmup: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := tb.Render(); out == "" {
+		t.Fatal("table2 rendered empty")
+	}
+}

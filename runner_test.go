@@ -1,0 +1,108 @@
+package amosim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunnerRunSweepCancelsMidSweep is the Runner API's cancellation
+// contract: cancelling the context while points are in flight returns
+// promptly with ctx.Err(), skipping points not yet started.
+func TestRunnerRunSweepCancelsMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	block := make(chan struct{})
+	var once sync.Once
+	points := make([]SweepPoint, 16)
+	for i := range points {
+		points[i] = SweepPoint{
+			Label: fmt.Sprintf("blocked-%d", i),
+			Run: func() (any, error) {
+				once.Do(func() { close(started) })
+				<-block
+				return nil, nil
+			},
+		}
+	}
+	r := Runner{Workers: 2}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunSweepPoints(ctx, points)
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep did not return promptly after cancel (blocked points should be abandoned)")
+	}
+	close(block) // release the abandoned point goroutines
+}
+
+// TestRunnerRunSweepCompletes runs a real (tiny) experiment spec through
+// the new API and checks results arrive in expansion order.
+func TestRunnerRunSweepCompletes(t *testing.T) {
+	spec := BarrierExperiment{Procs: []int{4}, Options: BarrierOptions{Episodes: 1, Warmup: 1}}
+	r := Runner{Workers: 2, Cache: NewSweepCache()}
+	vals, err := r.RunSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(Mechanisms) {
+		t.Fatalf("got %d results, want %d", len(vals), len(Mechanisms))
+	}
+	for i, mech := range Mechanisms {
+		br, ok := vals[i].(BarrierResult)
+		if !ok || br.Mechanism != mech.String() {
+			t.Fatalf("result %d = %#v, want BarrierResult for %v", i, vals[i], mech)
+		}
+	}
+	if st := r.Cache.Stats(); st.Misses == 0 {
+		t.Fatalf("runner cache unused: %+v", st)
+	}
+}
+
+// TestRunnerDeadline checks Runner.Timeout bounds a hung point.
+func TestRunnerDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	points := []SweepPoint{{
+		Label: "hang",
+		Run: func() (any, error) {
+			<-block
+			return nil, nil
+		},
+	}}
+	r := Runner{Workers: 1, Timeout: 20 * time.Millisecond}
+	_, err := r.RunSweepPoints(context.Background(), points)
+	var pe *SweepPointError
+	if !errors.As(err, &pe) || !errors.Is(err, ErrSweepTimeout) {
+		t.Fatalf("got %v, want point error wrapping the sweep timeout", err)
+	}
+}
+
+// TestDeprecatedWrappersShareDefaultRunner checks the legacy package-level
+// functions still work and configure the same default Runner.
+func TestDeprecatedWrappersShareDefaultRunner(t *testing.T) {
+	prev := SetSweepWorkers(3)
+	defer SetSweepWorkers(prev)
+	if got := SweepWorkers(); got != 3 {
+		t.Fatalf("SweepWorkers() = %d, want 3", got)
+	}
+	if got := DefaultRunner().Workers; got != 3 {
+		t.Fatalf("DefaultRunner().Workers = %d, want 3", got)
+	}
+	vals, err := RunSweepPoints([]SweepPoint{{Label: "one", Run: func() (any, error) { return 42, nil }}})
+	if err != nil || len(vals) != 1 || vals[0].(int) != 42 {
+		t.Fatalf("RunSweepPoints = %v, %v", vals, err)
+	}
+}

@@ -1,6 +1,7 @@
 package amosim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,11 +14,12 @@ import (
 // This file is the unified Experiment API: every sweep in the harness —
 // the paper tables, the ablations, the application kernels, the CLIs — is
 // expressed as a sweep.Spec (an ordered expansion into independent
-// sweep.Points) and executed by the parallel sweep engine in
-// internal/sweep. The engine fans points out across SweepWorkers OS
-// workers, memoizes results in a shared content-addressed cache, applies a
-// per-point wall-clock deadline with one bounded retry, and reports
-// results in expansion order, byte-identical to a sequential run.
+// sweep.Points) and executed by a Runner over the parallel sweep engine in
+// internal/sweep. A Runner fans points out across Workers OS workers,
+// memoizes results in a content-addressed cache, applies a per-point
+// wall-clock deadline with one bounded retry, honours context
+// cancellation, and reports results in expansion order, byte-identical to
+// a sequential run.
 
 // Aliases for the sweep engine's contract types, so experiment code reads
 // in one vocabulary.
@@ -30,91 +32,163 @@ type (
 	SweepEvent = sweep.Event
 	// SweepPointError names the exact sweep cell that failed.
 	SweepPointError = sweep.PointError
+	// SweepCache memoizes point results by content key, deduplicating
+	// concurrently in-flight points with equal keys.
+	SweepCache = sweep.Cache
 )
 
-// sweepPointTimeout is the per-attempt wall-clock safety net for harness
-// runs. Simulated deadlocks are detected by the event kernel and return
-// promptly; this bounds host-level hangs only, so it is generous.
+// NewSweepCache returns an empty sweep result cache for a Runner.
+func NewSweepCache() *SweepCache { return sweep.NewCache() }
+
+// ErrSweepTimeout marks a sweep attempt abandoned at the Runner's
+// per-point wall-clock deadline.
+var ErrSweepTimeout = sweep.ErrTimeout
+
+// sweepPointTimeout is the default per-attempt wall-clock safety net for
+// harness runs. Simulated deadlocks are detected by the event kernel and
+// return promptly; this bounds host-level hangs only, so it is generous.
 const sweepPointTimeout = 5 * time.Minute
 
+// Runner executes sweeps. The zero value is usable: all CPUs, no progress
+// callback, no cache, the default per-point deadline. Fields are read at
+// each RunSweep call; a Runner must not be mutated while a sweep is in
+// flight.
+type Runner struct {
+	// Workers is the worker-pool size. 0 selects runtime.GOMAXPROCS(0);
+	// 1 forces the sequential path. Results are byte-identical for every
+	// worker count — only wall-clock time changes.
+	Workers int
+	// Progress, when non-nil, is called once per completed point, in
+	// completion order — the engine's one nondeterministic output. Route
+	// it to stderr, never into results.
+	Progress func(SweepEvent)
+	// Cache, when non-nil, memoizes results by point key across sweeps
+	// and deduplicates concurrently in-flight equal-key points.
+	Cache *SweepCache
+	// Timeout is the per-attempt wall-clock deadline. 0 selects the
+	// package default (5 minutes); negative disables it.
+	Timeout time.Duration
+}
+
+// options assembles the engine options for one sweep under ctx.
+func (r *Runner) options(ctx context.Context) sweep.Options {
+	timeout := r.Timeout
+	if timeout == 0 {
+		timeout = sweepPointTimeout
+	}
+	return sweep.Options{
+		Context:  ctx,
+		Workers:  r.Workers,
+		Cache:    r.Cache,
+		Timeout:  timeout,
+		Progress: r.Progress,
+	}
+}
+
+// RunSweep expands spec and executes its points. Results are in expansion
+// order; on failure the error is a *SweepPointError naming the failed
+// cell. Cancelling ctx skips points not yet started, abandons in-flight
+// attempts promptly, and returns ctx.Err().
+func (r *Runner) RunSweep(ctx context.Context, spec SweepSpec) ([]any, error) {
+	return sweep.Run(spec, r.options(ctx))
+}
+
+// RunSweepPoints executes an explicit point list (see RunSweep).
+func (r *Runner) RunSweepPoints(ctx context.Context, points []SweepPoint) ([]any, error) {
+	return sweep.RunPoints(points, r.options(ctx))
+}
+
+// The default Runner behind the package-level wrappers below. Every table
+// generator and CLI that does not build its own Runner shares it — and
+// therefore shares its result cache.
 var (
 	sweepMu       sync.Mutex
-	sweepWorkers  int // 0 selects runtime.GOMAXPROCS(0)
-	sweepProgress func(SweepEvent)
-	sweepCache    = sweep.NewCache()
+	defaultRunner = Runner{Cache: sweep.NewCache()}
 )
 
-// SetSweepWorkers sets the worker-pool size used by RunSweep and every
-// table generator, returning the previous setting. n <= 0 restores the
-// default (runtime.GOMAXPROCS(0)); n == 1 forces the sequential path.
-// Results are byte-identical for every worker count — only wall-clock time
-// changes.
+// DefaultRunner returns a copy of the package's shared Runner as currently
+// configured (its Cache pointer is shared, so sweeps run on the copy still
+// memoize globally).
+func DefaultRunner() Runner {
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	return defaultRunner
+}
+
+// SetSweepWorkers sets the worker-pool size of the default Runner,
+// returning the previous setting. n <= 0 restores the default
+// (runtime.GOMAXPROCS(0)); n == 1 forces the sequential path.
+//
+// Deprecated: build a Runner and set Runner.Workers instead.
 func SetSweepWorkers(n int) int {
 	sweepMu.Lock()
 	defer sweepMu.Unlock()
-	prev := sweepWorkers
+	prev := defaultRunner.Workers
 	if n <= 0 {
 		n = 0
 	}
-	sweepWorkers = n
+	defaultRunner.Workers = n
 	if prev == 0 {
 		return runtime.GOMAXPROCS(0)
 	}
 	return prev
 }
 
-// SweepWorkers reports the effective worker-pool size.
+// SweepWorkers reports the default Runner's effective worker-pool size.
 func SweepWorkers() int {
 	sweepMu.Lock()
 	defer sweepMu.Unlock()
-	if sweepWorkers == 0 {
+	if defaultRunner.Workers == 0 {
 		return runtime.GOMAXPROCS(0)
 	}
-	return sweepWorkers
+	return defaultRunner.Workers
 }
 
-// ResetSweepCache drops every memoized sweep result. Sweeps after a reset
-// re-simulate from scratch; results are unchanged (the cache is a pure
-// memoization of deterministic runs).
-func ResetSweepCache() { sweepCache.Reset() }
+// ResetSweepCache drops every result memoized by the default Runner.
+// Sweeps after a reset re-simulate from scratch; results are unchanged
+// (the cache is a pure memoization of deterministic runs). In-flight
+// points complete against their private entries and are dropped.
+func ResetSweepCache() {
+	sweepMu.Lock()
+	c := defaultRunner.Cache
+	sweepMu.Unlock()
+	c.Reset()
+}
 
-// SweepCacheStats reports hit/miss counters of the shared result cache.
-func SweepCacheStats() sweep.CacheStats { return sweepCache.Stats() }
+// SweepCacheStats reports hit/miss counters of the default Runner's cache.
+func SweepCacheStats() sweep.CacheStats {
+	sweepMu.Lock()
+	c := defaultRunner.Cache
+	sweepMu.Unlock()
+	return c.Stats()
+}
 
-// SetSweepProgress installs a callback invoked once per completed point of
-// every subsequent sweep (nil disables). Events arrive in completion
-// order, the engine's one nondeterministic output — route them to stderr,
-// never into results.
+// SetSweepProgress installs a progress callback on the default Runner
+// (nil disables).
+//
+// Deprecated: build a Runner and set Runner.Progress instead.
 func SetSweepProgress(fn func(SweepEvent)) {
 	sweepMu.Lock()
 	defer sweepMu.Unlock()
-	sweepProgress = fn
+	defaultRunner.Progress = fn
 }
 
-// sweepOptions assembles the engine options for the package harness.
-func sweepOptions() sweep.Options {
-	sweepMu.Lock()
-	workers := sweepWorkers
-	progress := sweepProgress
-	sweepMu.Unlock()
-	return sweep.Options{
-		Workers:  workers,
-		Cache:    sweepCache,
-		Timeout:  sweepPointTimeout,
-		Progress: progress,
-	}
-}
-
-// RunSweep expands spec and executes its points on the package sweep
-// engine. Results are in expansion order; on failure the error is a
-// *SweepPointError naming the failed cell.
+// RunSweep expands spec and executes its points on the default Runner.
+//
+// Deprecated: build a Runner and call Runner.RunSweep, which also takes a
+// context for cancellation.
 func RunSweep(spec SweepSpec) ([]any, error) {
-	return sweep.Run(spec, sweepOptions())
+	r := DefaultRunner()
+	return r.RunSweep(context.Background(), spec)
 }
 
-// RunSweepPoints executes an explicit point list on the package engine.
+// RunSweepPoints executes an explicit point list on the default Runner.
+//
+// Deprecated: build a Runner and call Runner.RunSweepPoints, which also
+// takes a context for cancellation.
 func RunSweepPoints(points []SweepPoint) ([]any, error) {
-	return sweep.RunPoints(points, sweepOptions())
+	r := DefaultRunner()
+	return r.RunSweepPoints(context.Background(), points)
 }
 
 // sweepValues converts an engine result slice to its concrete type.
