@@ -1,22 +1,30 @@
 // Command amolint runs the repository's simulator-specific static analysis
 // over the whole module: map-iteration determinism, enum-switch
-// exhaustiveness, banned host-nondeterminism sources, and discarded cycle
-// costs. It uses only the standard library (the source importer resolves
-// stdlib imports from GOROOT), so it runs offline as part of tier-1 verify.
+// exhaustiveness, banned host-nondeterminism sources, discarded cycle
+// costs, pooled-value lifecycle tracking, and the zero-alloc escape gate.
+// It uses only the standard library (the source importer resolves stdlib
+// imports from GOROOT), so it runs offline as part of tier-1 verify.
 //
 // Usage:
 //
-//	amolint [-rules maprange,exhaustive,banned,latency] [packages]
+//	amolint [-rules lifecycle,escapes] [-json] [packages]
+//	amolint -list-rules
+//	amolint -write-escapes
 //
 // Package arguments are module-relative filters: "./..." (or no argument)
 // lints every package; "./internal/sim" or "internal/sim/..." restrict the
 // reported findings to matching packages (the whole module is still loaded
-// and type-checked). Exits 1 when findings exist, 2 on load errors.
+// and type-checked). -json emits the findings as a deterministic JSON array
+// of {file,line,col,rule,msg} objects on stdout. -write-escapes regenerates
+// ESCAPES.baseline from the current compiler escape-analysis report instead
+// of linting. Exits 1 when findings exist, 2 on load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,59 +33,116 @@ import (
 )
 
 func main() {
-	rulesFlag := flag.String("rules", "", "comma-separated rule subset (default: all of "+
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// run is main with its streams and exit code lifted out, so tests can drive
+// the command end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("amolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.String("rules", "", "comma-separated rule subset (default: all of "+
 		analysis.RuleNames(analysis.AllRules())+")")
-	listFlag := flag.Bool("list-rules", false, "list available rules and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: amolint [-rules r1,r2] [packages]\n\nFlags:\n")
-		flag.PrintDefaults()
+	listFlag := fs.Bool("list-rules", false, "list available rules and exit")
+	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array of {file,line,col,rule,msg}")
+	writeEscapesFlag := fs.Bool("write-escapes", false,
+		"regenerate "+analysis.EscapesBaselineName+" from the current escape-analysis report and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: amolint [-rules r1,r2] [-json] [packages]\n\nFlags:\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *listFlag {
 		for _, r := range analysis.AllRules() {
-			fmt.Println(r.Name())
+			fmt.Fprintln(stdout, r.Name())
 		}
-		return
+		return 0
 	}
 
 	rules, err := analysis.SelectRules(*rulesFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "amolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "amolint:", err)
+		return 2
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "amolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "amolint:", err)
+		return 2
 	}
 	root, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "amolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "amolint:", err)
+		return 2
 	}
 	mod, err := analysis.Load(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "amolint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "amolint:", err)
+		return 2
+	}
+
+	if *writeEscapesFlag {
+		path, err := analysis.WriteEscapesBaseline(mod, "")
+		if err != nil {
+			fmt.Fprintln(stderr, "amolint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "amolint: wrote %s\n", path)
+		return 0
 	}
 
 	diags := analysis.Run(mod, rules)
-	diags = filterByPatterns(mod, diags, flag.Args(), cwd)
+	diags = filterByPatterns(mod, diags, fs.Args(), cwd)
 
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	if *jsonFlag {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: relTo(cwd, d.Pos.Filename),
+				Line: d.Pos.Line,
+				Col:  d.Pos.Column,
+				Rule: d.Rule,
+				Msg:  d.Msg,
+			})
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Rule, d.Msg)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "amolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			pos := d.Pos
+			pos.Filename = relTo(cwd, pos.Filename)
+			fmt.Fprintf(stdout, "%s: %s: %s\n", pos, d.Rule, d.Msg)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "amolint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "amolint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
+}
+
+// relTo shortens path relative to dir when it lies beneath it.
+func relTo(dir, path string) string {
+	if rel, err := filepath.Rel(dir, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
 }
 
 // filterByPatterns keeps diagnostics whose file falls under one of the

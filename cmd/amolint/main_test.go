@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amosim/internal/analysis"
+)
+
+// fixmod is the fixture module, reached relative to this package's dir.
+const fixmod = "../../internal/analysis/testdata/src/fixmod"
+
+// TestListRules checks the -rules listing flag: one rule name per line,
+// matching the registered rule set.
+func TestListRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list-rules"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list-rules exit %d, stderr %q", code, stderr.String())
+	}
+	got := strings.Fields(stdout.String())
+	all := analysis.AllRules()
+	if len(got) != len(all) {
+		t.Fatalf("-list-rules printed %d names, want %d: %q", len(got), len(all), got)
+	}
+	for i, r := range all {
+		if got[i] != r.Name() {
+			t.Errorf("rule %d = %q, want %q", i, got[i], r.Name())
+		}
+	}
+	if len(got) < 9 {
+		t.Errorf("rule suite shrank to %d rules, want >= 9", len(got))
+	}
+}
+
+// TestJSONOutput runs the lifecycle rule over the fixture module with -json
+// and checks the output is a deterministic array of complete findings.
+func TestJSONOutput(t *testing.T) {
+	dir, err := filepath.Abs(fixmod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+
+	runOnce := func() ([]jsonDiag, string) {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-json", "-rules", "lifecycle"}, &stdout, &stderr)
+		if code != 1 {
+			t.Fatalf("exit %d, want 1 (findings exist); stderr %q", code, stderr.String())
+		}
+		var diags []jsonDiag
+		if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+			t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+		}
+		return diags, stdout.String()
+	}
+
+	diags, raw := runOnce()
+	if len(diags) == 0 {
+		t.Fatal("no lifecycle findings in the fixture module")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Rule != "lifecycle" || d.Msg == "" {
+			t.Errorf("incomplete finding: %+v", d)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("finding path not cwd-relative: %s", d.File)
+		}
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings out of order: %+v before %+v", a, b)
+		}
+	}
+	if _, raw2 := runOnce(); raw != raw2 {
+		t.Error("-json output differs between identical runs")
+	}
+}
+
+// TestUnknownRule pins the load-error exit code.
+func TestUnknownRule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown rule exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown rule") {
+		t.Errorf("stderr %q does not name the unknown rule", stderr.String())
+	}
+}

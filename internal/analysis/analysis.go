@@ -35,6 +35,17 @@
 //     math/rand at all nor consult the wall clock — its replay guarantee
 //     (a failure reproduces from config + seed) requires every random draw
 //     to flow through the package's splittable seeded RNG.
+//   - lifecycle: pooled hot-path values (event-arena slots, *Msg records,
+//     AcquireData word buffers, dirReq/fineJob/finePut records) must be
+//     released or have their ownership transferred exactly once on every
+//     path out of the function that acquired them — the dataflow pass
+//     reports use-after-release, double-release, release-after-transfer
+//     and leaks, with //lint:owns-transfer blessing true interprocedural
+//     handoffs (see LifecycleRule).
+//   - escapes: the compiler's escape-analysis report for the hot-path
+//     packages must match the checked-in ESCAPES.baseline, so a zero-alloc
+//     regression fails the build naming the exact new heap site (see
+//     EscapeRule).
 //
 // Diagnostics carry the rule name and a position; Run returns them in
 // deterministic (file, line, column) order.
@@ -88,7 +99,7 @@ func inSimPackages(mod *Module, pkg *Package) bool {
 
 // AllRules returns every rule, in a fixed order.
 func AllRules() []Rule {
-	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}, SweepShareRule{}, ChaosDetRule{}}
+	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}, SweepShareRule{}, ChaosDetRule{}, LifecycleRule{}, EscapeRule{}}
 }
 
 // RuleNames returns the names of rules, comma-joined, for usage text.

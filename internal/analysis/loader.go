@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -97,9 +98,16 @@ func modulePath(gomod string) (string, error) {
 }
 
 // Load parses and type-checks every package under the module rooted at
-// root. Test files (_test.go), testdata, vendor and hidden directories are
-// skipped. Type errors in any package abort the load: lint rules need
+// root. Type errors in any package abort the load: lint rules need
 // well-typed code.
+//
+// File-set contract (what every rule sees): each package contains exactly
+// the non-test files of its default build — _test.go files are always
+// excluded, and files ruled out by //go:build constraints or GOOS/GOARCH
+// file-name suffixes (per go/build.Default for the host platform) are
+// excluded too, matching what `go build` would compile here. Rules
+// therefore never see test-only or constrained-out code. testdata, vendor,
+// hidden and underscore directories are skipped entirely.
 func Load(root string) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
@@ -179,8 +187,9 @@ func packageDirs(root string) ([]string, error) {
 	return dirs, nil
 }
 
-// parseDir parses the non-test Go files of dir, returning nil if dir holds
-// no buildable non-test files.
+// parseDir parses the non-test Go files of dir that match the default
+// build context (build constraints, platform file suffixes), returning nil
+// if dir holds no such files.
 func parseDir(mod *Module, dir string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -191,6 +200,15 @@ func parseDir(mod *Module, dir string) (*Package, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		// Honor //go:build constraints and GOOS/GOARCH suffixes so rules
+		// see exactly the files `go build` would compile here.
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
 			continue
 		}
 		f, err := parser.ParseFile(mod.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amosim/internal/analysis"
+)
+
+// TestLoaderFileSelection pins the loader's file-set contract: rules see
+// exactly the non-test files of the default build. fixmod/internal/machine
+// contains a build-constraint-excluded file and a _test.go file, both with
+// deliberate violations; neither may be loaded.
+func TestLoaderFileSelection(t *testing.T) {
+	root, err := filepath.Abs("testdata/src/fixmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analysis.Load(root)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	pkg := mod.Lookup("fixmod/internal/machine")
+	if pkg == nil {
+		t.Fatal("fixmod/internal/machine not loaded")
+	}
+	names := make(map[string]bool)
+	for _, f := range pkg.Files {
+		names[filepath.Base(mod.Fset.Position(f.Package).Filename)] = true
+	}
+	if !names["banned.go"] {
+		t.Errorf("unconstrained file banned.go missing from package files %v", names)
+	}
+	if names["tagged_excluded.go"] {
+		t.Error("build-constraint-excluded file tagged_excluded.go was loaded")
+	}
+	for name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s was loaded", name)
+		}
+	}
+}

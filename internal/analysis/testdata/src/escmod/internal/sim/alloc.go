@@ -1,0 +1,18 @@
+// Package sim is the escape-gate fixture: a hot-path package with exactly
+// one deliberate heap allocation for the driver tests to find.
+package sim
+
+// Box forces its parameter to the heap — the one escape site the gate
+// tests expect CollectEscapes to report.
+func Box(v int) *int {
+	return &v
+}
+
+// Stack does only stack work: it must produce no escape diagnostics.
+func Stack(a, b int) int {
+	s := 0
+	for i := a; i < b; i++ {
+		s += i
+	}
+	return s
+}

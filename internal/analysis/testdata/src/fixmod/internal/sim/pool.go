@@ -1,0 +1,60 @@
+package sim
+
+// This file is the lifecycle-rule fixture for the event arena: Engine
+// mirrors the production kernel's slot free list, including the
+// declare-before-branch shape (var id; if pooled { pop } else { grow })
+// that the pass must track across the merge without a false positive.
+
+// Engine mirrors the production event arena.
+type Engine struct {
+	arena []event
+	free  []int32
+	order []int32
+}
+
+type event struct {
+	at  uint64
+	arg any
+}
+
+// PushClean pops a slot (or grows the arena) and hands it to the heap:
+// the acquire happens in one branch of an if whose variable is declared
+// outside it — no findings.
+func PushClean(e *Engine, at uint64) {
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		id = int32(len(e.arena) - 1)
+	}
+	e.arena[id].at = at
+	e.order = append(e.order, id)
+}
+
+// PopLeak drops a popped slot on the floor when the engine is stopped.
+func PopLeak(e *Engine, stopped bool) {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		if stopped {
+			return // want `pooled value "id" \(free, line \d+\) may leak`
+		}
+		e.order = append(e.order, id)
+	}
+}
+
+// Recycle releases the slot on one arm and transfers it on the other: no
+// findings.
+func Recycle(e *Engine, stopped bool) {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		if stopped {
+			e.free = append(e.free, id)
+			return
+		}
+		e.order = append(e.order, id)
+	}
+}

@@ -243,12 +243,16 @@ func (n *Network) AcquireData(words int) []uint64 {
 }
 
 // ReleaseData recycles a buffer obtained from AcquireData (or an equivalent
-// buffer whose ownership the caller holds). The buffer is zeroed so stale
-// words can never leak into a later payload. nil is ignored.
+// buffer whose ownership the caller holds). The full capacity is zeroed so
+// stale words can never leak into a later payload, even when the caller
+// releases a shortened reslice. Zero-capacity buffers (including nil) are
+// dropped rather than pooled: AcquireData pops only the top entry, so a
+// cap-0 entry on top would shadow the pool from every nonzero-size request.
 func (n *Network) ReleaseData(b []uint64) {
-	if b == nil {
+	if cap(b) == 0 {
 		return
 	}
+	b = b[:cap(b)]
 	for i := range b {
 		b[i] = 0
 	}

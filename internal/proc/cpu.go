@@ -352,7 +352,10 @@ func (c *CPU) applyCacheReply(m network.Msg) {
 func (c *CPU) installLine(block uint64, st cache.State, data []uint64) {
 	words := c.net.AcquireData(len(data))
 	copy(words, data)
-	victim, dirty := c.c.Insert(block, st, words)
+	// The cache takes ownership of the line buffer: it is released back to
+	// the network pool by the recycler hook (SetRecycler(net.ReleaseData))
+	// when the line is evicted or replaced.
+	victim, dirty := c.c.Insert(block, st, words) //lint:owns-transfer
 	if dirty {
 		c.writeback(victim)
 	}
