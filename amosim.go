@@ -50,7 +50,33 @@ type Config = config.Config
 // DefaultConfig returns the paper's Table 1 configuration for p processors.
 func DefaultConfig(p int) Config { return config.Default(p) }
 
-// Machine is a simulated CC-NUMA multiprocessor.
+// Backend selects the simulated memory-system organization (see
+// Config.Backend): the paper's CC-NUMA/AMU machine, SynCron-style NDP sync
+// engines, or coherence-free disaggregated shared memory.
+type Backend = config.Backend
+
+// The three memory-system backends.
+const (
+	// BackendAMO is the paper's machine: MSI directory + active memory
+	// unit per node. The default.
+	BackendAMO = config.BackendAMO
+	// BackendSynCron models NDP per-partition sync engines with bounded
+	// sync tables and hierarchical coordination.
+	BackendSynCron = config.BackendSynCron
+	// BackendDSM models disaggregated shared memory: no coherence, every
+	// access a remote read/write/atomic at RDMA-class latency.
+	BackendDSM = config.BackendDSM
+)
+
+// Backends lists all backends in presentation order (amo, syncron, dsm).
+var Backends = config.Backends
+
+// ParseBackend parses a backend name, case-insensitively. It round-trips
+// with Backend.String: ParseBackend(b.String()) == b for every backend.
+func ParseBackend(s string) (Backend, error) { return config.ParseBackend(s) }
+
+// Machine is a simulated multiprocessor (CC-NUMA/AMU by default; see
+// Backend for the alternatives).
 type Machine = machine.Machine
 
 // NewMachine builds a machine for the configuration.

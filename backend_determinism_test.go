@@ -1,0 +1,150 @@
+package amosim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// perturb returns a copy of cfg with field i nudged to a different value,
+// or false for field kinds the test does not know how to change.
+func perturb(cfg Config, i int) (Config, bool) {
+	v := reflect.ValueOf(&cfg).Elem().Field(i)
+	switch v.Kind() {
+	case reflect.Int, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint64, reflect.Uint:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	default:
+		return cfg, false
+	}
+	return cfg, true
+}
+
+// TestSweepKeyCoversEveryConfigField is the cache-key audit: every field of
+// Config must flow into a sweep point's key, so two runs differing in any
+// machine knob — including the memory-system backend — can never alias in
+// the result cache. The test perturbs each field by reflection and demands
+// the key move.
+func TestSweepKeyCoversEveryConfigField(t *testing.T) {
+	base := DefaultConfig(8)
+	opts := BarrierOptions{Episodes: 2, Warmup: 1}
+	baseKey := BarrierPoint(base, AMO, opts).Key
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.PkgPath != "" {
+			t.Errorf("Config.%s is unexported: it cannot reach the JSON cache key", f.Name)
+			continue
+		}
+		cfg, ok := perturb(base, i)
+		if !ok {
+			t.Errorf("Config.%s has kind %s the audit cannot perturb; extend perturb()", f.Name, f.Type.Kind())
+			continue
+		}
+		if got := BarrierPoint(cfg, AMO, opts).Key; got == baseKey {
+			t.Errorf("perturbing Config.%s did not change the sweep key: cached results would alias", f.Name)
+		}
+	}
+}
+
+// TestBackendNeverAliasesCacheKey is the regression the Backend field
+// demands: two points differing only in backend — whether via the config
+// or via the options override — must have distinct cache keys.
+func TestBackendNeverAliasesCacheKey(t *testing.T) {
+	cfg := DefaultConfig(8)
+	seen := map[string]Backend{}
+	note := func(k string, b Backend) {
+		t.Helper()
+		if prev, dup := seen[k]; dup && prev != b {
+			t.Fatalf("barrier key aliases across backends %v and %v", b, prev)
+		}
+		seen[k] = b
+	}
+	for _, b := range Backends {
+		// The same backend spelled two ways: through the options override
+		// and through the config. Either spelling must collide only with
+		// runs of the same backend, never with a different one.
+		note(BarrierPoint(cfg, AMO, BarrierOptions{Episodes: 2, Warmup: 1, Backend: b}).Key, b)
+		c := cfg
+		c.Backend = b
+		note(BarrierPoint(c, AMO, BarrierOptions{Episodes: 2, Warmup: 1}).Key, b)
+	}
+	if len(seen) < len(Backends) {
+		t.Fatalf("only %d distinct barrier keys across %d backends", len(seen), len(Backends))
+	}
+	lockSeen := map[string]bool{}
+	for _, b := range Backends {
+		k := LockPoint(cfg, Ticket, AMO, LockOptions{Acquires: 2, Backend: b}).Key
+		if lockSeen[k] {
+			t.Fatalf("lock key for backend %v aliases another backend", b)
+		}
+		lockSeen[k] = true
+	}
+}
+
+// TestTableByteIdenticalAcrossWorkersPerBackend extends the sweep engine's
+// central promise to the new backends: parallel and sequential sweeps emit
+// byte-identical tables on syncron and dsm, not just on the default
+// machine.
+func TestTableByteIdenticalAcrossWorkersPerBackend(t *testing.T) {
+	procs := []int{4, 8}
+	for _, b := range []Backend{BackendSynCron, BackendDSM} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			opts := BarrierOptions{Episodes: 2, Warmup: 1, Backend: b}
+			var seq, par string
+			withWorkers(t, 1, func() {
+				tb, err := Table2(procs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq = tb.Render()
+			})
+			withWorkers(t, 4, func() {
+				tb, err := Table2(procs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par = tb.Render()
+			})
+			if seq != par {
+				t.Fatalf("Table2 on %s differs between -workers=1 and -workers=4:\n--- sequential ---\n%s\n--- parallel ---\n%s", b, seq, par)
+			}
+		})
+	}
+}
+
+// TestBackendTableRuns smoke-tests the cross-backend comparison table at a
+// small scale: every row must have a cell for all three backends and the
+// table must render deterministically across repeated runs.
+func TestBackendTableRuns(t *testing.T) {
+	bopts := BarrierOptions{Episodes: 1, Warmup: 1}
+	lopts := LockOptions{Acquires: 1}
+	var first string
+	for i := 0; i < 2; i++ {
+		tb, err := BackendTable([]int{4}, bopts, lopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := tb.Render()
+		if i == 0 {
+			first = out
+			continue
+		}
+		if out != first {
+			t.Fatalf("BackendTable not deterministic:\n--- first ---\n%s\n--- second ---\n%s", first, out)
+		}
+	}
+	wantRows := len(Mechanisms)*2 + len(WorkloadApps)
+	tb, err := BackendTable([]int{4}, bopts, lopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tb.Rows); got != wantRows {
+		t.Fatalf("BackendTable([4]) has %d rows, want %d", got, wantRows)
+	}
+}

@@ -28,7 +28,7 @@ func BenchMetricsJSON(procs int, bopts BarrierOptions, lopts LockOptions) ([]byt
 	for _, mech := range Mechanisms {
 		pts = append(pts, BarrierPoint(cfg, mech, bopts), LockPoint(cfg, Ticket, mech, lopts))
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return nil, err
 	}

@@ -69,8 +69,11 @@ fuzz_smoke internal/syncprim FuzzParseLockKind
 fuzz_smoke internal/chaos FuzzChaosTrial
 
 echo "== chaos smoke"
-# A hostile-level fault-injection run must finish invariant-clean.
+# A hostile-level fault-injection run must finish invariant-clean — on the
+# default machine and on both alternative memory-system backends.
 go run ./cmd/amosim -primitive barrier -mech AMO -procs 16 -chaos-seed 1 -chaos-level 2 | grep -q "invariants clean"
+go run ./cmd/amosim -primitive barrier -mech AMO -procs 16 -chaos-seed 1 -chaos-level 2 -backend syncron | grep -q "invariants clean"
+go run ./cmd/amosim -primitive barrier -mech AMO -procs 16 -chaos-seed 1 -chaos-level 2 -backend dsm | grep -q "invariants clean"
 
 echo "== metrics smoke"
 # The -metrics writer is self-verifying: it fails unless the JSON document

@@ -10,6 +10,7 @@
 //	amosim -primitive array -mech Atomic -procs 16
 //	amosim -primitive mcs -mech AMO -procs 64
 //	amosim -primitive barrier -mech AMO -procs 32 -metrics out.json
+//	amosim -primitive barrier -mech AMO -procs 32 -backend syncron
 //
 // The experiment runs as a single point on the sweep engine, so it gets
 // the same deadline, deadlock-capture and retry semantics as a table
@@ -24,6 +25,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -64,7 +66,8 @@ func writeMetrics[T any](path string, result T, win amosim.Snapshot) error {
 // returns its typed result.
 func runOne[T any](pt amosim.SweepPoint) (T, error) {
 	var zero T
-	vals, err := amosim.RunSweepPoints([]amosim.SweepPoint{pt})
+	r := amosim.DefaultRunner()
+	vals, err := r.RunSweepPoints(context.Background(), []amosim.SweepPoint{pt})
 	if err != nil {
 		return zero, err
 	}
@@ -77,6 +80,7 @@ func main() {
 	var (
 		primitive = flag.String("primitive", "barrier", "barrier, ticket, array or mcs")
 		mechFlag  = flag.String("mech", "AMO", "LLSC, Atomic, ActMsg, MAO or AMO")
+		backend   = flag.String("backend", "amo", "memory-system backend: amo, syncron or dsm")
 		procs     = flag.Int("procs", 32, "processor count")
 		episodes  = flag.Int("episodes", 8, "measured barrier episodes")
 		warmup    = flag.Int("warmup", 2, "warm-up barrier episodes")
@@ -95,6 +99,10 @@ func main() {
 	}
 	cfg := amosim.DefaultConfig(*procs)
 	cfg.AMUCacheWords = *amuWords
+	cfg.Backend, err = amosim.ParseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}

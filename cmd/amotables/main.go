@@ -12,7 +12,9 @@
 //
 // Experiments come from the amosim.Experiments() registry; -list prints
 // every name with its description. -only selects one by name (-exp is a
-// deprecated synonym), "all" runs the registry in order.
+// deprecated synonym), "all" runs the registry in order. -backend runs the
+// selected experiments on an alternative memory-system backend (syncron,
+// dsm); the "backends" experiment compares all three side by side.
 //
 // Every experiment runs on the parallel sweep engine: -workers sets the
 // worker-pool size (default: all CPUs; 1 forces the sequential path), and
@@ -64,6 +66,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "sweep worker-pool size (1 = sequential; results are identical at any value)")
 		progress = flag.Bool("progress", false, "report per-point sweep completion on stderr")
 		mech     = flag.String("mech", "llsc", "mechanism for ablation-tree (llsc, atomic, actmsg, mao, amo)")
+		backend  = flag.String("backend", "amo", "memory-system backend for every experiment: amo, syncron or dsm")
 		benchOut = flag.String("bench-metrics", "", "write the per-mechanism benchmark summary (with cycle attribution) to this file as JSON, then exit")
 		benchP   = flag.Int("bench-procs", 32, "processor count for -bench-metrics")
 		hotOut   = flag.String("bench-hotpath", "", "write the hot-path benchmark document (BENCH_hotpath.json) to this file, then exit")
@@ -106,17 +109,22 @@ func main() {
 		}()
 	}
 
-	amosim.SetSweepWorkers(*workers)
+	runner := amosim.Runner{Workers: *workers}
 	if *progress {
-		amosim.SetSweepProgress(func(e amosim.SweepEvent) {
+		runner.Progress = func(e amosim.SweepEvent) {
 			note := ""
 			if e.Cached {
 				note = " (cached)"
 			}
 			fmt.Fprintf(os.Stderr, "amotables: [%d/%d] %s%s\n", e.Done, e.Total, e.Label, note)
-		})
+		}
 	}
+	amosim.SetDefaultRunner(runner)
 	treeMech, err := amosim.ParseMechanism(*mech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bend, err := amosim.ParseBackend(*backend)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -159,6 +167,7 @@ func main() {
 		Barrier:  bopts,
 		Lock:     lopts,
 		TreeMech: treeMech,
+		Backend:  bend,
 	}
 	if *procs != "" {
 		for _, f := range strings.Split(*procs, ",") {

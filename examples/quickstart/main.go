@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -71,7 +72,8 @@ func main() {
 	// from the result cache, and the ordered results are byte-identical at
 	// any worker count.
 	spec := amosim.BarrierExperiment{Procs: []int{4, 8}, Mechs: []amosim.Mechanism{amosim.LLSC, amosim.AMO}}
-	vals, err := amosim.RunSweep(spec)
+	runner := amosim.DefaultRunner()
+	vals, err := runner.RunSweep(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -44,6 +44,11 @@ type BarrierOptions struct {
 	// a level set, the run fails on any protocol-invariant violation.
 	ChaosSeed  uint64
 	ChaosLevel int
+	// Backend, when non-zero, overrides the config's memory-system backend
+	// for the run (the zero value, BackendAMO, defers to the config). It
+	// participates in the sweep cache key through both the config and
+	// options digests, so cells never alias across backends.
+	Backend Backend
 }
 
 // WithDefaults returns the options with the module's convention applied
@@ -58,10 +63,19 @@ func (o BarrierOptions) WithDefaults() BarrierOptions {
 	return o
 }
 
+// applyBackend resolves an options-level backend override onto a config.
+func applyBackend(cfg Config, b Backend) Config {
+	if b != BackendAMO {
+		cfg.Backend = b
+	}
+	return cfg
+}
+
 // RunBarrier measures a barrier implementation on a fresh machine and
 // returns per-episode cycle and traffic figures.
 func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult, error) {
 	opts = opts.WithDefaults()
+	cfg = applyBackend(cfg, opts.Backend)
 	m, err := machine.New(cfg)
 	if err != nil {
 		return BarrierResult{}, err
@@ -155,7 +169,7 @@ func BestTreeBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierRe
 		o.Branching = b
 		pts[i] = BarrierPoint(cfg, mech, o)
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return BarrierResult{}, err
 	}
@@ -220,6 +234,9 @@ type LockOptions struct {
 	// runtime invariant oracles (see BarrierOptions).
 	ChaosSeed  uint64
 	ChaosLevel int
+	// Backend, when non-zero, overrides the config's memory-system backend
+	// for the run (see BarrierOptions.Backend).
+	Backend Backend
 }
 
 // WithDefaults returns the options with the module's convention applied
@@ -236,6 +253,7 @@ func (o LockOptions) WithDefaults() LockOptions {
 // passing and traffic in the measured window.
 func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockResult, error) {
 	opts = opts.WithDefaults()
+	cfg = applyBackend(cfg, opts.Backend)
 	m, err := machine.New(cfg)
 	if err != nil {
 		return LockResult{}, err

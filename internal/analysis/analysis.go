@@ -35,6 +35,11 @@
 //     math/rand at all nor consult the wall clock — its replay guarantee
 //     (a failure reproduces from config + seed) requires every random draw
 //     to flow through the package's splittable seeded RNG.
+//   - backendpure: the pluggable memory-system backends (internal/syncron,
+//     internal/dsm) must not import math/rand, consult the wall clock, or
+//     range over a map raw — a backend must replay byte-identically from
+//     (config, seed), and these packages sit outside simPackages so the
+//     maprange/banned rules would otherwise not reach them.
 //   - lifecycle: pooled hot-path values (event-arena slots, *Msg records,
 //     AcquireData word buffers, dirReq/fineJob/finePut records) must be
 //     released or have their ownership transferred exactly once on every
@@ -99,7 +104,7 @@ func inSimPackages(mod *Module, pkg *Package) bool {
 
 // AllRules returns every rule, in a fixed order.
 func AllRules() []Rule {
-	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}, SweepShareRule{}, ChaosDetRule{}, LifecycleRule{}, EscapeRule{}}
+	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}, SweepShareRule{}, ChaosDetRule{}, BackendPureRule{}, LifecycleRule{}, EscapeRule{}}
 }
 
 // RuleNames returns the names of rules, comma-joined, for usage text.

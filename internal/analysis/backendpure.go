@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// backendPackages are the pluggable memory-system backends. They sit
+// behind machine.Backend and are not in simPackages (their event handlers
+// run inside engines the machine wires up, not in the core protocol
+// packages), so maprange/banned do not reach them; this rule carries the
+// same determinism contract there.
+var backendPackages = map[string]bool{
+	"internal/syncron": true,
+	"internal/dsm":     true,
+}
+
+// BackendPureRule keeps the backend packages (internal/syncron,
+// internal/dsm) free of host nondeterminism. A backend must produce a
+// byte-identical event stream from (config, seed) alone — the cross-backend
+// determinism tests and the chaos differential oracle both depend on it —
+// so inside a backend package the rule bans
+//
+//   - importing math/rand or math/rand/v2 — randomized backoff or table
+//     hashing must derive from simulated state, never a host RNG;
+//   - the wall clock (time.Now/Since/Until) — simulated time is the only
+//     clock a backend may consult;
+//   - raw `for … range` over a map — map iteration order is randomized per
+//     run, so an unordered fan-out (wakeups, overflow scans, invalidation
+//     sends) desynchronizes the schedule between runs. Iterate a sorted
+//     key slice, or annotate //lint:order-independent when the body
+//     genuinely commutes.
+type BackendPureRule struct{}
+
+// Name implements Rule.
+func (BackendPureRule) Name() string { return "backendpure" }
+
+// Check implements Rule.
+func (BackendPureRule) Check(mod *Module, pkg *Package) []Diagnostic {
+	if !backendPackages[mod.RelPath(pkg)] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, Diagnostic{
+					Pos:  mod.Fset.Position(imp.Pos()),
+					Rule: "backendpure",
+					Msg:  path + " import in a backend package: backends must replay byte-identically from (config, seed); derive pseudo-random choices from simulated state",
+				})
+			}
+		}
+		annotated := annotatedLines(mod.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pkg.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				pos := mod.Fset.Position(n.Pos())
+				if annotationCovers(annotated, pos.Line) {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:  pos,
+					Rule: "backendpure",
+					Msg: "nondeterministic iteration over " + types.TypeString(tv.Type, types.RelativeTo(pkg.Types)) +
+						" in a backend package: range a sorted key slice, or annotate " + OrderIndependentAnnotation +
+						" if the body is order-independent",
+				})
+			case *ast.SelectorExpr:
+				obj, ok := pkg.Info.Uses[n.Sel]
+				if !ok {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				if bannedTimeFuncs[fn.Name()] {
+					out = append(out, Diagnostic{
+						Pos:  mod.Fset.Position(n.Pos()),
+						Rule: "backendpure",
+						Msg:  "time." + fn.Name() + " in a backend package: backends see only simulated cycles, never the wall clock",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"amosim/internal/chaos"
+	"amosim/internal/config"
+	"amosim/internal/syncprim"
+)
+
+// TestTrialAllBackendsClean runs a hostile-level trial on every backend:
+// each must pass every functional oracle (value conservation, fetch-add
+// atomicity, mutual exclusion, barrier quiescence) even though the three
+// memory systems route the same schedule through entirely different
+// hardware.
+func TestTrialAllBackendsClean(t *testing.T) {
+	for _, backend := range config.Backends {
+		for _, mech := range syncprim.Mechanisms {
+			t.Run(backend.String()+"/"+mech.String(), func(t *testing.T) {
+				spec := chaos.TrialSpec{
+					Seed: 11, Mech: mech, Procs: 4,
+					Vars: 2, Ops: 4, Episodes: 2, LockPasses: 1, Level: 2,
+					Backend: backend,
+				}
+				if _, err := chaos.RunTrial(spec); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestBackendDifferential is the cross-backend differential oracle: the
+// same seeded schedule under the same mechanism must produce identical
+// functional outcomes (final counters, lock word, per-CPU completion
+// counts) on all three backends. Cycles and traffic legitimately differ;
+// function must not.
+func TestBackendDifferential(t *testing.T) {
+	for _, mech := range []syncprim.Mechanism{syncprim.LLSC, syncprim.MAO, syncprim.AMO} {
+		t.Run(mech.String(), func(t *testing.T) {
+			var results []chaos.TrialResult
+			for _, backend := range config.Backends {
+				spec := chaos.TrialSpec{
+					Seed: 23, Mech: mech, Procs: 8,
+					Vars: 3, Ops: 5, Episodes: 2, LockPasses: 1, Level: 1,
+					Backend: backend,
+				}
+				r, err := chaos.RunTrial(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results = append(results, r)
+			}
+			if err := chaos.CompareOutcomes(results); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTrialReplayPerBackend extends the byte-identical-replay contract to
+// the new backends: the same spec yields the same trace digest on every
+// rerun, for each backend.
+func TestTrialReplayPerBackend(t *testing.T) {
+	for _, backend := range []config.Backend{config.BackendSynCron, config.BackendDSM} {
+		t.Run(backend.String(), func(t *testing.T) {
+			spec := chaos.TrialSpec{
+				Seed: 42, Mech: syncprim.AMO, Procs: 8,
+				Vars: 3, Ops: 5, Episodes: 2, LockPasses: 1, Level: 2, Squeeze: true,
+				Backend: backend,
+			}
+			first, err := chaos.RunTrial(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := chaos.RunTrial(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Digest != first.Digest {
+				t.Fatalf("nondeterministic replay on %s: %s vs %s", backend, first.Digest, again.Digest)
+			}
+		})
+	}
+}

@@ -43,14 +43,19 @@ type TrialSpec struct {
 	// Level is the chaos intensity (see Plan.Level); 0 runs clean.
 	Level int
 	// Squeeze shrinks processor caches to one line and the AMU operand
-	// cache to two words, forcing constant capacity evictions.
+	// cache to two words (and, on the syncron backend, the sync tables to
+	// two entries), forcing constant capacity evictions and overflows.
 	Squeeze bool
+	// Backend selects the memory-system backend (the zero value is the
+	// default amo machine). The functional oracles are backend-independent,
+	// so the same schedule must produce the same outcome on every backend.
+	Backend config.Backend
 }
 
 // String renders the spec as a replayable literal.
 func (s TrialSpec) String() string {
-	return fmt.Sprintf("chaos.TrialSpec{Seed: %d, Mech: syncprim.%s, Procs: %d, Vars: %d, Ops: %d, Episodes: %d, LockPasses: %d, Level: %d, Squeeze: %v}",
-		s.Seed, mechIdent(s.Mech), s.Procs, s.Vars, s.Ops, s.Episodes, s.LockPasses, s.Level, s.Squeeze)
+	return fmt.Sprintf("chaos.TrialSpec{Seed: %d, Mech: syncprim.%s, Procs: %d, Vars: %d, Ops: %d, Episodes: %d, LockPasses: %d, Level: %d, Squeeze: %v, Backend: %s}",
+		s.Seed, mechIdent(s.Mech), s.Procs, s.Vars, s.Ops, s.Episodes, s.LockPasses, s.Level, s.Squeeze, backendIdent(s.Backend))
 }
 
 // mechIdent is the Go identifier of a mechanism (String yields "LL/SC").
@@ -61,18 +66,38 @@ func mechIdent(m syncprim.Mechanism) string {
 	return m.String()
 }
 
+// backendIdent is the Go identifier of a backend (String yields "amo").
+func backendIdent(b config.Backend) string {
+	switch b {
+	case config.BackendSynCron:
+		return "config.BackendSynCron"
+	case config.BackendDSM:
+		return "config.BackendDSM"
+	default:
+		return "config.BackendAMO"
+	}
+}
+
 // Label identifies the trial in sweep progress and errors.
 func (s TrialSpec) Label() string {
-	return fmt.Sprintf("chaos seed=%d %s p=%d L%d", s.Seed, s.Mech, s.Procs, s.Level)
+	tag := ""
+	if s.Backend != config.BackendAMO {
+		tag = " [" + s.Backend.String() + "]"
+	}
+	return fmt.Sprintf("chaos seed=%d %s p=%d L%d%s", s.Seed, s.Mech, s.Procs, s.Level, tag)
 }
 
 // config builds the trial's machine configuration.
 func (s TrialSpec) config() config.Config {
 	cfg := config.Default(s.Procs)
+	cfg.Backend = s.Backend
 	if s.Squeeze {
 		cfg.CacheSets = 1
 		cfg.CacheWays = 1
 		cfg.AMUCacheWords = 2
+		if s.Backend == config.BackendSynCron {
+			cfg.SyncTableEntries = 2
+		}
 	}
 	return cfg
 }
@@ -329,8 +354,10 @@ type Group struct {
 }
 
 // NewGroup derives a group's shape from its seed: scale, operation mix,
-// chaos level and cache squeeze all vary seed-to-seed so a sweep covers the
-// parameter space without hand-written tables.
+// chaos level, cache squeeze and memory-system backend all vary
+// seed-to-seed so a sweep covers the parameter space without hand-written
+// tables. Every mechanism in a group runs on the same backend, so the
+// differential oracle compares mechanisms under identical memory systems.
 func NewGroup(seed uint64) Group {
 	r := NewRNG(seed).Split("group")
 	base := TrialSpec{
@@ -342,6 +369,7 @@ func NewGroup(seed uint64) Group {
 		LockPasses: r.Intn(2),
 		Level:      1 + r.Intn(2),
 		Squeeze:    r.Below(250),
+		Backend:    config.Backends[r.Intn(len(config.Backends))],
 	}
 	g := Group{Seed: seed}
 	for _, mech := range syncprim.Mechanisms {
@@ -425,5 +453,6 @@ func SpecFromBytes(data []byte) TrialSpec {
 		LockPasses: int(at(5) % 2),
 		Level:      1 + int(at(6)%2),
 		Squeeze:    at(7)%4 == 0,
+		Backend:    config.Backends[at(8)%uint64(len(config.Backends))],
 	}
 }

@@ -1,0 +1,79 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseBackendRoundTrip pins the CLI contract: every backend's String
+// form parses back to itself, case-insensitively.
+func TestParseBackendRoundTrip(t *testing.T) {
+	for _, b := range Backends {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", b.String(), got, err, b)
+		}
+		upper, err := ParseBackend(strings.ToUpper(b.String()))
+		if err != nil || upper != b {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", strings.ToUpper(b.String()), upper, err, b)
+		}
+	}
+}
+
+// TestParseBackendRejects pins the error path: unknown names fail and the
+// error lists the valid spellings.
+func TestParseBackendRejects(t *testing.T) {
+	for _, bad := range []string{"", "numa", "sync"} {
+		if got, err := ParseBackend(bad); err == nil {
+			t.Errorf("ParseBackend(%q) = %v, want error", bad, got)
+		}
+	}
+	_, err := ParseBackend("nope")
+	if err == nil || !strings.Contains(err.Error(), "amo") {
+		t.Errorf("ParseBackend error %v should list valid backends", err)
+	}
+}
+
+// TestBackendStringStable pins the display names; CLIs, labels and the
+// backends table all key off these spellings.
+func TestBackendStringStable(t *testing.T) {
+	want := map[Backend]string{BackendAMO: "amo", BackendSynCron: "syncron", BackendDSM: "dsm"}
+	for b, s := range want {
+		if b.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(b), b.String(), s)
+		}
+	}
+	if out := Backend(99).String(); out != "Backend(99)" {
+		t.Errorf("out-of-range String() = %q", out)
+	}
+	if Backend(99).Valid() {
+		t.Error("Backend(99).Valid() = true")
+	}
+}
+
+// TestValidateBackendFields covers the backend-specific validation: an
+// out-of-range backend and non-positive syncron knobs are rejected.
+func TestValidateBackendFields(t *testing.T) {
+	c := Default(8)
+	c.Backend = Backend(7)
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "Backend") {
+		t.Errorf("invalid backend: Validate() = %v, want Backend field error", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+		substr string
+	}{
+		{"zero sync partitions", func(c *Config) { c.Backend = BackendSynCron; c.SyncPartitions = 0 }, "SyncPartitions"},
+		{"zero sync table", func(c *Config) { c.Backend = BackendSynCron; c.SyncTableEntries = 0 }, "SyncTableEntries"},
+		{"zero dsm latency", func(c *Config) { c.Backend = BackendDSM; c.DSMRemoteCycles = 0 }, "DSMRemoteCycles"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Default(8)
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.substr)
+			}
+		})
+	}
+}

@@ -8,11 +8,73 @@
 // CPU cycles.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// Backend selects the memory-system model the machine is built around.
+// The zero value is BackendAMO, the paper's directory-based CC-NUMA with
+// per-node active memory units, so existing configurations are unchanged.
+type Backend int
+
+const (
+	// BackendAMO is the paper's machine: MSI directory coherence with the
+	// fine-grained get/put extension and an AMU at every home node.
+	BackendAMO Backend = iota
+	// BackendSynCron models a SynCron-style NDP hierarchy: coherent CPU
+	// caches plus per-memory-partition synchronization engines with small
+	// bounded sync tables (overflow spills to memory) and hierarchical
+	// local-engine-first coordination.
+	BackendSynCron
+	// BackendDSM models coherence-free disaggregated shared memory: no
+	// directory, no cached data, every access a remote read/write/atomic
+	// with RDMA-class latency served by a per-node memory agent.
+	BackendDSM
+
+	numBackends
+)
+
+// Backends lists every backend in canonical order.
+var Backends = []Backend{BackendAMO, BackendSynCron, BackendDSM}
+
+var backendNames = [...]string{
+	BackendAMO:     "amo",
+	BackendSynCron: "syncron",
+	BackendDSM:     "dsm",
+}
+
+func (b Backend) String() string {
+	if b < 0 || b >= numBackends {
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+	return backendNames[b]
+}
+
+// Valid reports whether b names a known backend.
+func (b Backend) Valid() bool { return b >= 0 && b < numBackends }
+
+// ParseBackend converts a name ("amo", "syncron", "dsm", any case) into a
+// Backend. The mapping round-trips with Backend.String.
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "amo":
+		return BackendAMO, nil
+	case "syncron":
+		return BackendSynCron, nil
+	case "dsm":
+		return BackendDSM, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (have amo, syncron, dsm)", s)
+	}
+}
 
 // Config holds every tunable parameter of the simulated machine. The zero
 // value is invalid; start from Default and override fields.
 type Config struct {
+	// Backend selects the memory-system model. The zero value (BackendAMO)
+	// is the paper's CC-NUMA/AMU machine.
+	Backend Backend
 	// Processors is the total CPU count. Must be a positive multiple of
 	// ProcsPerNode.
 	Processors int
@@ -88,6 +150,21 @@ type Config struct {
 	// SpinCheckCycles is the cost of one spin-loop iteration beyond the
 	// load itself (compare + branch).
 	SpinCheckCycles uint64
+
+	// SyncPartitions (BackendSynCron) is the number of independent
+	// synchronization engines per node; requests partition by word address.
+	// Must be a power of two.
+	SyncPartitions int
+	// SyncTableEntries (BackendSynCron) bounds each engine's sync table;
+	// a miss with a full table spills the LRU entry back to memory. Must be
+	// a power of two.
+	SyncTableEntries int
+	// SyncInspectCycles (BackendSynCron) is the local engine's charge for
+	// inspecting a request before forwarding it to the home partition.
+	SyncInspectCycles uint64
+	// DSMRemoteCycles (BackendDSM) is the one-sided remote-access service
+	// latency at the memory agent, on top of network transit.
+	DSMRemoteCycles uint64
 }
 
 // Default returns the paper's Table 1 configuration for p processors.
@@ -123,6 +200,11 @@ func Default(p int) Config {
 
 		IssueCycles:     1,
 		SpinCheckCycles: 2,
+
+		SyncPartitions:    4,
+		SyncTableEntries:  8,
+		SyncInspectCycles: 4,
+		DSMRemoteCycles:   1600,
 	}
 }
 
@@ -183,6 +265,19 @@ func (c Config) Validate() error {
 		return fail("MinPacketBytes", "must be positive, got %d", c.MinPacketBytes)
 	case c.HeaderBytes < 0:
 		return fail("HeaderBytes", "must be >= 0, got %d", c.HeaderBytes)
+	case !c.Backend.Valid():
+		return fail("Backend", "unknown backend %d (have %v)", int(c.Backend), Backends)
+	}
+	if c.Backend == BackendSynCron {
+		switch {
+		case !isPow2(c.SyncPartitions):
+			return fail("SyncPartitions", "must be a power of two, got %d", c.SyncPartitions)
+		case !isPow2(c.SyncTableEntries):
+			return fail("SyncTableEntries", "must be a power of two, got %d", c.SyncTableEntries)
+		}
+	}
+	if c.Backend == BackendDSM && c.DSMRemoteCycles == 0 {
+		return fail("DSMRemoteCycles", "latency must be positive")
 	}
 	// Every modeled latency must be positive: a zero charge would let the
 	// corresponding pipeline stage complete in the same simulated instant,

@@ -24,6 +24,10 @@ import (
 //     paper's release-consistency window, §3.2).
 //  4. No directory entry is still busy (a busy entry at quiescence means a
 //     transaction leaked).
+//
+// On backends without a directory (dsm) any cached copy is itself a
+// violation — CPUs run uncached — and only the backend quiescence check
+// applies. Every backend's CheckQuiescence runs last.
 func (m *Machine) CheckCoherence() error {
 	copies := make(map[uint64][]copyInfo)
 	for _, cpu := range m.CPUs {
@@ -37,6 +41,12 @@ func (m *Machine) CheckCoherence() error {
 		blocks = append(blocks, block)
 	}
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	if len(m.Dirs) == 0 {
+		if len(blocks) > 0 {
+			return fmt.Errorf("block %#x: cached copy on a coherence-free backend", blocks[0])
+		}
+		return m.backend.CheckQuiescence()
+	}
 	for _, block := range blocks {
 		cs := copies[block]
 		home := memsys.HomeNode(block)
@@ -100,17 +110,18 @@ func (m *Machine) CheckCoherence() error {
 			}
 		}
 	}
-	return nil
+	return m.backend.CheckQuiescence()
 }
 
 // ReadWordCoherent returns the authoritative value of the word at addr at
-// quiescence, without scheduling events or perturbing any cache: the home
-// AMU's operand-cache copy if present (authoritative for both AMO words
-// inside the release-consistency window and MAO words, which live in the
-// AMU until evicted), else a Modified processor-cache copy, else home
-// memory. Call only between runs — mid-run the answer can be mid-transaction.
+// quiescence, without scheduling events or perturbing any cache: the
+// backend-held copy if present (the home AMU's or sync engine's table
+// entry, authoritative for both AMO words inside the release-consistency
+// window and MAO words, which live there until evicted), else a Modified
+// processor-cache copy, else home memory. Call only between runs — mid-run
+// the answer can be mid-transaction.
 func (m *Machine) ReadWordCoherent(addr uint64) uint64 {
-	if v, ok := m.AMUs[memsys.HomeNode(addr)].Peek(addr); ok {
+	if v, ok := m.backend.PeekWord(addr); ok {
 		return v
 	}
 	for _, cpu := range m.CPUs {

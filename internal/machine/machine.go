@@ -1,7 +1,11 @@
-// Package machine assembles a complete simulated CC-NUMA multiprocessor:
-// the event engine, fat-tree network, per-node memory + directory + active
-// memory unit, and per-CPU core + cache, wired per the configuration. It is
-// the substrate every synchronization experiment runs on.
+// Package machine assembles a complete simulated multiprocessor: the event
+// engine, fat-tree network, per-node memory system, and per-CPU core +
+// cache, wired per the configuration. The per-node memory-system
+// organization is pluggable (see Backend): the default amo backend builds
+// the paper's CC-NUMA machine with a directory and active memory unit on
+// every node; the syncron and dsm backends model NDP sync engines and
+// coherence-free disaggregated memory. It is the substrate every
+// synchronization experiment runs on.
 package machine
 
 import (
@@ -12,11 +16,13 @@ import (
 	"amosim/internal/config"
 	"amosim/internal/core"
 	"amosim/internal/directory"
+	"amosim/internal/dsm"
 	"amosim/internal/memsys"
 	"amosim/internal/metrics"
 	"amosim/internal/network"
 	"amosim/internal/proc"
 	"amosim/internal/sim"
+	"amosim/internal/syncron"
 	"amosim/internal/topology"
 	"amosim/internal/trace"
 )
@@ -24,14 +30,16 @@ import (
 // Machine is one simulated multiprocessor instance. Create with New, attach
 // programs with OnCPU (or OnAllCPUs), then call Run.
 type Machine struct {
-	Cfg  config.Config
-	Eng  *sim.Engine
-	Topo topology.Topology
-	Net  *network.Network
-	Mem  *memsys.Memory
-	Dirs []*directory.Controller
-	AMUs []*core.AMU
-	CPUs []*proc.CPU
+	Cfg   config.Config
+	Eng   *sim.Engine
+	Topo  topology.Topology
+	Net   *network.Network
+	Mem   *memsys.Memory
+	Dirs  []*directory.Controller // amo, syncron backends
+	AMUs  []*core.AMU             // amo backend only
+	Syncs []*syncron.Engine       // syncron backend only
+	DSMs  []*dsm.Agent            // dsm backend only
+	CPUs  []*proc.CPU
 
 	// bodies/bodiesDone track attached programs so CPUs that finish early
 	// keep serving active messages until every program body has completed.
@@ -39,7 +47,8 @@ type Machine struct {
 	bodiesDone int
 	allDone    func() bool
 
-	reg *metrics.Registry
+	backend Backend
+	reg     *metrics.Registry
 }
 
 // Hub-side consumers of a message kind, indexed by hubRoute.
@@ -95,32 +104,14 @@ func New(cfg config.Config) (*Machine, error) {
 	m := &Machine{Cfg: cfg, Eng: eng, Topo: topo, Net: net, Mem: mem}
 	m.allDone = func() bool { return m.bodiesDone == m.bodies }
 
-	for n := 0; n < cfg.Nodes(); n++ {
-		dir := directory.New(eng, net, mem, directory.Params{
-			Node:             n,
-			ProcsPerNode:     cfg.ProcsPerNode,
-			BlockBytes:       cfg.BlockBytes,
-			DirCycles:        cfg.DirCycles,
-			DRAMCycles:       cfg.DRAMCycles,
-			InjectCycles:     cfg.InjectCycles,
-			MulticastUpdates: cfg.MulticastUpdates,
-		})
-		amu := core.New(eng, net, mem, dir, core.Params{
-			Node:        n,
-			CacheWords:  cfg.AMUCacheWords,
-			OpCycles:    cfg.AMUOpCycles,
-			QueueCycles: cfg.AMUQueueCycles,
-			DRAMCycles:  cfg.DRAMCycles,
-		})
-		amu.SetBlockBytes(cfg.BlockBytes)
-		m.Dirs = append(m.Dirs, dir)
-		m.AMUs = append(m.AMUs, amu)
-		net.RegisterHub(n, m.hubHandler(dir, amu))
+	m.backend = backendFor(cfg.Backend)
+	if err := m.backend.Wire(m); err != nil {
+		return nil, err
 	}
 
 	for id := 0; id < cfg.Processors; id++ {
 		cch := cache.New(cfg.CacheSets, cfg.CacheWays, cfg.BlockBytes)
-		cpu := proc.New(eng, net, cch, proc.Params{
+		cpu := proc.New(eng, net, cch, m.backend.CPUParams(proc.Params{
 			ID:           id,
 			Node:         id / cfg.ProcsPerNode,
 			ProcsPerNode: cfg.ProcsPerNode,
@@ -135,7 +126,7 @@ func New(cfg config.Config) (*Machine, error) {
 			ActMsgHandlerCycles: cfg.ActMsgHandlerCycles,
 			ActMsgQueueDepth:    cfg.ActMsgQueueDepth,
 			ActMsgTimeoutCycles: cfg.ActMsgTimeoutCycles,
-		})
+		}))
 		m.CPUs = append(m.CPUs, cpu)
 	}
 
@@ -143,12 +134,7 @@ func New(cfg config.Config) (*Machine, error) {
 	for _, cpu := range m.CPUs {
 		m.reg.RegisterCPU(cpu.Metrics)
 	}
-	for n := range m.Dirs {
-		node, dir, amu := n, m.Dirs[n], m.AMUs[n]
-		m.reg.RegisterNode(func() metrics.NodeMetrics {
-			return metrics.NodeMetrics{Node: node, Directory: dir.Stats(), AMU: amu.Stats()}
-		})
-	}
+	m.backend.RegisterNodeMetrics(m)
 	m.reg.RegisterMemory(mem.Stats)
 	m.reg.RegisterNetwork(net.Metrics)
 	return m, nil

@@ -66,6 +66,29 @@ type AMUStats struct {
 	OccupancyCycles uint64
 }
 
+// SyncStats are one SynCron-style node's cumulative synchronization-engine
+// counters, summed across the node's partitions. OccupancyCycles gauges
+// queue, operation and memory-fill cycles charged while executing requests.
+type SyncStats struct {
+	Ops             uint64 // AMO/MAO operations executed by the node's engines
+	TableHits       uint64 // operations that hit a sync-table entry
+	Overflows       uint64 // table-full spills of an LRU entry back to memory
+	Forwards        uint64 // remote-homed requests forwarded by the local engine
+	FinePuts        uint64 // delayed word-update pushes handed to the directory
+	Recalls         uint64 // directory recalls of engine-held words
+	OccupancyCycles uint64
+}
+
+// DSMStats are one disaggregated-memory agent's cumulative counters.
+// OccupancyCycles gauges the remote-access service cycles charged at the
+// agent (concurrent accesses accumulate independently).
+type DSMStats struct {
+	RemoteLoads     uint64
+	RemoteStores    uint64
+	RemoteAtomics   uint64
+	OccupancyCycles uint64
+}
+
 // MemoryStats are the machine-wide backing-store access counters.
 type MemoryStats struct {
 	Reads  uint64
@@ -107,11 +130,16 @@ type CPUMetrics struct {
 }
 
 // NodeMetrics is the per-node slice of a Snapshot: the directory
-// controller and active memory unit that share the node's DRAM.
+// controller and active memory unit that share the node's DRAM. The Sync
+// and DSM sections are present only on machines built with the matching
+// backend (omitted from JSON otherwise, so BackendAMO snapshots are
+// byte-identical to their pre-backend form).
 type NodeMetrics struct {
 	Node      int
 	Directory DirectoryStats
 	AMU       AMUStats
+	Sync      *SyncStats `json:",omitempty"`
+	DSM       *DSMStats  `json:",omitempty"`
 }
 
 // KernelStats gauges the event kernel and the host allocator behind it.
@@ -233,6 +261,25 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 				OccupancyCycles: n.AMU.OccupancyCycles - p.AMU.OccupancyCycles,
 			},
 		}
+		if n.Sync != nil && p.Sync != nil {
+			d.Nodes[i].Sync = &SyncStats{
+				Ops:             n.Sync.Ops - p.Sync.Ops,
+				TableHits:       n.Sync.TableHits - p.Sync.TableHits,
+				Overflows:       n.Sync.Overflows - p.Sync.Overflows,
+				Forwards:        n.Sync.Forwards - p.Sync.Forwards,
+				FinePuts:        n.Sync.FinePuts - p.Sync.FinePuts,
+				Recalls:         n.Sync.Recalls - p.Sync.Recalls,
+				OccupancyCycles: n.Sync.OccupancyCycles - p.Sync.OccupancyCycles,
+			}
+		}
+		if n.DSM != nil && p.DSM != nil {
+			d.Nodes[i].DSM = &DSMStats{
+				RemoteLoads:     n.DSM.RemoteLoads - p.DSM.RemoteLoads,
+				RemoteStores:    n.DSM.RemoteStores - p.DSM.RemoteStores,
+				RemoteAtomics:   n.DSM.RemoteAtomics - p.DSM.RemoteAtomics,
+				OccupancyCycles: n.DSM.OccupancyCycles - p.DSM.OccupancyCycles,
+			}
+		}
 	}
 	return d
 }
@@ -270,6 +317,14 @@ func (s Snapshot) Attribution() Attribution {
 	for _, n := range s.Nodes {
 		a.DirectoryOccupancy += n.Directory.OccupancyCycles
 		a.AMUOccupancy += n.AMU.OccupancyCycles
+		// Alternative backends report their memory-side sync occupancy in
+		// the same gauge; at most one of the three is nonzero per machine.
+		if n.Sync != nil {
+			a.AMUOccupancy += n.Sync.OccupancyCycles
+		}
+		if n.DSM != nil {
+			a.AMUOccupancy += n.DSM.OccupancyCycles
+		}
 	}
 	return a
 }

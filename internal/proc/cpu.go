@@ -39,6 +39,18 @@ type Params struct {
 	ActMsgHandlerCycles uint64
 	ActMsgQueueDepth    int
 	ActMsgTimeoutCycles uint64
+
+	// RemoteMemory (BackendDSM) disables coherent caching: loads and
+	// stores run uncached against the home node, LL/SC degenerates to
+	// remote load + remote compare-and-swap, and processor-side atomics
+	// become remote atomics. The private cache stays empty, so spin loops
+	// fall through to remote polling instead of parking on line events.
+	RemoteMemory bool
+	// LocalSyncHub (BackendSynCron) routes AMO/MAO requests to the CPU's
+	// own node hub first; the local sync engine inspects them and forwards
+	// remote-homed requests to the home partition (hierarchical
+	// coordination). Replies still arrive directly from the executing hub.
+	LocalSyncHub bool
 }
 
 // Handler is an active-message handler body. It runs in the context of the
@@ -98,6 +110,10 @@ type CPU struct {
 
 	linkAddr  uint64
 	linkValid bool
+	// linkVal is the value observed by a remote-memory LoadLinked; the
+	// matching StoreConditional compares-and-swaps against it (cached-mode
+	// LL/SC never uses it).
+	linkVal uint64
 
 	// lineEvents wakes spin loops whenever any line is invalidated or
 	// updated, or an active message arrives. Spinners re-check their
@@ -268,6 +284,16 @@ func (c *CPU) block(addr uint64) uint64 {
 
 func (c *CPU) home(addr uint64) network.Endpoint {
 	return network.Hub(memsys.HomeNode(addr))
+}
+
+// syncDest is the hub that receives this CPU's AMO/MAO requests: the home
+// hub normally, the local node's hub when the backend interposes per-node
+// sync engines that forward remote-homed requests themselves.
+func (c *CPU) syncDest(addr uint64) network.Endpoint {
+	if c.p.LocalSyncHub {
+		return network.Hub(c.p.Node)
+	}
+	return c.home(addr)
 }
 
 // --- message delivery (event context) -------------------------------------
@@ -508,14 +534,44 @@ func (c *CPU) awaitCacheReply() pendingOp {
 	return op
 }
 
-// awaitMsg pops the next reply-class message, parking until one arrives. If
-// serveAmsg is set, queued active messages are served while waiting (this is
-// what prevents distributed home-CPU deadlock: two home CPUs RPC-ing each
-// other must keep draining their own handler queues).
-func (c *CPU) awaitMsg(serveAmsg bool) network.Msg {
+// kindMask is a bit set over message kinds for selecting which reply a
+// wait accepts.
+type kindMask uint64
+
+func maskOf(kinds ...network.Kind) kindMask {
+	var m kindMask
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+func (m kindMask) has(k network.Kind) bool { return m&(1<<uint(k)) != 0 }
+
+// Reply masks for each blocking operation, precomputed so the wait loop
+// stays allocation-free.
+var (
+	maskUncachedLoad  = maskOf(network.KindUncachedLoadReply)
+	maskUncachedStore = maskOf(network.KindUncachedStoreAck)
+	maskMAOReply      = maskOf(network.KindMAOReply)
+	maskAMOReply      = maskOf(network.KindAMOReply)
+	maskAmsgAccept    = maskOf(network.KindActiveMessageAck, network.KindActiveMessageNack)
+	maskAmsgReply     = maskOf(network.KindActiveMessageReply)
+)
+
+// awaitMsg pops the oldest reply-class message whose kind is in mask,
+// parking until one arrives. Non-matching replies stay queued in arrival
+// order for the wait they belong to: an active-message handler's remote
+// load must not consume the ack of the RPC it interrupted (memory replies
+// and AMSG control traffic interleave freely on backends where handlers
+// touch remote memory). If serveAmsg is set, queued active messages are
+// served while waiting (this is what prevents distributed home-CPU
+// deadlock: two home CPUs RPC-ing each other must keep draining their own
+// handler queues).
+func (c *CPU) awaitMsg(mask kindMask, serveAmsg bool) network.Msg {
 	for {
-		if c.replyPending() > 0 {
-			return c.popReply()
+		if m, ok := c.takeReply(mask); ok {
+			return m
 		}
 		if serveAmsg && c.amsgPending() > 0 {
 			c.serveOneActiveMessage()
@@ -527,10 +583,32 @@ func (c *CPU) awaitMsg(serveAmsg bool) network.Msg {
 	}
 }
 
+// takeReply removes and returns the oldest queued reply matching mask.
+func (c *CPU) takeReply(mask kindMask) (network.Msg, bool) {
+	for i := c.replyHead; i < len(c.replyQ); i++ {
+		if !mask.has(c.replyQ[i].Kind) {
+			continue
+		}
+		m := c.replyQ[i]
+		if i == c.replyHead {
+			return c.popReply(), true
+		}
+		copy(c.replyQ[i:], c.replyQ[i+1:])
+		c.replyQ[len(c.replyQ)-1] = network.Msg{}
+		c.replyQ = c.replyQ[:len(c.replyQ)-1]
+		return m, true
+	}
+	return network.Msg{}, false
+}
+
 // --- cached memory operations ---------------------------------------------
 
-// Load performs a coherent load of the word at addr.
+// Load performs a coherent load of the word at addr. Under RemoteMemory it
+// is a remote (uncached) read instead.
 func (c *CPU) Load(addr uint64) uint64 {
+	if c.p.RemoteMemory {
+		return c.UncachedLoad(addr)
+	}
 	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	for {
 		if ln := c.c.Lookup(addr); ln != nil {
@@ -561,6 +639,16 @@ func (c *CPU) Load(addr uint64) uint64 {
 // migration rather than upgrade storms — the behaviour Figure 1(a) of the
 // paper depicts ("all three processors request exclusive ownership").
 func (c *CPU) LoadLinked(addr uint64) uint64 {
+	if c.p.RemoteMemory {
+		// Remote LL: read the word and remember its value; SC becomes a
+		// remote compare-and-swap against it (ABA-tolerant, which is exact
+		// for the monotonic counters the LL/SC primitives here build).
+		v := c.UncachedLoad(addr)
+		c.linkAddr = addr
+		c.linkVal = v
+		c.linkValid = true
+		return v
+	}
 	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	for {
 		ln := c.c.Lookup(addr)
@@ -591,8 +679,12 @@ func (c *CPU) LoadLinked(addr uint64) uint64 {
 }
 
 // Store performs a coherent store. The write commits at ownership-grant
-// time, so it never retries.
+// time, so it never retries. Under RemoteMemory it is a remote write.
 func (c *CPU) Store(addr, val uint64) {
+	if c.p.RemoteMemory {
+		c.UncachedStore(addr, val)
+		return
+	}
 	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	for {
 		ln := c.c.Lookup(addr)
@@ -623,6 +715,20 @@ func (c *CPU) Store(addr, val uint64) {
 // StoreConditional attempts the SC half of LL/SC. It reports success; it
 // fails fast when the link is already broken.
 func (c *CPU) StoreConditional(addr, val uint64) bool {
+	if c.p.RemoteMemory {
+		if !c.linkValid || c.linkAddr != addr {
+			c.sleep(&c.cyc.Compute, c.p.IssueCycles)
+			c.stats.SCFailures++
+			return false
+		}
+		expect := c.linkVal
+		c.linkValid = false
+		if c.mao(core.OpCompareSwap, addr, val, expect) != expect {
+			c.stats.SCFailures++
+			return false
+		}
+		return true
+	}
 	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	if !c.linkValid || c.linkAddr != c.block(addr) {
 		c.stats.SCFailures++
@@ -680,8 +786,12 @@ func (c *CPU) AtomicCompareSwap(addr, expect, val uint64) uint64 {
 }
 
 // atomicRMW implements the processor-side atomic instructions: the RMW
-// commits at ownership-grant time, so it never retries.
+// commits at ownership-grant time, so it never retries. Under RemoteMemory
+// the instruction executes at the home memory agent instead.
 func (c *CPU) atomicRMW(op core.Op, addr, operand, aux uint64) uint64 {
+	if c.p.RemoteMemory {
+		return c.mao(op, addr, operand, aux)
+	}
 	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	for {
 		ln := c.c.Lookup(addr)
@@ -721,7 +831,7 @@ func (c *CPU) UncachedLoad(addr uint64) uint64 {
 		Src:  c.endpoint(), Dst: c.home(addr),
 		Addr: addr,
 	})
-	return c.awaitMsg(false).Value
+	return c.awaitMsg(maskUncachedLoad, false).Value
 }
 
 // UncachedStore writes a word directly at its home node.
@@ -733,7 +843,7 @@ func (c *CPU) UncachedStore(addr, val uint64) {
 		Addr:  addr,
 		Value: val,
 	})
-	c.awaitMsg(false)
+	c.awaitMsg(maskUncachedStore, false)
 }
 
 // MAOFetchAdd issues a conventional memory-side atomic fetch-and-add
@@ -757,14 +867,14 @@ func (c *CPU) mao(op core.Op, addr, operand, aux uint64) uint64 {
 	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	c.net.Send(network.Msg{
 		Kind: network.KindMAORequest,
-		Src:  c.endpoint(), Dst: c.home(addr),
+		Src:  c.endpoint(), Dst: c.syncDest(addr),
 		Addr:  addr,
 		Value: operand,
 		Aux:   aux,
 		Op:    int(op),
 		Flags: core.FlagMAO,
 	})
-	return c.awaitMsg(false).Value
+	return c.awaitMsg(maskMAOReply, false).Value
 }
 
 // AMO issues an active memory operation and returns the previous value of
@@ -775,14 +885,14 @@ func (c *CPU) AMO(op core.Op, addr, operand, test uint64, flags uint32) uint64 {
 	c.sleep(&c.cyc.Compute, c.p.IssueCycles)
 	c.net.Send(network.Msg{
 		Kind: network.KindAMORequest,
-		Src:  c.endpoint(), Dst: c.home(addr),
+		Src:  c.endpoint(), Dst: c.syncDest(addr),
 		Addr:  addr,
 		Value: operand,
 		Aux:   test,
 		Op:    int(op),
 		Flags: flags,
 	})
-	return c.awaitMsg(false).Value
+	return c.awaitMsg(maskAMOReply, false).Value
 }
 
 // AMOInc is the paper's amo.inc: increment with a test value that triggers
@@ -826,7 +936,7 @@ func (c *CPU) ActiveMessageCall(handler int, addr, arg uint64) uint64 {
 			Op:    handler,
 			Txn:   uint64(c.p.ID),
 		})
-		m := c.awaitMsg(true)
+		m := c.awaitMsg(maskAmsgAccept, true)
 		switch m.Kind {
 		case network.KindActiveMessageNack:
 			c.stats.AmsgNacks++
@@ -836,10 +946,7 @@ func (c *CPU) ActiveMessageCall(handler int, addr, arg uint64) uint64 {
 		case network.KindActiveMessageAck:
 			// Accepted; now wait for the handler's reply (serving our own
 			// queue meanwhile).
-			r := c.awaitMsg(true)
-			if r.Kind != network.KindActiveMessageReply {
-				panic(fmt.Sprintf("proc: cpu %d expected AMSG reply, got %v", c.p.ID, r))
-			}
+			r := c.awaitMsg(maskAmsgReply, true)
 			return r.Value
 		default:
 			panic(fmt.Sprintf("proc: cpu %d unexpected %v during active message call", c.p.ID, m))

@@ -1,0 +1,184 @@
+package syncprim
+
+import (
+	"testing"
+
+	"amosim/internal/config"
+	"amosim/internal/proc"
+)
+
+// withBackend returns a config mutator selecting the given backend.
+func withBackend(b config.Backend) func(*config.Config) {
+	return func(c *config.Config) { c.Backend = b }
+}
+
+// TestBarrierAllBackends runs the flat barrier correctness check for every
+// mechanism on every backend: no CPU may pass episode e before all CPUs
+// have entered it, and the machine must satisfy its coherence/quiescence
+// invariants afterwards.
+func TestBarrierAllBackends(t *testing.T) {
+	const procs = 8
+	const episodes = 3
+	for _, backend := range config.Backends {
+		for _, mech := range Mechanisms {
+			t.Run(backend.String()+"/"+mech.String(), func(t *testing.T) {
+				m := newMachine(t, procs, withBackend(backend))
+				b := NewBarrier(m, mech, procs, 0)
+				arrived := make([]int, episodes)
+				violations := 0
+				m.OnAllCPUs(func(c *proc.CPU) {
+					for e := 0; e < episodes; e++ {
+						c.Think(uint64(c.ID()*37 + e*11))
+						arrived[e]++
+						b.Wait(c)
+						if arrived[e] != procs {
+							violations++
+						}
+					}
+				})
+				mustRun(t, m)
+				if violations != 0 {
+					t.Fatalf("%d barrier violations on %s", violations, backend)
+				}
+				if err := m.CheckCoherence(); err != nil {
+					t.Fatalf("coherence after barrier on %s: %v", backend, err)
+				}
+			})
+		}
+	}
+}
+
+// TestTicketLockAllBackends runs the mutual-exclusion torture test for
+// every mechanism on every backend.
+func TestTicketLockAllBackends(t *testing.T) {
+	for _, backend := range config.Backends {
+		for _, mech := range Mechanisms {
+			t.Run(backend.String()+"/"+mech.String(), func(t *testing.T) {
+				m := newMachine(t, 8, withBackend(backend))
+				l := NewTicketLock(m, mech, 0)
+				exerciseLock(t, m, func(c *proc.CPU) func() {
+					ticket := l.Acquire(c)
+					return func() { l.Release(c, ticket) }
+				}, 3)
+				if err := m.CheckCoherence(); err != nil {
+					t.Fatalf("coherence after lock on %s: %v", backend, err)
+				}
+			})
+		}
+	}
+}
+
+// TestMCSLockAllBackends exercises the queue-based MCS lock, whose
+// acquire/release path leans hardest on remote atomics and uncached
+// accesses, on every backend.
+func TestMCSLockAllBackends(t *testing.T) {
+	for _, backend := range config.Backends {
+		for _, mech := range Mechanisms {
+			t.Run(backend.String()+"/"+mech.String(), func(t *testing.T) {
+				m := newMachine(t, 8, withBackend(backend))
+				l := NewMCSLock(m, mech, 8, 0)
+				exerciseLock(t, m, func(c *proc.CPU) func() {
+					l.Acquire(c)
+					return func() { l.Release(c) }
+				}, 3)
+			})
+		}
+	}
+}
+
+// TestSyncTableOverflow forces the syncron backend's bounded sync tables
+// to overflow: with 1 partition of 2 entries per node and many hot words
+// homed on one node, displaced entries must spill to memory and the final
+// counter values must still be exact.
+func TestSyncTableOverflow(t *testing.T) {
+	const procs = 8
+	const words = 16
+	const iters = 4
+	m := newMachine(t, procs, withBackend(config.BackendSynCron), func(c *config.Config) {
+		c.SyncPartitions = 1
+		c.SyncTableEntries = 2
+	})
+	addrs := make([]uint64, words)
+	for i := range addrs {
+		addrs[i] = m.AllocWord(0)
+	}
+	m.OnAllCPUs(func(c *proc.CPU) {
+		for i := 0; i < iters; i++ {
+			for _, a := range addrs {
+				c.MAOFetchAdd(a, 1)
+			}
+		}
+	})
+	mustRun(t, m)
+	for i, a := range addrs {
+		if got := m.ReadWordCoherent(a); got != procs*iters {
+			t.Fatalf("word %d = %d, want %d", i, got, procs*iters)
+		}
+	}
+	var overflows uint64
+	for _, e := range m.Syncs {
+		overflows += e.Stats().Overflows
+	}
+	if overflows == 0 {
+		t.Fatal("no sync-table overflows with 2-entry table and 16 hot words")
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSynCronHierarchicalForwarding checks that AMO/MAO requests from a
+// remote node go through the requester's local engine first (inspect +
+// forward) rather than straight to the home hub.
+func TestSynCronHierarchicalForwarding(t *testing.T) {
+	m := newMachine(t, 8, withBackend(config.BackendSynCron))
+	addr := m.AllocWord(0)                          // homed on node 0
+	m.OnCPU(m.Cfg.Processors-1, func(c *proc.CPU) { // runs on the last node
+		c.MAOFetchAdd(addr, 1)
+	})
+	mustRun(t, m)
+	last := len(m.Syncs) - 1
+	if fwd := m.Syncs[last].Stats().Forwards; fwd == 0 {
+		t.Fatal("remote FetchAdd was not forwarded by the requester's local engine")
+	}
+	if ops := m.Syncs[0].Stats().Ops; ops == 0 {
+		t.Fatal("home engine executed no ops")
+	}
+	if got := m.ReadWordCoherent(addr); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+}
+
+// TestDSMNoCachedData checks the disaggregated backend's defining
+// property: after a run mixing loads, stores and atomics, no CPU cache
+// holds any block and all traffic went through the home agents.
+func TestDSMNoCachedData(t *testing.T) {
+	const procs = 8
+	m := newMachine(t, procs, withBackend(config.BackendDSM))
+	addr := m.AllocWord(0)
+	m.OnAllCPUs(func(c *proc.CPU) {
+		c.AtomicFetchAdd(addr, 1)
+		_ = c.Load(addr)
+		c.Store(m.AllocWord(c.ID()%m.Cfg.Nodes()), uint64(c.ID()))
+	})
+	mustRun(t, m)
+	for _, c := range m.CPUs {
+		if blocks := c.Cache().ResidentBlocks(); len(blocks) != 0 {
+			t.Fatalf("cpu %d cached %d blocks on dsm backend", c.ID(), len(blocks))
+		}
+	}
+	var atomics, loads uint64
+	for _, a := range m.DSMs {
+		atomics += a.Stats().RemoteAtomics
+		loads += a.Stats().RemoteLoads
+	}
+	if atomics == 0 || loads == 0 {
+		t.Fatalf("remote traffic missing: atomics=%d loads=%d", atomics, loads)
+	}
+	if got := m.ReadWordCoherent(addr); got != procs {
+		t.Fatalf("counter = %d, want %d", got, procs)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -239,20 +239,8 @@ func allocArray(m *machine.Machine, procs, chunk int) []uint64 {
 }
 
 // readWord returns the coherent value of a word after the machine has
-// quiesced: the Modified cache copy if one exists, else (after recalling
-// any AMU-held copy) memory.
+// quiesced, whatever backend holds the authoritative copy (an AMU or sync
+// engine's resident word, a Modified cache line, or memory).
 func readWord(m *machine.Machine, addr uint64) uint64 {
-	home := memsys.HomeNode(addr)
-	if v, ok := m.AMUs[home].Peek(addr); ok {
-		// The AMU copy (coherent or MAO) is authoritative while resident.
-		return v
-	}
-	for _, c := range m.CPUs {
-		ln := c.Cache().Lookup(addr)
-		if ln != nil && ln.State.String() == "M" {
-			v, _ := c.Cache().ReadWord(addr)
-			return v
-		}
-	}
-	return m.Mem.ReadWord(addr)
+	return m.ReadWordCoherent(addr)
 }

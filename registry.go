@@ -21,6 +21,10 @@ type ExperimentParams struct {
 	// TreeMech selects the mechanism for the tree-branching ablation
 	// (zero value: LLSC). Other experiments ignore it.
 	TreeMech Mechanism
+	// Backend selects the memory-system backend every experiment runs on
+	// (zero value: the default amo machine). The cross-backend "backends"
+	// comparison ignores it — it always runs all three.
+	Backend Backend
 }
 
 // procs resolves the processor sweep against an experiment's default.
@@ -29,6 +33,24 @@ func (p ExperimentParams) procs(def []int) []int {
 		return def
 	}
 	return p.Procs
+}
+
+// barrier returns the barrier options with the params-level backend applied.
+func (p ExperimentParams) barrier() BarrierOptions {
+	o := p.Barrier
+	if p.Backend != BackendAMO {
+		o.Backend = p.Backend
+	}
+	return o
+}
+
+// lock returns the lock options with the params-level backend applied.
+func (p ExperimentParams) lock() LockOptions {
+	o := p.Lock
+	if p.Backend != BackendAMO {
+		o.Backend = p.Backend
+	}
+	return o
 }
 
 // ExperimentInfo describes one registered experiment.
@@ -63,7 +85,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Table 2: flat barrier speedup over LL/SC per mechanism and scale",
 			DefaultProcs: Table2Procs,
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return Table2(p.procs(Table2Procs), p.Barrier)
+				return Table2(p.procs(Table2Procs), p.barrier())
 			},
 		},
 		{
@@ -71,7 +93,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Figure 5: flat barrier cycles per processor per mechanism and scale",
 			DefaultProcs: Table2Procs,
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return Figure5(p.procs(Table2Procs), p.Barrier)
+				return Figure5(p.procs(Table2Procs), p.barrier())
 			},
 		},
 		{
@@ -79,7 +101,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Table 3: combining-tree barrier speedup over LL/SC per mechanism and scale",
 			DefaultProcs: Table3Procs,
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return Table3(p.procs(Table3Procs), p.Barrier)
+				return Table3(p.procs(Table3Procs), p.barrier())
 			},
 		},
 		{
@@ -87,7 +109,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Figure 6: combining-tree barrier cycles per processor per mechanism and scale",
 			DefaultProcs: Table3Procs,
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return Figure6(p.procs(Table3Procs), p.Barrier)
+				return Figure6(p.procs(Table3Procs), p.barrier())
 			},
 		},
 		{
@@ -95,7 +117,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Table 4: ticket lock speedup over LL/SC per mechanism and scale",
 			DefaultProcs: Table2Procs,
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return Table4(p.procs(Table2Procs), p.Lock)
+				return Table4(p.procs(Table2Procs), p.lock())
 			},
 		},
 		{
@@ -103,7 +125,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Figure 7: ticket lock network traffic per mechanism at large scale",
 			DefaultProcs: Figure7Procs,
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return Figure7(p.procs(Figure7Procs), p.Lock)
+				return Figure7(p.procs(Figure7Procs), p.lock())
 			},
 		},
 		{
@@ -111,7 +133,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Ablation: AMU operand cache on vs off",
 			DefaultProcs: []int{16, 64, 256},
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return AblationAMUCache(p.procs([]int{16, 64, 256}), p.Barrier)
+				return AblationAMUCache(p.procs([]int{16, 64, 256}), p.barrier())
 			},
 		},
 		{
@@ -119,7 +141,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Ablation: delayed word-update multicast on vs off",
 			DefaultProcs: []int{16, 64, 256},
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return AblationUpdate(p.procs([]int{16, 64, 256}), p.Barrier)
+				return AblationUpdate(p.procs([]int{16, 64, 256}), p.barrier())
 			},
 		},
 		{
@@ -127,7 +149,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Ablation: combining-tree branching factor for one mechanism (-mech)",
 			DefaultProcs: []int{64, 256},
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return AblationTree(p.TreeMech, p.procs([]int{64, 256}), p.Barrier)
+				return AblationTree(p.TreeMech, p.procs([]int{64, 256}), p.barrier())
 			},
 		},
 		{
@@ -135,7 +157,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Ablation: interconnect topology (mesh vs torus vs fat hop)",
 			DefaultProcs: []int{16, 64, 256},
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return AblationInterconnect(p.procs([]int{16, 64, 256}), p.Barrier)
+				return AblationInterconnect(p.procs([]int{16, 64, 256}), p.barrier())
 			},
 		},
 		{
@@ -143,7 +165,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Extension: MCS queue lock per mechanism and scale",
 			DefaultProcs: []int{16, 64, 256},
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return ExtensionMCS(p.procs([]int{16, 64, 256}), p.Lock)
+				return ExtensionMCS(p.procs([]int{16, 64, 256}), p.lock())
 			},
 		},
 		{
@@ -151,7 +173,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Application kernels: speedup per mechanism and scale",
 			DefaultProcs: []int{16, 64},
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return ApplicationTable(p.procs([]int{16, 64}))
+				return ApplicationTable(p.procs([]int{16, 64}), p.Backend)
 			},
 		},
 		{
@@ -159,7 +181,15 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Ablation: naive vs paper-faithful AMO barrier coding",
 			DefaultProcs: []int{16, 64},
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return AblationNaiveCoding(p.procs([]int{16, 64}), p.Barrier)
+				return AblationNaiveCoding(p.procs([]int{16, 64}), p.barrier())
+			},
+		},
+		{
+			Name:         "backends",
+			Describe:     "Backends: AMO machine vs SynCron NDP vs disaggregated shared memory",
+			DefaultProcs: []int{16, 64},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return BackendTable(p.procs([]int{16, 64}), p.Barrier, p.Lock)
 			},
 		},
 		{
@@ -167,7 +197,7 @@ func Experiments() []ExperimentInfo {
 			Describe:     "Ablation: word-update multicast fanout limit",
 			DefaultProcs: []int{16, 64, 256},
 			Run: func(p ExperimentParams) (*stats.Table, error) {
-				return AblationMulticast(p.procs([]int{16, 64, 256}), p.Barrier)
+				return AblationMulticast(p.procs([]int{16, 64, 256}), p.barrier())
 			},
 		},
 	}

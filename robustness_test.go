@@ -27,7 +27,7 @@ func TestRobustnessOrdering(t *testing.T) {
 	for i, mech := range syncprim.Mechanisms {
 		pts[i] = BarrierPoint(cfg, mech, opts)
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		t.Fatal(err) // includes invariant-oracle violations
 	}

@@ -115,6 +115,36 @@ func DefaultRunner() Runner {
 	return defaultRunner
 }
 
+// SetDefaultRunner installs r as the package's shared Runner — the one
+// behind DefaultRunner and every table generator that is not handed an
+// explicit Runner — and returns the previous configuration. A nil r.Cache
+// inherits the current shared cache, so reconfiguring workers or progress
+// does not drop memoized results. Do not call while a sweep is in flight.
+func SetDefaultRunner(r Runner) Runner {
+	sweepMu.Lock()
+	defer sweepMu.Unlock()
+	prev := defaultRunner
+	if r.Cache == nil {
+		r.Cache = prev.Cache
+	}
+	defaultRunner = r
+	return prev
+}
+
+// runSweep and runPoints are the internal execution path of every table
+// generator in this package: a copy of the shared Runner under a background
+// context. External callers with cancellation or private caches build their
+// own Runner.
+func runSweep(spec SweepSpec) ([]any, error) {
+	r := DefaultRunner()
+	return r.RunSweep(context.Background(), spec)
+}
+
+func runPoints(points []SweepPoint) ([]any, error) {
+	r := DefaultRunner()
+	return r.RunSweepPoints(context.Background(), points)
+}
+
 // SetSweepWorkers sets the worker-pool size of the default Runner,
 // returning the previous setting. n <= 0 restores the default
 // (runtime.GOMAXPROCS(0)); n == 1 forces the sequential path.
@@ -177,18 +207,20 @@ func SetSweepProgress(fn func(SweepEvent)) {
 //
 // Deprecated: build a Runner and call Runner.RunSweep, which also takes a
 // context for cancellation.
-func RunSweep(spec SweepSpec) ([]any, error) {
-	r := DefaultRunner()
-	return r.RunSweep(context.Background(), spec)
-}
+func RunSweep(spec SweepSpec) ([]any, error) { return runSweep(spec) }
 
 // RunSweepPoints executes an explicit point list on the default Runner.
 //
 // Deprecated: build a Runner and call Runner.RunSweepPoints, which also
 // takes a context for cancellation.
-func RunSweepPoints(points []SweepPoint) ([]any, error) {
-	r := DefaultRunner()
-	return r.RunSweepPoints(context.Background(), points)
+func RunSweepPoints(points []SweepPoint) ([]any, error) { return runPoints(points) }
+
+// backendTag renders a non-default backend for sweep labels ("" for amo).
+func backendTag(b Backend) string {
+	if b == BackendAMO {
+		return ""
+	}
+	return " [" + b.String() + "]"
 }
 
 // sweepValues converts an engine result slice to its concrete type.
@@ -207,8 +239,9 @@ func sweepValues[T any](vals []any) []T {
 // flat references — are simulated once.
 func BarrierPoint(cfg Config, mech Mechanism, opts BarrierOptions) SweepPoint {
 	opts = opts.WithDefaults()
+	cfg = applyBackend(cfg, opts.Backend)
 	return SweepPoint{
-		Label: fmt.Sprintf("barrier %s p=%d b=%d", mech, cfg.Processors, opts.Branching),
+		Label: fmt.Sprintf("barrier %s p=%d b=%d%s", mech, cfg.Processors, opts.Branching, backendTag(cfg.Backend)),
 		Key:   sweep.KeyOf("barrier", cfg, int(mech), opts),
 		Run: func() (any, error) {
 			r, err := RunBarrier(cfg, mech, opts)
@@ -224,8 +257,9 @@ func BarrierPoint(cfg Config, mech Mechanism, opts BarrierOptions) SweepPoint {
 // RunLock(cfg, kind, mech, opts) on a fresh machine.
 func LockPoint(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) SweepPoint {
 	opts = opts.WithDefaults()
+	cfg = applyBackend(cfg, opts.Backend)
 	return SweepPoint{
-		Label: fmt.Sprintf("lock %s %s p=%d", kind, mech, cfg.Processors),
+		Label: fmt.Sprintf("lock %s %s p=%d%s", kind, mech, cfg.Processors, backendTag(cfg.Backend)),
 		Key:   sweep.KeyOf("lock", cfg, int(kind), int(mech), opts),
 		Run: func() (any, error) {
 			r, err := RunLock(cfg, kind, mech, opts)
@@ -347,6 +381,9 @@ type WorkloadExperiment struct {
 	Mechs []Mechanism
 	// Apps lists the kernels (nil selects WorkloadApps).
 	Apps []string
+	// Backend selects the memory-system backend for every cell (the zero
+	// value is the default amo machine).
+	Backend Backend
 }
 
 // Name implements SweepSpec.
@@ -365,7 +402,7 @@ func (e WorkloadExperiment) Points() []SweepPoint {
 	}
 	pts := make([]SweepPoint, 0, len(e.Procs)*len(apps)*len(mechs))
 	for _, p := range e.Procs {
-		cfg := DefaultConfig(p)
+		cfg := applyBackend(DefaultConfig(p), e.Backend)
 		for _, app := range apps {
 			for _, mech := range mechs {
 				pt, err := WorkloadPoint(app, cfg, mech)

@@ -15,8 +15,8 @@ import (
 // restoring the previous engine state afterwards.
 func withWorkers(t *testing.T, n int, f func()) {
 	t.Helper()
-	prev := SetSweepWorkers(n)
-	defer SetSweepWorkers(prev)
+	prev := SetDefaultRunner(Runner{Workers: n})
+	defer SetDefaultRunner(prev)
 	ResetSweepCache()
 	defer ResetSweepCache()
 	f()

@@ -31,7 +31,7 @@ var (
 // paper order within each scale.
 func BarrierSweep(procs []int, opts BarrierOptions) (SweepResults, error) {
 	spec := BarrierExperiment{Procs: procs, Options: opts}
-	vals, err := RunSweep(spec)
+	vals, err := runSweep(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ func TreeSweep(procs []int, opts BarrierOptions) (tree, flatLLSC, flatAMO SweepR
 		pts = append(pts, BarrierPoint(cfg, AMO, opts))
 		cells = append(cells, cell{p, AMO, true})
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -205,7 +205,7 @@ func Figure6(procs []int, opts BarrierOptions) (*stats.Table, error) {
 // scale, in expansion order: scale-major, then mechanism, then kind.
 func LockSweep(procs []int, opts LockOptions) (LockSweepResults, error) {
 	spec := LockExperiment{Procs: procs, Options: opts}
-	vals, err := RunSweep(spec)
+	vals, err := runSweep(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +251,7 @@ func Table4(procs []int, opts LockOptions) (*stats.Table, error) {
 // normalized to the LL/SC version, at large scales.
 func Figure7(procs []int, opts LockOptions) (*stats.Table, error) {
 	spec := LockExperiment{Procs: procs, Kinds: []LockKind{Ticket}, Options: opts}
-	vals, err := RunSweep(spec)
+	vals, err := runSweep(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +295,7 @@ func Figure1() (*stats.Table, error) {
 			},
 		}
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -321,7 +321,7 @@ func AblationAMUCache(procs []int, opts BarrierOptions) (*stats.Table, error) {
 			pts = append(pts, BarrierPoint(cfg, AMO, opts))
 		}
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +354,7 @@ func AblationUpdate(procs []int, opts BarrierOptions) (*stats.Table, error) {
 		cfg := DefaultConfig(p)
 		pts = append(pts, BarrierPoint(cfg, AMO, opts), BarrierPoint(cfg, AMO, aopts))
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -374,19 +374,19 @@ func AblationUpdate(procs []int, opts BarrierOptions) (*stats.Table, error) {
 
 // ApplicationTable (experiment E8, ours) runs three verified parallel
 // kernels — a 1-D stencil, a Hillis–Steele prefix sum, and a contended
-// histogram — end to end under LL/SC, MAO and AMO synchronization, and
-// reports total application cycles. This is the paper's motivation
-// measured directly: the same program gets faster by swapping the
-// synchronization mechanism.
-func ApplicationTable(procs []int) (*stats.Table, error) {
-	spec := WorkloadExperiment{Procs: procs}
-	vals, err := RunSweep(spec)
+// histogram — end to end under LL/SC, MAO and AMO synchronization on the
+// given backend, and reports total application cycles. This is the paper's
+// motivation measured directly: the same program gets faster by swapping
+// the synchronization mechanism.
+func ApplicationTable(procs []int, backend Backend) (*stats.Table, error) {
+	spec := WorkloadExperiment{Procs: procs, Backend: backend}
+	vals, err := runSweep(spec)
 	if err != nil {
 		return nil, err
 	}
 	rs := sweepValues[workload.Result](vals)
 	t := &stats.Table{
-		Title:  "Applications: total cycles (verified kernels)",
+		Title:  "Applications: total cycles (verified kernels)" + backendTag(backend),
 		Header: []string{"app", "CPUs", "LL/SC", "MAO", "AMO", "AMO speedup"},
 	}
 	const mechsPerApp = 3 // the spec's default LLSC, MAO, AMO columns
@@ -418,7 +418,7 @@ func AblationNaiveCoding(procs []int, opts BarrierOptions) (*stats.Table, error)
 		}
 		pts = append(pts, BarrierPoint(cfg, AMO, opts))
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -448,7 +448,7 @@ func AblationMulticast(procs []int, opts BarrierOptions) (*stats.Table, error) {
 		mc.MulticastUpdates = true
 		pts = append(pts, BarrierPoint(base, AMO, opts), BarrierPoint(mc, AMO, opts))
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -479,7 +479,7 @@ func ExtensionMCS(procs []int, opts LockOptions) (*stats.Table, error) {
 		Kinds:   []LockKind{Ticket, Array, MCS},
 		Options: opts,
 	}
-	vals, err := RunSweep(spec)
+	vals, err := runSweep(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -514,7 +514,7 @@ func AblationInterconnect(procs []int, opts BarrierOptions) (*stats.Table, error
 			}
 		}
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -549,7 +549,7 @@ func AblationTree(mech Mechanism, procs []int, opts BarrierOptions) (*stats.Tabl
 			cells = append(cells, cell{p, b})
 		}
 	}
-	vals, err := RunSweepPoints(pts)
+	vals, err := runPoints(pts)
 	if err != nil {
 		return nil, err
 	}
@@ -559,6 +559,80 @@ func AblationTree(mech Mechanism, procs []int, opts BarrierOptions) (*stats.Tabl
 	}
 	for i, r := range sweepValues[BarrierResult](vals) {
 		t.AddRow(stats.I(cells[i].p), stats.I(cells[i].b), stats.F1(r.CyclesPerBarrier), stats.F1(r.CyclesPerProc))
+	}
+	return t, nil
+}
+
+// BackendTable compares the three memory-system backends — the paper's
+// CC-NUMA/AMU machine, SynCron-style NDP sync engines, and coherence-free
+// disaggregated shared memory — across the whole primitive suite: flat
+// barriers and ticket locks under every mechanism, plus the verified
+// application kernels under AMO. Each row names its own unit because the
+// primitives measure different things (cycles/barrier, cycles/pass, total
+// cycles). The grid is one sweep, so all backends simulate in parallel and
+// rows assemble from the ordered result slice, byte-identical at any worker
+// count.
+func BackendTable(procs []int, bopts BarrierOptions, lopts LockOptions) (*stats.Table, error) {
+	type cell struct {
+		p    int
+		name string
+	}
+	var pts []SweepPoint
+	var cells []cell
+	for _, p := range procs {
+		for _, mech := range Mechanisms {
+			for _, b := range Backends {
+				o := bopts
+				o.Backend = b
+				pts = append(pts, BarrierPoint(DefaultConfig(p), mech, o))
+			}
+			cells = append(cells, cell{p, fmt.Sprintf("barrier %s (cyc/barrier)", mech)})
+		}
+		for _, mech := range Mechanisms {
+			for _, b := range Backends {
+				o := lopts
+				o.Backend = b
+				pts = append(pts, LockPoint(DefaultConfig(p), Ticket, mech, o))
+			}
+			cells = append(cells, cell{p, fmt.Sprintf("ticket %s (cyc/pass)", mech)})
+		}
+		for _, app := range WorkloadApps {
+			for _, b := range Backends {
+				cfg := applyBackend(DefaultConfig(p), b)
+				pt, err := WorkloadPoint(app, cfg, AMO)
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			cells = append(cells, cell{p, fmt.Sprintf("%s AMO (total cyc)", app)})
+		}
+	}
+	vals, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:  "Backends: AMO machine vs SynCron NDP vs disaggregated shared memory",
+		Header: []string{"CPUs", "primitive", "amo", "syncron", "dsm"},
+	}
+	i := 0
+	for _, c := range cells {
+		row := []string{stats.I(c.p), c.name}
+		for range Backends {
+			switch v := vals[i].(type) {
+			case BarrierResult:
+				row = append(row, stats.F1(v.CyclesPerBarrier))
+			case LockResult:
+				row = append(row, stats.F1(v.CyclesPerPass))
+			case workload.Result:
+				row = append(row, stats.U(v.Cycles))
+			default:
+				return nil, fmt.Errorf("amosim: unexpected backend-table cell %T", v)
+			}
+			i++
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -110,7 +110,7 @@ func TestExtensionMCSTable(t *testing.T) {
 }
 
 func TestApplicationTable(t *testing.T) {
-	tb, err := ApplicationTable([]int{8})
+	tb, err := ApplicationTable([]int{8}, BackendAMO)
 	if err != nil {
 		t.Fatal(err)
 	}
