@@ -68,7 +68,7 @@ func TestBackendNeverAliasesCacheKey(t *testing.T) {
 		// The same backend spelled two ways: through the options override
 		// and through the config. Either spelling must collide only with
 		// runs of the same backend, never with a different one.
-		note(BarrierPoint(cfg, AMO, BarrierOptions{Episodes: 2, Warmup: 1, Backend: b}).Key, b)
+		note(BarrierPoint(cfg, AMO, BarrierOptions{Episodes: 2, Warmup: 1, RunConfig: RunConfig{Backend: b}}).Key, b)
 		c := cfg
 		c.Backend = b
 		note(BarrierPoint(c, AMO, BarrierOptions{Episodes: 2, Warmup: 1}).Key, b)
@@ -78,7 +78,7 @@ func TestBackendNeverAliasesCacheKey(t *testing.T) {
 	}
 	lockSeen := map[string]bool{}
 	for _, b := range Backends {
-		k := LockPoint(cfg, Ticket, AMO, LockOptions{Acquires: 2, Backend: b}).Key
+		k := LockPoint(cfg, Ticket, AMO, LockOptions{Acquires: 2, RunConfig: RunConfig{Backend: b}}).Key
 		if lockSeen[k] {
 			t.Fatalf("lock key for backend %v aliases another backend", b)
 		}
@@ -95,7 +95,7 @@ func TestTableByteIdenticalAcrossWorkersPerBackend(t *testing.T) {
 	for _, b := range []Backend{BackendSynCron, BackendDSM} {
 		b := b
 		t.Run(b.String(), func(t *testing.T) {
-			opts := BarrierOptions{Episodes: 2, Warmup: 1, Backend: b}
+			opts := BarrierOptions{Episodes: 2, Warmup: 1, RunConfig: RunConfig{Backend: b}}
 			var seq, par string
 			withWorkers(t, 1, func() {
 				tb, err := Table2(procs, opts)

@@ -1,0 +1,228 @@
+package amosim
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"amosim/internal/machine"
+	"amosim/internal/sim"
+)
+
+// The parallel-kernel benchmark behind `amotables -bench-pdes`: one "op"
+// runs the flat AMO barrier on a 1024-processor machine — the scale the
+// ROADMAP's crossover sweeps need and the sequential kernel makes painful —
+// once on each kernel. The checked-in BENCH_pdes.json pins two things:
+//
+//   - equivalence: the deterministic outputs (simulated cycles, per-barrier
+//     cost, dispatched events, lookahead window, per-shard event counts)
+//     are identical between kernels and across hosts, so ci.sh diffs them
+//     against the baseline like any golden;
+//   - speedup: Host* fields record the wall-clock ratio. The gate demands
+//     PdesSpeedupFloor only on hosts with at least PdesSpeedupMinCPUs
+//     cores — shards are worker goroutines, so a small host measures
+//     coordination overhead, not the kernel's scaling — and HostCPUs is
+//     recorded so a waived gate is visible in the document.
+
+// PdesBench is the BENCH_pdes.json document.
+type PdesBench struct {
+	Generator string
+
+	// Workload identity.
+	Procs     int
+	Mechanism string
+	Episodes  int
+	Warmup    int
+	Shards    int
+
+	// Deterministic outputs, identical on both kernels and every host.
+	SimCycles        uint64  // measurement-window simulated cycles
+	CyclesPerBarrier float64 // simulated cost per barrier episode
+	EventsPerRun     uint64  // kernel events dispatched by the simulation phase
+	WindowCycles     uint64  // conservative lookahead width (min cross-shard latency)
+	ShardEvents      []uint64
+
+	// Host measurements (nondeterministic; excluded from determinism
+	// diffs, gated by ComparePdes instead).
+	HostCPUs       int // runtime.NumCPU() on the generating host
+	HostIterations int // timed ops per kernel behind the averages below
+	HostSeqNsPerOp float64
+	HostParNsPerOp float64
+	HostSpeedup    float64 // seq/par wall-clock ratio
+}
+
+// PdesSpeedupFloor is the wall-clock speedup the parallel kernel must
+// deliver on a host with enough cores to host every shard worker.
+const PdesSpeedupFloor = 4.0
+
+// PdesSpeedupMinCPUs is the smallest host core count the speedup gate
+// applies on: one core per shard worker. Below it ComparePdes still checks
+// the deterministic fields but waives the speedup floor.
+const PdesSpeedupMinCPUs = 8
+
+// pdesConfig pins the benchmark workload: the 1024-CPU flat AMO barrier,
+// sharded one-per-worker-core at the gate's minimum.
+func pdesConfig() (Config, Mechanism, BarrierOptions, int) {
+	return DefaultConfig(1024), AMO, BarrierOptions{Episodes: 4, Warmup: 1}, PdesSpeedupMinCPUs
+}
+
+// BenchPdes measures both kernels on the pdes workload and returns the
+// BENCH_pdes.json document. iterations is the timed-loop length per
+// kernel; <= 0 selects the default of 3 (one op is ~100ms at this scale).
+func BenchPdes(iterations int) ([]byte, error) {
+	if iterations <= 0 {
+		iterations = 3
+	}
+	cfg, mech, bopts, shards := pdesConfig()
+	pcfg := cfg
+	pcfg.Engine = "parallel"
+	pcfg.Shards = shards
+
+	// Equivalence section: the full result documents must match byte for
+	// byte before any timing is worth reporting.
+	seqR, err := RunBarrier(cfg, mech, bopts)
+	if err != nil {
+		return nil, err
+	}
+	parR, err := RunBarrier(pcfg, mech, bopts)
+	if err != nil {
+		return nil, err
+	}
+	seqJSON, err := json.Marshal(seqR)
+	if err != nil {
+		return nil, err
+	}
+	parJSON, err := json.Marshal(parR)
+	if err != nil {
+		return nil, err
+	}
+	if string(seqJSON) != string(parJSON) {
+		return nil, fmt.Errorf("amosim: parallel kernel diverged from sequential on the pdes workload:\nseq: %s\npar: %s", seqJSON, parJSON)
+	}
+	events, window, shardEvents, err := pdesKernelRun(pcfg, mech, bopts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Host section: warm each kernel once, then time the op loops.
+	timeKernel := func(c Config) (float64, error) {
+		if _, err := RunBarrier(c, mech, bopts); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < iterations; i++ {
+			if _, err := RunBarrier(c, mech, bopts); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iterations), nil
+	}
+	seqNs, err := timeKernel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	parNs, err := timeKernel(pcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	doc := PdesBench{
+		Generator: "amotables -bench-pdes",
+		Procs:     cfg.Processors,
+		Mechanism: mech.String(),
+		Episodes:  bopts.Episodes,
+		Warmup:    bopts.Warmup,
+		Shards:    shards,
+
+		SimCycles:        seqR.TotalCycles,
+		CyclesPerBarrier: seqR.CyclesPerBarrier,
+		EventsPerRun:     events,
+		WindowCycles:     window,
+		ShardEvents:      shardEvents,
+
+		HostCPUs:       runtime.NumCPU(),
+		HostIterations: iterations,
+		HostSeqNsPerOp: seqNs,
+		HostParNsPerOp: parNs,
+		HostSpeedup:    seqNs / parNs,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// pdesKernelRun executes the workload on a parallel machine with kernel
+// metrics enabled and returns the simulation phase's dispatched event
+// count, the engine's lookahead window, and the per-shard dispatch counts
+// — all deterministic.
+func pdesKernelRun(cfg Config, mech Mechanism, bopts BarrierOptions) (events, window uint64, shardEvents []uint64, err error) {
+	bopts = bopts.WithDefaults()
+	m, err := machine.New(cfg)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer m.Shutdown()
+	m.EnableKernelMetrics()
+	b := NewBarrier(m, mech, cfg.Processors, 0)
+	m.OnAllCPUs(func(c *CPU) {
+		for e := 0; e < bopts.Warmup+bopts.Episodes; e++ {
+			c.Think(uint64((c.ID()*37 + e*13) % bopts.WorkCycles))
+			b.Wait(c)
+		}
+	})
+	before := m.Metrics()
+	if _, err := m.Run(); err != nil {
+		return 0, 0, nil, err
+	}
+	d := m.Metrics().Diff(before)
+	if pe, ok := m.Eng.(*sim.Parallel); ok {
+		window = uint64(pe.Window())
+	}
+	return d.Kernel.EventsExecuted, window, d.Kernel.ShardEvents, nil
+}
+
+// ComparePdes gates current against the checked-in BENCH_pdes.json: every
+// deterministic field must match exactly (a diff is a kernel-equivalence or
+// modeling regression), and on hosts with at least PdesSpeedupMinCPUs cores
+// the parallel kernel must deliver PdesSpeedupFloor wall-clock speedup.
+// Smaller hosts record their measurement but waive the floor — a 1-core
+// machine timing 8 shard workers measures scheduling overhead, not scaling.
+func ComparePdes(baseline, current []byte) error {
+	var base, cur PdesBench
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return fmt.Errorf("amosim: bad pdes baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return fmt.Errorf("amosim: bad pdes measurement: %w", err)
+	}
+	det := func(doc PdesBench) PdesBench {
+		doc.HostCPUs = 0
+		doc.HostIterations = 0
+		doc.HostSeqNsPerOp = 0
+		doc.HostParNsPerOp = 0
+		doc.HostSpeedup = 0
+		return doc
+	}
+	baseDet, err := json.Marshal(det(base))
+	if err != nil {
+		return err
+	}
+	curDet, err := json.Marshal(det(cur))
+	if err != nil {
+		return err
+	}
+	if string(baseDet) != string(curDet) {
+		return fmt.Errorf("amosim: pdes deterministic fields drifted from baseline:\nbaseline: %s\nnow:      %s", baseDet, curDet)
+	}
+	if cur.HostCPUs < PdesSpeedupMinCPUs {
+		return nil
+	}
+	if cur.HostSpeedup < PdesSpeedupFloor {
+		return fmt.Errorf("amosim: pdes speedup %.2fx on %d CPUs, want >= %.0fx (seq %.0fns/op, par %.0fns/op)",
+			cur.HostSpeedup, cur.HostCPUs, PdesSpeedupFloor, cur.HostSeqNsPerOp, cur.HostParNsPerOp)
+	}
+	return nil
+}

@@ -46,6 +46,12 @@ echo "== sweep engine -race"
 go test -race ./internal/sweep/...
 go test -race -run 'TestTableByteIdenticalAcrossWorkers|TestBenchMetricsJSONByteIdenticalAcrossWorkers' .
 
+echo "== parallel event kernel -race"
+# The parallel discrete-event kernel's differential matrix (sequential vs
+# parallel results across backends and shard counts) under the race
+# detector: determinism and race-freedom are the same promise here.
+go test -race -run 'TestEngine' .
+
 echo "== fuzz smoke"
 # Each native fuzz target gets a short randomized run on top of its
 # checked-in corpus. Targets are named individually: -fuzz requires an
@@ -74,6 +80,8 @@ echo "== chaos smoke"
 go run ./cmd/amosim -primitive barrier -mech AMO -procs 16 -chaos-seed 1 -chaos-level 2 | grep -q "invariants clean"
 go run ./cmd/amosim -primitive barrier -mech AMO -procs 16 -chaos-seed 1 -chaos-level 2 -backend syncron | grep -q "invariants clean"
 go run ./cmd/amosim -primitive barrier -mech AMO -procs 16 -chaos-seed 1 -chaos-level 2 -backend dsm | grep -q "invariants clean"
+# The same hostile run must finish invariant-clean on the parallel kernel.
+go run ./cmd/amosim -primitive barrier -mech AMO -procs 16 -chaos-seed 1 -chaos-level 2 -engine parallel -shards 4 | grep -q "invariants clean"
 
 echo "== metrics smoke"
 # The -metrics writer is self-verifying: it fails unless the JSON document
@@ -98,6 +106,25 @@ trap 'rm -f "$tmpjson" "$seqout" "$parout"' EXIT
 go run ./cmd/amotables -exp table2 -procs 4,8,16 -episodes 2 -warmup 1 -workers 1 >"$seqout"
 go run ./cmd/amotables -exp table2 -procs 4,8,16 -episodes 2 -warmup 1 -workers 4 >"$parout"
 diff -u "$seqout" "$parout"
+
+echo "== parallel event kernel determinism"
+# The parallel discrete-event kernel must emit byte-identical stdout to the
+# sequential kernel on the same table (shards=4 needs >= 4 nodes, so the
+# sweep starts at 8 processors).
+go run ./cmd/amotables -exp table2 -procs 8,16 -episodes 2 -warmup 1 >"$seqout"
+go run ./cmd/amotables -exp table2 -procs 8,16 -episodes 2 -warmup 1 -engine parallel -shards 4 >"$parout"
+diff -u "$seqout" "$parout"
+
+echo "== parallel event kernel speedup/drift gate"
+# Regenerate BENCH_pdes.json: the deterministic fields (kernel equivalence
+# at 1024 CPUs) must match the checked-in baseline exactly, and on hosts
+# with enough cores the parallel kernel must hold its speedup floor. On a
+# deliberate modeling change, regenerate with
+#     go run ./cmd/amotables -bench-pdes BENCH_pdes.json
+# and commit the updated document.
+pdesjson=$(mktemp)
+trap 'rm -f "$tmpjson" "$seqout" "$parout" "$pdesjson"' EXIT
+go run ./cmd/amotables -bench-pdes "$pdesjson" -bench-pdes-gate BENCH_pdes.json
 
 echo "== hot path: zero-alloc regression tests"
 # The pooled event and message paths are pinned at exactly 0 allocs/op.

@@ -81,6 +81,8 @@ func main() {
 		primitive = flag.String("primitive", "barrier", "barrier, ticket, array or mcs")
 		mechFlag  = flag.String("mech", "AMO", "LLSC, Atomic, ActMsg, MAO or AMO")
 		backend   = flag.String("backend", "amo", "memory-system backend: amo, syncron or dsm")
+		engine    = flag.String("engine", "", "event kernel: seq or parallel (default seq; results are identical)")
+		shards    = flag.Int("shards", 0, "parallel-kernel shard count (with -engine parallel)")
 		procs     = flag.Int("procs", 32, "processor count")
 		episodes  = flag.Int("episodes", 8, "measured barrier episodes")
 		warmup    = flag.Int("warmup", 2, "warm-up barrier episodes")
@@ -103,17 +105,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg.Engine = *engine
+	cfg.Shards = *shards
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
 
 	if *primitive == "barrier" {
 		r, err := runOne[amosim.BarrierResult](amosim.BarrierPoint(cfg, mech, amosim.BarrierOptions{
-			Episodes:   *episodes,
-			Warmup:     *warmup,
-			Branching:  *tree,
-			ChaosSeed:  *chaosSeed,
-			ChaosLevel: *chaosLvl,
+			Episodes:  *episodes,
+			Warmup:    *warmup,
+			Branching: *tree,
+			RunConfig: amosim.RunConfig{ChaosSeed: *chaosSeed, ChaosLevel: *chaosLvl},
 		}))
 		if err != nil {
 			log.Fatal(err)
@@ -143,9 +146,8 @@ func main() {
 		log.Fatalf("unknown primitive %q (barrier, ticket, array, mcs)", *primitive)
 	}
 	r, err := runOne[amosim.LockResult](amosim.LockPoint(cfg, kind, mech, amosim.LockOptions{
-		Acquires:   *acquires,
-		ChaosSeed:  *chaosSeed,
-		ChaosLevel: *chaosLvl,
+		Acquires:  *acquires,
+		RunConfig: amosim.RunConfig{ChaosSeed: *chaosSeed, ChaosLevel: *chaosLvl},
 	}))
 	if err != nil {
 		log.Fatal(err)

@@ -34,6 +34,13 @@
 // the fresh measurement against a checked-in baseline and exits nonzero on
 // a >20% throughput or allocation regression.
 //
+// With -bench-pdes PATH it runs the 1024-CPU barrier on both event kernels
+// and writes the BENCH_pdes.json document (kernel equivalence plus
+// wall-clock speedup); -bench-pdes-gate BASELINE additionally demands the
+// deterministic fields match the baseline exactly and — on hosts with
+// enough cores for the shard workers — the parallel kernel's speedup
+// floor.
+//
 // -cpuprofile and -memprofile write pprof profiles of whatever the
 // invocation runs; sweep points are labeled (pprof tag "sweep_point") so
 // profile samples attribute to the experiment cell that produced them.
@@ -67,11 +74,15 @@ func main() {
 		progress = flag.Bool("progress", false, "report per-point sweep completion on stderr")
 		mech     = flag.String("mech", "llsc", "mechanism for ablation-tree (llsc, atomic, actmsg, mao, amo)")
 		backend  = flag.String("backend", "amo", "memory-system backend for every experiment: amo, syncron or dsm")
+		engine   = flag.String("engine", "", "event kernel for barrier/lock experiments: seq or parallel (output is identical)")
+		shards   = flag.Int("shards", 0, "parallel-kernel shard count (with -engine parallel)")
 		benchOut = flag.String("bench-metrics", "", "write the per-mechanism benchmark summary (with cycle attribution) to this file as JSON, then exit")
 		benchP   = flag.Int("bench-procs", 32, "processor count for -bench-metrics")
 		hotOut   = flag.String("bench-hotpath", "", "write the hot-path benchmark document (BENCH_hotpath.json) to this file, then exit")
 		hotGate  = flag.String("bench-hotpath-gate", "", "with -bench-hotpath: baseline JSON to gate the fresh measurement against (±20%)")
-		hotIters = flag.Int("bench-iters", 0, "timed iterations for -bench-hotpath (0 = default)")
+		hotIters = flag.Int("bench-iters", 0, "timed iterations for -bench-hotpath/-bench-pdes (0 = default)")
+		pdesOut  = flag.String("bench-pdes", "", "write the parallel-kernel benchmark document (BENCH_pdes.json) to this file, then exit")
+		pdesGate = flag.String("bench-pdes-gate", "", "with -bench-pdes: baseline JSON to gate the fresh measurement against (exact deterministic fields, core-aware speedup floor)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -129,8 +140,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	bopts := amosim.BarrierOptions{Episodes: *episodes, Warmup: *warmup}
-	lopts := amosim.LockOptions{Acquires: *acquires}
+	kernel := amosim.RunConfig{Engine: *engine, Shards: *shards}
+	bopts := amosim.BarrierOptions{Episodes: *episodes, Warmup: *warmup, RunConfig: kernel}
+	lopts := amosim.LockOptions{Acquires: *acquires, RunConfig: kernel}
 
 	if *benchOut != "" {
 		doc, err := amosim.BenchMetricsJSON(*benchP, bopts, lopts)
@@ -139,6 +151,26 @@ func main() {
 		}
 		if err := os.WriteFile(*benchOut, doc, 0o644); err != nil {
 			log.Fatal(err)
+		}
+		return
+	}
+
+	if *pdesOut != "" {
+		doc, err := amosim.BenchPdes(*hotIters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*pdesOut, doc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if *pdesGate != "" {
+			baseline, err := os.ReadFile(*pdesGate)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := amosim.ComparePdes(baseline, doc); err != nil {
+				log.Fatal(err)
+			}
 		}
 		return
 	}

@@ -1,0 +1,148 @@
+package amosim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// The parallel event kernel's contract is exact reproduction, not
+// statistical agreement: for every backend and shard count, a run on the
+// parallel kernel must emit the same results as the sequential kernel byte
+// for byte. These tests are the permanent differential matrix behind that
+// promise; the chaos package holds the fault-injection half (trace-digest
+// equality), and ci.sh diffs whole-table stdout across -engine values.
+
+// engineShardCounts is the shard axis of the matrix. 16 processors give 8
+// nodes, so 8 shards is the maximum partition (one node per shard); 1 shard
+// exercises the parallel kernel's machinery with no actual partitioning.
+var engineShardCounts = []int{1, 2, 8}
+
+// parallelConfig returns cfg rerouted onto the parallel kernel.
+func parallelConfig(cfg Config, shards int) Config {
+	cfg.Engine = "parallel"
+	cfg.Shards = shards
+	return cfg
+}
+
+// mustJSON marshals a result document the way cmd/amosim -metrics does.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestEngineBarrierResultByteIdentical runs the same barrier experiment on
+// both kernels across every backend and shard count and demands the full
+// result document — figures plus the window metrics Snapshot — match byte
+// for byte.
+func TestEngineBarrierResultByteIdentical(t *testing.T) {
+	opts := BarrierOptions{Episodes: 2, Warmup: 1}
+	for _, backend := range Backends {
+		for _, shards := range engineShardCounts {
+			for _, mech := range []Mechanism{LLSC, AMO} {
+				t.Run(fmt.Sprintf("%s/shards=%d/%s", backend, shards, mech), func(t *testing.T) {
+					cfg := DefaultConfig(16)
+					cfg.Backend = backend
+					seq, err := RunBarrier(cfg, mech, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					par, err := RunBarrier(parallelConfig(cfg, shards), mech, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if a, b := mustJSON(t, seq), mustJSON(t, par); a != b {
+						t.Errorf("barrier result diverges between kernels:\n--- seq ---\n%s\n--- parallel ---\n%s", a, b)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineLockResultByteIdentical is the lock half of the matrix.
+func TestEngineLockResultByteIdentical(t *testing.T) {
+	opts := LockOptions{Acquires: 2}
+	for _, backend := range Backends {
+		for _, shards := range engineShardCounts {
+			t.Run(fmt.Sprintf("%s/shards=%d", backend, shards), func(t *testing.T) {
+				cfg := DefaultConfig(16)
+				cfg.Backend = backend
+				seq, err := RunLock(cfg, Ticket, AMO, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := RunLock(parallelConfig(cfg, shards), Ticket, AMO, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a, b := mustJSON(t, seq), mustJSON(t, par); a != b {
+					t.Errorf("lock result diverges between kernels:\n--- seq ---\n%s\n--- parallel ---\n%s", a, b)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineTablesByteIdentical renders the paper's Table 2 and Table 4 on
+// both kernels: the rendered text must match byte for byte. The engine tag
+// appears only in sweep labels and cache keys, never in table output, so
+// any diff here is a real modeling divergence.
+func TestEngineTablesByteIdentical(t *testing.T) {
+	procs := []int{8, 16}
+	kernel := RunConfig{Engine: "parallel", Shards: 4}
+
+	seq2, err := Table2(procs, BarrierOptions{Episodes: 2, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par2, err := Table2(procs, BarrierOptions{Episodes: 2, Warmup: 1, RunConfig: kernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := seq2.Render(), par2.Render(); a != b {
+		t.Errorf("Table 2 diverges between kernels:\n--- seq ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+
+	seq4, err := Table4(procs, LockOptions{Acquires: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par4, err := Table4(procs, LockOptions{Acquires: 2, RunConfig: kernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := seq4.Render(), par4.Render(); a != b {
+		t.Errorf("Table 4 diverges between kernels:\n--- seq ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestEngineKernelCacheKeysNeverAlias pins the cache-safety side of the
+// engine axis: points differing only in kernel or shard count must have
+// distinct sweep keys, or a parallel run could be served a sequential
+// run's cached result (harmless today precisely because the results are
+// identical — but the key must not rely on that).
+func TestEngineKernelCacheKeysNeverAlias(t *testing.T) {
+	cfg := DefaultConfig(16)
+	opts := BarrierOptions{Episodes: 2, Warmup: 1}
+	seen := map[string]string{}
+	for _, rc := range []RunConfig{
+		{},
+		{Engine: "parallel", Shards: 1},
+		{Engine: "parallel", Shards: 2},
+		{Engine: "parallel", Shards: 8},
+	} {
+		o := opts
+		o.RunConfig = rc
+		k := BarrierPoint(cfg, AMO, o).Key
+		label := fmt.Sprintf("%+v", rc)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("sweep key aliases between %s and %s", prev, label)
+		}
+		seen[k] = label
+	}
+}

@@ -5,20 +5,82 @@ import (
 
 	"amosim/internal/chaos"
 	"amosim/internal/machine"
-	"amosim/internal/metrics"
 	"amosim/internal/proc"
-	"amosim/internal/sim"
 	"amosim/internal/sweep"
 	"amosim/internal/syncprim"
 )
 
-// Experiment methodology shared by all runners: programs run warm-up
-// iterations first (populating caches, the AMU cache and the directory),
-// then a measurement window bounded by the latest exit across CPUs, so the
+// Experiment methodology shared by all runners: each run is two machine
+// phases on one warm machine. The warm-up phase (populating caches, the AMU
+// cache and the directory) runs to quiescence, the machine is snapshotted,
+// the measured phase runs to quiescence, and the machine is snapshotted
+// again. Both snapshots observe a fully drained machine, so the measured
 // window covers whole synchronization episodes regardless of release-wave
-// skew. The window is captured as a pair of metrics Snapshots; every
-// reported figure is derived from their Diff, whose cycle attribution must
-// conserve (checked on every run).
+// skew — and the methodology is identical on the sequential and parallel
+// event kernels, where a mid-run snapshot would race with other shards.
+// Every reported figure is derived from the snapshots' Diff, whose cycle
+// attribution must conserve (checked on every run).
+
+// RunConfig carries the cross-cutting run selectors shared by every
+// experiment runner: the memory-system backend, the event kernel, and the
+// fault-injection plan. It is embedded in BarrierOptions, LockOptions and
+// WorkloadExperiment, so every runner resolves overrides and renders sweep
+// labels in exactly one place.
+type RunConfig struct {
+	// Backend, when non-zero, overrides the config's memory-system backend
+	// for the run (the zero value, BackendAMO, defers to the config). It
+	// participates in the sweep cache key through both the config and
+	// options digests, so cells never alias across backends.
+	Backend Backend
+	// Engine, when non-empty, overrides the config's event kernel ("seq" or
+	// "parallel"); Shards, when non-zero, overrides the shard count of the
+	// parallel kernel. Results are byte-identical across kernels and shard
+	// counts — these knobs trade host wall-clock, never simulated behaviour.
+	Engine string
+	Shards int
+	// ChaosSeed and ChaosLevel enable deterministic fault injection with
+	// runtime invariant oracles (see internal/chaos). Level 0 is off; with
+	// a level set, the run fails on any protocol-invariant violation.
+	ChaosSeed  uint64
+	ChaosLevel int
+}
+
+// apply resolves the non-zero overrides onto a config.
+func (rc RunConfig) apply(cfg Config) Config {
+	if rc.Backend != BackendAMO {
+		cfg.Backend = rc.Backend
+	}
+	if rc.Engine != "" {
+		cfg.Engine = rc.Engine
+	}
+	if rc.Shards != 0 {
+		cfg.Shards = rc.Shards
+	}
+	return cfg
+}
+
+// Tag renders the non-default run selectors for sweep labels and table
+// titles: "" for the default amo machine on the sequential kernel,
+// " [syncron]", " [pdes:4]", or a concatenation.
+func (rc RunConfig) Tag() string {
+	var s string
+	if rc.Backend != BackendAMO {
+		s += " [" + rc.Backend.String() + "]"
+	}
+	if rc.Engine == "parallel" {
+		shards := rc.Shards
+		if shards == 0 {
+			shards = 1
+		}
+		s += fmt.Sprintf(" [pdes:%d]", shards)
+	}
+	return s
+}
+
+// labelTag renders the tag of a resolved config (see RunConfig.Tag).
+func labelTag(cfg Config) string {
+	return RunConfig{Backend: cfg.Backend, Engine: cfg.Engine, Shards: cfg.Shards}.Tag()
+}
 
 // BarrierOptions tunes RunBarrier.
 type BarrierOptions struct {
@@ -39,16 +101,8 @@ type BarrierOptions struct {
 	// AMOUpdateAlways pushes a word update on every amo.inc instead of
 	// only at the test value (ablation A2). Flat barriers only.
 	AMOUpdateAlways bool
-	// ChaosSeed and ChaosLevel enable deterministic fault injection with
-	// runtime invariant oracles (see internal/chaos). Level 0 is off; with
-	// a level set, the run fails on any protocol-invariant violation.
-	ChaosSeed  uint64
-	ChaosLevel int
-	// Backend, when non-zero, overrides the config's memory-system backend
-	// for the run (the zero value, BackendAMO, defers to the config). It
-	// participates in the sweep cache key through both the config and
-	// options digests, so cells never alias across backends.
-	Backend Backend
+	// RunConfig selects backend, event kernel and fault injection.
+	RunConfig
 }
 
 // WithDefaults returns the options with the module's convention applied
@@ -63,19 +117,11 @@ func (o BarrierOptions) WithDefaults() BarrierOptions {
 	return o
 }
 
-// applyBackend resolves an options-level backend override onto a config.
-func applyBackend(cfg Config, b Backend) Config {
-	if b != BackendAMO {
-		cfg.Backend = b
-	}
-	return cfg
-}
-
 // RunBarrier measures a barrier implementation on a fresh machine and
 // returns per-episode cycle and traffic figures.
 func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult, error) {
 	opts = opts.WithDefaults()
-	cfg = applyBackend(cfg, opts.Backend)
+	cfg = opts.apply(cfg)
 	m, err := machine.New(cfg)
 	if err != nil {
 		return BarrierResult{}, err
@@ -94,8 +140,6 @@ func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult,
 		wait = b.Wait
 	}
 
-	var startT, endT sim.Time
-	var startSnap, endSnap metrics.Snapshot
 	work := func(c *proc.CPU, e int) {
 		c.Think(uint64((c.ID()*37 + e*13) % opts.WorkCycles))
 	}
@@ -104,17 +148,15 @@ func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult,
 			work(c, e)
 			wait(c)
 		}
-		if c.Now() > startT {
-			startT = c.Now()
-			startSnap = m.Metrics()
-		}
+	})
+	if _, err := m.Run(); err != nil {
+		return BarrierResult{}, fmt.Errorf("amosim: barrier warmup (%v, %d procs): %w", mech, cfg.Processors, err)
+	}
+	startSnap := m.Metrics()
+	m.OnAllCPUs(func(c *proc.CPU) {
 		for e := 0; e < opts.Episodes; e++ {
 			work(c, opts.Warmup+e)
 			wait(c)
-		}
-		if c.Now() > endT {
-			endT = c.Now()
-			endSnap = m.Metrics()
 		}
 	})
 	if _, err := m.Run(); err != nil {
@@ -124,7 +166,7 @@ func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult,
 		return BarrierResult{}, fmt.Errorf("amosim: barrier run (%v, %d procs, chaos seed %d level %d): %w",
 			mech, cfg.Processors, opts.ChaosSeed, opts.ChaosLevel, err)
 	}
-	win := endSnap.Diff(startSnap)
+	win := m.Metrics().Diff(startSnap)
 	if err := win.CheckConservation(); err != nil {
 		return BarrierResult{}, fmt.Errorf("amosim: barrier run (%v, %d procs): %w", mech, cfg.Processors, err)
 	}
@@ -182,21 +224,27 @@ func BestTreeBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierRe
 	return best, nil
 }
 
-// attachChaos hooks the fault injector (a no-op at level 0) and, when
-// enabled, the transition oracle. checkChaos is its post-run companion.
-func attachChaos(m *machine.Machine, seed uint64, level int) *chaos.Oracle {
+// attachChaos hooks the fault injector (a no-op at level 0) and the
+// strongest invariant checker the kernel allows: the transition oracle on
+// the sequential kernel, the post-run coherence check on the parallel one
+// (the oracle inspects every CPU's cache at transition time, which would
+// race across shards). checkChaos runs the returned check after the run.
+func attachChaos(m *machine.Machine, seed uint64, level int) func() error {
 	chaos.Attach(m, chaos.Plan{Seed: seed, Level: level})
 	if level <= 0 {
 		return nil
 	}
-	return chaos.Observe(m)
+	if m.Cfg.Engine == "parallel" {
+		return m.CheckCoherence
+	}
+	return chaos.Observe(m).Check
 }
 
-func checkChaos(orc *chaos.Oracle) error {
-	if orc == nil {
+func checkChaos(check func() error) error {
+	if check == nil {
 		return nil
 	}
-	return orc.Check()
+	return check()
 }
 
 // LockKind selects the lock algorithm. It lives in internal/syncprim next
@@ -230,13 +278,8 @@ type LockOptions struct {
 	GapCycles int
 	// Home is the lock's home node (default 0).
 	Home int
-	// ChaosSeed and ChaosLevel enable deterministic fault injection with
-	// runtime invariant oracles (see BarrierOptions).
-	ChaosSeed  uint64
-	ChaosLevel int
-	// Backend, when non-zero, overrides the config's memory-system backend
-	// for the run (see BarrierOptions.Backend).
-	Backend Backend
+	// RunConfig selects backend, event kernel and fault injection.
+	RunConfig
 }
 
 // WithDefaults returns the options with the module's convention applied
@@ -253,7 +296,7 @@ func (o LockOptions) WithDefaults() LockOptions {
 // passing and traffic in the measured window.
 func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockResult, error) {
 	opts = opts.WithDefaults()
-	cfg = applyBackend(cfg, opts.Backend)
+	cfg = opts.apply(cfg)
 	m, err := machine.New(cfg)
 	if err != nil {
 		return LockResult{}, err
@@ -285,32 +328,24 @@ func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockR
 		return LockResult{}, fmt.Errorf("amosim: unknown lock kind %d", int(kind))
 	}
 
-	// Alignment barrier (AMO; independent of the lock under test) brackets
-	// the measured window.
-	align := syncprim.NewBarrier(m, syncprim.AMO, cfg.Processors, cfg.Nodes()-1)
-
-	var startT, endT sim.Time
-	var startSnap, endSnap metrics.Snapshot
+	// Warmup phase: one uncontended-ish pass each. The phase boundary is
+	// the alignment point — every CPU restarts the measured phase at the
+	// same quiescent instant, so no explicit alignment barrier is needed.
 	m.OnAllCPUs(func(c *proc.CPU) {
-		// Warmup: one uncontended-ish pass each.
 		release := acquire(c)
 		release()
-		align.Wait(c)
-		if c.Now() > startT {
-			startT = c.Now()
-			startSnap = m.Metrics()
-		}
+	})
+	if _, err := m.Run(); err != nil {
+		return LockResult{}, fmt.Errorf("amosim: lock warmup (%v %v, %d procs): %w", kind, mech, cfg.Processors, err)
+	}
+	startSnap := m.Metrics()
+	m.OnAllCPUs(func(c *proc.CPU) {
 		for i := 0; i < opts.Acquires; i++ {
 			c.Think(uint64((c.ID()*29 + i*17) % opts.GapCycles))
 			release := acquire(c)
 			c.Think(uint64(opts.CSCycles))
 			release()
 		}
-		if c.Now() > endT {
-			endT = c.Now()
-			endSnap = m.Metrics()
-		}
-		align.Wait(c)
 	})
 	if _, err := m.Run(); err != nil {
 		return LockResult{}, fmt.Errorf("amosim: lock run (%v %v, %d procs): %w", kind, mech, cfg.Processors, err)
@@ -319,7 +354,7 @@ func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockR
 		return LockResult{}, fmt.Errorf("amosim: lock run (%v %v, %d procs, chaos seed %d level %d): %w",
 			kind, mech, cfg.Processors, opts.ChaosSeed, opts.ChaosLevel, err)
 	}
-	win := endSnap.Diff(startSnap)
+	win := m.Metrics().Diff(startSnap)
 	if err := win.CheckConservation(); err != nil {
 		return LockResult{}, fmt.Errorf("amosim: lock run (%v %v, %d procs): %w", kind, mech, cfg.Processors, err)
 	}

@@ -607,7 +607,7 @@ func (a *lifecycleAnalyzer) evalCall(env lcEnv, call *ast.CallExpr) {
 					a.evalExpr(env, arg)
 				}
 				return
-			case name == "ScheduleCall":
+			case name == "ScheduleCall", name == "ScheduleCallNode":
 				// The prebound-call argument rides the event arena until
 				// dispatch: ownership transfers to the scheduled call.
 				for _, arg := range call.Args {

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// CoordinatorContextAnnotation marks a write through a shard's coordinator
+// back-pointer as deliberately coordinator-context: the enclosing code runs
+// only between windows (setup, phase attachment, boundary merge), never on
+// a shard worker mid-window. The annotation must sit on the same line as
+// the write or on the line directly above.
+const CoordinatorContextAnnotation = "//lint:coordinator-context"
+
+// ShardPureRule keeps the parallel event kernel (internal/sim files named
+// parallel*.go) statically deterministic and race-free by construction.
+// The window-merge design gives every datum exactly one owner at a time —
+// shard state belongs to its worker goroutine during a window and to the
+// coordinator between windows — so the kernel must not contain anything
+// whose order or value the host can influence:
+//
+//   - importing math/rand or math/rand/v2 — even a seeded source is banned
+//     here; the only legal order source is the (time, sequence) merge rule;
+//   - the wall clock (time.Now/Since/Until) — shard clocks and the global
+//     clock advance only by executed-event timestamps;
+//   - raw `for … range` over a map — the merge path has no
+//     order-independent loops, so unlike maprange this ban has no
+//     annotation escape: rank a sorted slice instead;
+//   - writes through a shard's coordinator back-pointer (the field named
+//     par) — during a window such a write races the coordinator and every
+//     sibling shard. The few legal sites run in coordinator context
+//     (outside any window) and must say so with //lint:coordinator-context,
+//     which keeps each one auditable in review.
+type ShardPureRule struct{}
+
+// Name implements Rule.
+func (ShardPureRule) Name() string { return "shardpure" }
+
+// parallelEngineFile reports whether the file is part of the parallel
+// kernel: an internal/sim file whose basename starts with "parallel".
+func parallelEngineFile(mod *Module, file *ast.File) bool {
+	name := filepath.Base(mod.Fset.Position(file.Pos()).Filename)
+	return strings.HasPrefix(name, "parallel")
+}
+
+// linesWithAnnotation returns the line numbers carrying comments with the
+// given prefix.
+func linesWithAnnotation(fset *token.FileSet, file *ast.File, prefix string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, prefix) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// writesThroughPar reports whether the written expression reaches its
+// target through a field selector named par — a shard writing coordinator
+// state.
+func writesThroughPar(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if inner, ok := x.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "par" {
+				return true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// Check implements Rule.
+func (ShardPureRule) Check(mod *Module, pkg *Package) []Diagnostic {
+	if mod.RelPath(pkg) != "internal/sim" {
+		return nil
+	}
+	var out []Diagnostic
+	diag := func(pos token.Position, msg string) {
+		out = append(out, Diagnostic{Pos: pos, Rule: "shardpure", Msg: msg})
+	}
+	for _, file := range pkg.Files {
+		if !parallelEngineFile(mod, file) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				diag(mod.Fset.Position(imp.Pos()),
+					path+" import in the parallel kernel: the window-merge order must derive from (time, sequence) alone, never from a random source — seeded or not")
+			}
+		}
+		coordinator := linesWithAnnotation(mod.Fset, file, CoordinatorContextAnnotation)
+		checkWrite := func(e ast.Expr, pos token.Pos) {
+			if !writesThroughPar(e) {
+				return
+			}
+			p := mod.Fset.Position(pos)
+			if annotationCovers(coordinator, p.Line) {
+				return
+			}
+			diag(p, "write through the coordinator back-pointer (.par) from shard code: mid-window this races the coordinator and sibling shards; if the site runs only between windows, annotate "+CoordinatorContextAnnotation)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pkg.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				diag(mod.Fset.Position(n.Pos()),
+					"nondeterministic iteration over "+types.TypeString(tv.Type, types.RelativeTo(pkg.Types))+
+						" in the parallel kernel: the merge path has no order-independent loops; rank a sorted slice instead")
+			case *ast.SelectorExpr:
+				obj, ok := pkg.Info.Uses[n.Sel]
+				if !ok {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				if bannedTimeFuncs[fn.Name()] {
+					diag(mod.Fset.Position(n.Pos()),
+						"time."+fn.Name()+" in the parallel kernel: shard clocks advance only by executed-event timestamps, never the wall clock")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(lhs, lhs.Pos())
+				}
+			case *ast.IncDecStmt:
+				checkWrite(n.X, n.X.Pos())
+			}
+			return true
+		})
+	}
+	return out
+}

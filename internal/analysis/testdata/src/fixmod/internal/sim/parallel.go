@@ -1,0 +1,71 @@
+// parallel.go is the shardpure-rule fixture: a miniature parallel kernel
+// exercising every check. Note that maprange and banned also reach
+// internal/sim, so some positives here carry two expectations.
+package sim
+
+import (
+	"math/rand" // want `math/rand import in the parallel kernel`
+	"time"
+)
+
+// coordinator stands in for the real kernel's Parallel struct.
+type coordinator struct {
+	seq    uint64
+	now    uint64
+	shards []*shardState
+}
+
+// shardState is one partition, holding the coordinator back-pointer the
+// write check keys on.
+type shardState struct {
+	par      *coordinator
+	now      uint64
+	executed uint64
+}
+
+// Seed is the rand-import carrier: the constructor itself is one the
+// banned rule permits, so only the import line is flagged.
+func Seed() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+// Elapsed is the wall-clock positive.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in the parallel kernel"
+}
+
+// Merge is the raw-map-range positive; maprange fires alongside shardpure.
+func Merge(pending map[uint64]int) int {
+	n := 0
+	for at := range pending { // want `in the parallel kernel: the merge path has no order-independent loops` `nondeterministic iteration over map\[uint64\]int: range a sorted key slice`
+		n += pending[at]
+	}
+	return n
+}
+
+// Push is the unsynchronized-shared-write positive: shard code bumping the
+// coordinator's sequence counter without declaring coordinator context.
+func (s *shardState) Push() {
+	s.par.seq++ // want `write through the coordinator back-pointer`
+	s.executed++
+}
+
+// PushAssign covers the assignment form of the same hazard.
+func (s *shardState) PushAssign(at uint64) {
+	s.par.now = at // want `write through the coordinator back-pointer`
+}
+
+// Attach is the annotated true negative: the write is declared to run only
+// between windows.
+func (s *shardState) Attach() {
+	s.par.seq++ //lint:coordinator-context — fixture: runs between windows only
+}
+
+// Advance is the plain true negative: shard-local writes (and reads
+// through .par) are the normal case.
+func (s *shardState) Advance(at uint64) {
+	if at > s.now {
+		s.now = at
+	}
+	_ = s.par.seq
+}

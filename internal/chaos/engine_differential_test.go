@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"amosim/internal/config"
+	"amosim/internal/syncprim"
+)
+
+// TestTrialByteIdenticalAcrossKernels is the fault-injection half of the
+// parallel-kernel differential matrix: the same chaos trial — hostile
+// injection level, every backend — must produce the identical trace digest,
+// functional outcome and injector stats on the parallel kernel as on the
+// sequential one. The digest hashes the full message trace, so a single
+// reordered event anywhere in the run fails this test. Transitions is the
+// one field excluded: the transition oracle reads cross-shard state and
+// arms on the sequential kernel only.
+func TestTrialByteIdenticalAcrossKernels(t *testing.T) {
+	shardCounts := []int{1, 2, 8}
+	if testing.Short() {
+		// Keep the -race short pass covering the parallel kernel without
+		// paying for the full shard axis.
+		shardCounts = []int{2}
+	}
+	for _, backend := range config.Backends {
+		for _, shards := range shardCounts {
+			t.Run(fmt.Sprintf("%s/shards=%d", backend, shards), func(t *testing.T) {
+				spec := TrialSpec{
+					Seed:       7,
+					Mech:       syncprim.AMO,
+					Procs:      16,
+					Vars:       3,
+					Ops:        4,
+					Episodes:   2,
+					LockPasses: 1,
+					Level:      2,
+					Backend:    backend,
+				}
+				seq, err := RunTrial(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pspec := spec
+				pspec.Engine = "parallel"
+				pspec.Shards = shards
+				par, err := RunTrial(pspec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq.Digest != par.Digest {
+					t.Errorf("trace digest diverges: seq %s, parallel %s", seq.Digest, par.Digest)
+				}
+				if seq.Cycles != par.Cycles {
+					t.Errorf("run length diverges: seq %d cycles, parallel %d", seq.Cycles, par.Cycles)
+				}
+				if !reflect.DeepEqual(seq.FinalValues, par.FinalValues) ||
+					seq.LockWord != par.LockWord ||
+					!reflect.DeepEqual(seq.OpsDone, par.OpsDone) {
+					t.Errorf("functional outcome diverges:\nseq      finals=%v lock=%d ops=%v\nparallel finals=%v lock=%d ops=%v",
+						seq.FinalValues, seq.LockWord, seq.OpsDone,
+						par.FinalValues, par.LockWord, par.OpsDone)
+				}
+				if seq.Injected != par.Injected {
+					t.Errorf("injector stats diverge: seq %+v, parallel %+v", seq.Injected, par.Injected)
+				}
+			})
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"strconv"
+
 	"amosim/internal/core"
 	"amosim/internal/machine"
 	"amosim/internal/memsys"
@@ -24,6 +26,15 @@ type Stats struct {
 	ForcedEvictions uint64
 }
 
+// add folds o into s.
+func (s *Stats) add(o Stats) {
+	s.JitteredMessages += o.JitteredMessages
+	s.JitterCycles += o.JitterCycles
+	s.ClampedMessages += o.ClampedMessages
+	s.DelayedRequests += o.DelayedRequests
+	s.ForcedEvictions += o.ForcedEvictions
+}
+
 // linkKey identifies one FIFO stream the protocol may depend on: messages
 // between the same endpoints about the same block. Jitter across different
 // keys is free; within a key it is clamped to preserve order.
@@ -32,22 +43,34 @@ type linkKey struct {
 	block    uint64
 }
 
-// Injector perturbs one machine according to a Plan. Create with Attach;
-// all state is machine-private, so concurrent sweep points each carry their
-// own Injector.
-type Injector struct {
-	plan       Plan
-	k          knobs
-	eng        *sim.Engine
-	blockBytes int
-
+// nodeState is one node's private slice of the injector: RNG streams, FIFO
+// clamp ledger and counters. Every hook runs in the event context of the
+// node it perturbs (network jitter at the source, request delays and
+// evictions at the home), so each node's state is touched only from that
+// node's shard and the injector is race-free on the parallel kernel. The
+// per-node streams are label-split from the trial seed, so the draw
+// sequences are identical on both kernels regardless of how shards
+// interleave.
+type nodeState struct {
 	netRNG, dirRNG, amuRNG *RNG
 
 	// last is the latest delivery time already promised on each FIFO
-	// stream; later sends on the same stream never deliver earlier.
+	// stream originating at this node; later sends on the same stream
+	// never deliver earlier.
 	last map[linkKey]sim.Time
 
 	stats Stats
+}
+
+// Injector perturbs one machine according to a Plan. Create with Attach;
+// all state is machine-private and node-partitioned, so concurrent sweep
+// points — and concurrent shards within one machine — each touch their own
+// state.
+type Injector struct {
+	plan       Plan
+	k          knobs
+	blockBytes int
+	nodes      []nodeState
 }
 
 // Attach hooks an Injector for plan into every layer of m: the network's
@@ -56,15 +79,21 @@ type Injector struct {
 // installs nothing. Attach before Run; the hooks live for the machine's
 // lifetime.
 func Attach(m *machine.Machine, plan Plan) *Injector {
+	root := NewRNG(plan.Seed)
 	inj := &Injector{
 		plan:       plan,
 		k:          plan.knobs(),
-		eng:        m.Eng,
 		blockBytes: m.Cfg.BlockBytes,
-		netRNG:     NewRNG(plan.Seed).Split("net"),
-		dirRNG:     NewRNG(plan.Seed).Split("dir"),
-		amuRNG:     NewRNG(plan.Seed).Split("amu"),
-		last:       make(map[linkKey]sim.Time),
+		nodes:      make([]nodeState, m.Cfg.Nodes()),
+	}
+	for n := range inj.nodes {
+		tag := strconv.Itoa(n)
+		inj.nodes[n] = nodeState{
+			netRNG: root.Split("net/" + tag),
+			dirRNG: root.Split("dir/" + tag),
+			amuRNG: root.Split("amu/" + tag),
+			last:   make(map[linkKey]sim.Time),
+		}
 	}
 	if !plan.Enabled() {
 		return inj
@@ -73,66 +102,79 @@ func Attach(m *machine.Machine, plan Plan) *Injector {
 	for _, d := range m.Dirs {
 		d.SetPerturber(inj)
 	}
-	for _, a := range m.AMUs {
-		a := a
-		a.SetPerturber(func(addr uint64) { inj.afterAMUOp(a, addr) })
+	for n, a := range m.AMUs {
+		n, a := n, a
+		a.SetPerturber(func(addr uint64) { inj.afterAMUOp(n, a, addr) })
 	}
 	return inj
 }
 
-// Stats returns what the injector has done so far.
-func (inj *Injector) Stats() Stats { return inj.stats }
+// Stats returns what the injector has done so far, folded over nodes in
+// node order. Call only while the machine is quiescent.
+func (inj *Injector) Stats() Stats {
+	var sum Stats
+	for i := range inj.nodes {
+		sum.add(inj.nodes[i].stats)
+	}
+	return sum
+}
 
 // DeliveryDelay implements network.Perturber: bounded random extra latency,
 // clamped so no message overtakes an earlier one on the same (src, dst,
 // block) stream. Cross-stream reordering is the interesting (and legal)
 // perturbation; same-stream reordering would forge protocol states — an
 // invalidation overtaking the data it chases creates a phantom shared line
-// no hardware network would produce.
-func (inj *Injector) DeliveryDelay(m network.Msg, lat sim.Time) sim.Time {
+// no hardware network would produce. Runs in the source node's event
+// context; now is that shard's clock.
+func (inj *Injector) DeliveryDelay(m network.Msg, lat sim.Time, now sim.Time) sim.Time {
+	ns := &inj.nodes[m.Src.Node]
 	var jitter sim.Time
-	if inj.k.maxJitter > 0 && inj.netRNG.Below(inj.k.jitterPermille) {
-		jitter = sim.Time(inj.netRNG.Uint64() % (inj.k.maxJitter + 1))
+	if inj.k.maxJitter > 0 && ns.netRNG.Below(inj.k.jitterPermille) {
+		jitter = sim.Time(ns.netRNG.Uint64() % (inj.k.maxJitter + 1))
 	}
 	key := linkKey{src: m.Src, dst: m.Dst, block: memsys.BlockAddr(m.Addr, inj.blockBytes)}
-	due := inj.eng.Now() + lat + jitter
-	if last, ok := inj.last[key]; ok && due < last {
-		inj.stats.ClampedMessages++
+	due := now + lat + jitter
+	if last, ok := ns.last[key]; ok && due < last {
+		ns.stats.ClampedMessages++
 		due = last
 	}
-	inj.last[key] = due
-	extra := due - (inj.eng.Now() + lat)
+	ns.last[key] = due
+	extra := due - (now + lat)
 	if extra > 0 {
-		inj.stats.JitteredMessages++
-		inj.stats.JitterCycles += uint64(extra)
+		ns.stats.JitteredMessages++
+		ns.stats.JitterCycles += uint64(extra)
 	}
 	return extra
 }
 
 // RequestDelay implements directory.Perturber: with probability
 // retryPermille a CPU request is held once for a bounded random time, the
-// timing signature of a NACKed request retrying.
+// timing signature of a NACKed request retrying. Runs in the home
+// directory's event context.
 func (inj *Injector) RequestDelay(m network.Msg) sim.Time {
-	if inj.k.retryPermille == 0 || !inj.dirRNG.Below(inj.k.retryPermille) {
+	ns := &inj.nodes[m.Dst.Node]
+	if inj.k.retryPermille == 0 || !ns.dirRNG.Below(inj.k.retryPermille) {
 		return 0
 	}
-	inj.stats.DelayedRequests++
-	return sim.Time(inj.k.retryDelay/2 + inj.dirRNG.Uint64()%(inj.k.retryDelay/2+1))
+	ns.stats.DelayedRequests++
+	return sim.Time(inj.k.retryDelay/2 + ns.dirRNG.Uint64()%(inj.k.retryDelay/2+1))
 }
 
 // afterAMUOp is the AMU per-operation hook: with probability evictPermille
 // it force-evicts a deterministically chosen cached word through the normal
 // flush path, attacking the AMU's residence assumptions (a put racing its
-// own eviction, spinners fed by FineEvict instead of FinePut).
-func (inj *Injector) afterAMUOp(a *core.AMU, _ uint64) {
-	if inj.k.evictPermille == 0 || !inj.amuRNG.Below(inj.k.evictPermille) {
+// own eviction, spinners fed by FineEvict instead of FinePut). Runs in the
+// home AMU's event context.
+func (inj *Injector) afterAMUOp(node int, a *core.AMU, _ uint64) {
+	ns := &inj.nodes[node]
+	if inj.k.evictPermille == 0 || !ns.amuRNG.Below(inj.k.evictPermille) {
 		return
 	}
 	words := a.CachedWords()
 	if len(words) == 0 {
 		return
 	}
-	if a.EvictWord(words[inj.amuRNG.Intn(len(words))]) {
-		inj.stats.ForcedEvictions++
+	if a.EvictWord(words[ns.amuRNG.Intn(len(words))]) {
+		ns.stats.ForcedEvictions++
 	}
 }

@@ -50,12 +50,24 @@ type TrialSpec struct {
 	// default amo machine). The functional oracles are backend-independent,
 	// so the same schedule must produce the same outcome on every backend.
 	Backend config.Backend
+	// Engine/Shards select the event kernel (config.Config fields of the
+	// same names). The parallel kernel must reproduce the sequential
+	// trace digest byte for byte; the differential engine tests sweep
+	// shard counts against that. The cross-CPU mid-run oracles (barrier
+	// arrival order, directory transition snapshots) read state owned by
+	// other shards, so they only arm on the sequential kernel.
+	Engine string
+	Shards int
 }
 
 // String renders the spec as a replayable literal.
 func (s TrialSpec) String() string {
-	return fmt.Sprintf("chaos.TrialSpec{Seed: %d, Mech: syncprim.%s, Procs: %d, Vars: %d, Ops: %d, Episodes: %d, LockPasses: %d, Level: %d, Squeeze: %v, Backend: %s}",
+	base := fmt.Sprintf("chaos.TrialSpec{Seed: %d, Mech: syncprim.%s, Procs: %d, Vars: %d, Ops: %d, Episodes: %d, LockPasses: %d, Level: %d, Squeeze: %v, Backend: %s",
 		s.Seed, mechIdent(s.Mech), s.Procs, s.Vars, s.Ops, s.Episodes, s.LockPasses, s.Level, s.Squeeze, backendIdent(s.Backend))
+	if s.Engine != "" {
+		base += fmt.Sprintf(", Engine: %q, Shards: %d", s.Engine, s.Shards)
+	}
+	return base + "}"
 }
 
 // mechIdent is the Go identifier of a mechanism (String yields "LL/SC").
@@ -84,6 +96,9 @@ func (s TrialSpec) Label() string {
 	if s.Backend != config.BackendAMO {
 		tag = " [" + s.Backend.String() + "]"
 	}
+	if s.Engine == "parallel" {
+		tag += fmt.Sprintf(" [pdes:%d]", s.Shards)
+	}
 	return fmt.Sprintf("chaos seed=%d %s p=%d L%d%s", s.Seed, s.Mech, s.Procs, s.Level, tag)
 }
 
@@ -91,6 +106,8 @@ func (s TrialSpec) Label() string {
 func (s TrialSpec) config() config.Config {
 	cfg := config.Default(s.Procs)
 	cfg.Backend = s.Backend
+	cfg.Engine = s.Engine
+	cfg.Shards = s.Shards
 	if s.Squeeze {
 		cfg.CacheSets = 1
 		cfg.CacheWays = 1
@@ -199,7 +216,13 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 
 	tr := m.EnableTrace(traceCap)
 	inj := Attach(m, Plan{Seed: s.Seed, Level: s.Level})
-	orc := Observe(m)
+	// The transition oracle inspects every CPU's cache from directory event
+	// context — a cross-shard read — so it arms on the sequential kernel
+	// only; the quiescence-time coherence pass still runs on both.
+	var orc *Oracle
+	if cfg.Engine != "parallel" {
+		orc = Observe(m)
+	}
 
 	layout := NewRNG(s.Seed).Split("layout")
 	nodes := cfg.Nodes()
@@ -229,15 +252,17 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 		}
 	}
 
-	// Oracle state mutated by the (serialized) CPU coroutines.
+	// Oracle state mutated by the CPU coroutines. Every slot is owned by
+	// exactly one CPU (oldVals is per-CPU and merged after the run), so the
+	// bodies stay race-free across shards; only the barrier arrival-order
+	// check reads other CPUs' slots, and it arms sequentially only.
+	checkArrivals := cfg.Engine != "parallel"
 	arrived := make([]int, s.Procs)
 	opsDone := make([]int, s.Procs)
-	oldVals := make([][]uint64, s.Vars)
-	var bodyViolations []string
-	bodyViolate := func(format string, args ...interface{}) {
-		if len(bodyViolations) < maxViolations {
-			bodyViolations = append(bodyViolations, fmt.Sprintf(format, args...))
-		}
+	oldVals := make([][][]uint64, s.Procs)
+	violations := make([][]string, s.Procs)
+	for i := range oldVals {
+		oldVals[i] = make([][]uint64, s.Vars)
 	}
 
 	m.OnAllCPUs(func(c *proc.CPU) {
@@ -252,7 +277,7 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 					c.Load(vars[o.v])
 				default:
 					old := syncprim.FetchAdd(c, s.Mech, vars[o.v], 1)
-					oldVals[o.v] = append(oldVals[o.v], old)
+					oldVals[id][o.v] = append(oldVals[id][o.v], old)
 				}
 				opsDone[id]++
 				c.Think(uint64(o.think))
@@ -265,11 +290,16 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 				lock.Release(c, t)
 				opsDone[id]++
 			}
-			arrived[id] = e + 1
+			if checkArrivals {
+				arrived[id] = e + 1
+			}
 			b.Wait(c)
-			for j := range arrived {
-				if arrived[j] < e+1 {
-					bodyViolate("episode %d released cpu %d before cpu %d arrived", e, id, j)
+			if checkArrivals {
+				for j := range arrived {
+					if arrived[j] < e+1 && len(violations[id]) < maxViolations {
+						violations[id] = append(violations[id],
+							fmt.Sprintf("episode %d released cpu %d before cpu %d arrived", e, id, j))
+					}
 				}
 			}
 		}
@@ -287,7 +317,9 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 		OpsDone:     opsDone,
 		Cycles:      uint64(cycles),
 		Injected:    inj.Stats(),
-		Transitions: orc.Transitions(),
+	}
+	if orc != nil {
+		res.Transitions = orc.Transitions()
 	}
 	for i, a := range vars {
 		res.FinalValues[i] = m.ReadWordCoherent(a)
@@ -298,11 +330,19 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 	res.Digest = digest(tr, res)
 
 	// Oracles, cheapest-to-diagnose first.
+	var bodyViolations []string
+	for _, v := range violations {
+		bodyViolations = append(bodyViolations, v...)
+	}
 	if len(bodyViolations) > 0 {
 		return res, tr, s.fail("quiescence: %s", strings.Join(bodyViolations, "; "))
 	}
-	if err := orc.Check(); err != nil {
-		return res, tr, s.fail("%v", err)
+	if orc != nil {
+		if err := orc.Check(); err != nil {
+			return res, tr, s.fail("%v", err)
+		}
+	} else if err := m.CheckCoherence(); err != nil {
+		return res, tr, s.fail("quiescence coherence: %v", err)
 	}
 	if err := m.Metrics().Diff(before).CheckConservation(); err != nil {
 		return res, tr, s.fail("cycle attribution: %v", err)
@@ -312,13 +352,17 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 			return res, tr, s.fail("counter %d = %d, want %d (value conservation)", i, res.FinalValues[i], expected[i])
 		}
 		n := int(expected[i])
-		if len(oldVals[i]) != n {
-			return res, tr, s.fail("counter %d saw %d increments, want %d", i, len(oldVals[i]), n)
+		var merged []uint64
+		for cpu := range oldVals {
+			merged = append(merged, oldVals[cpu][i]...)
+		}
+		if len(merged) != n {
+			return res, tr, s.fail("counter %d saw %d increments, want %d", i, len(merged), n)
 		}
 		seen := make([]bool, n)
-		for _, v := range oldVals[i] {
+		for _, v := range merged {
 			if v >= uint64(n) || seen[v] {
-				return res, tr, s.fail("counter %d: fetch-add old values %v are not a permutation of 0..%d", i, oldVals[i], n-1)
+				return res, tr, s.fail("counter %d: fetch-add old values %v are not a permutation of 0..%d", i, merged, n-1)
 			}
 			seen[v] = true
 		}

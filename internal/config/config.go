@@ -118,6 +118,14 @@ type Config struct {
 	// the paper's configuration, and the default when empty) or "torus"
 	// (Cray-T3E-style 2D torus, for interconnect ablations).
 	Interconnect string
+	// Engine selects the event kernel: "seq" (the single-heap sequential
+	// kernel, and the default when empty) or "parallel" (the conservative
+	// lookahead-window kernel, which partitions nodes across Shards and
+	// reproduces the sequential event order exactly; see internal/sim).
+	Engine string
+	// Shards is the parallel kernel's partition count; 0 means 1. Values
+	// above 1 require Engine "parallel" and at most one shard per node.
+	Shards int
 	// MinPacketBytes is the minimum network packet size.
 	MinPacketBytes int
 	// HeaderBytes is the per-packet header charge used for traffic stats.
@@ -257,6 +265,14 @@ func (c Config) Validate() error {
 		return fail("Interconnect", "must be \"fattree\" or \"torus\", got %q", c.Interconnect)
 	case c.Interconnect == "torus" && !isPow2(c.Nodes()):
 		return fail("Interconnect", "torus requires a power-of-two node count, got %d", c.Nodes())
+	case c.Engine != "" && c.Engine != "seq" && c.Engine != "parallel":
+		return fail("Engine", "must be \"seq\" or \"parallel\", got %q", c.Engine)
+	case c.Shards < 0:
+		return fail("Shards", "must be >= 0, got %d", c.Shards)
+	case c.Shards > 1 && c.Engine != "parallel":
+		return fail("Shards", "(%d) requires Engine \"parallel\"", c.Shards)
+	case c.Shards > c.Nodes():
+		return fail("Shards", "(%d) must not exceed the node count (%d)", c.Shards, c.Nodes())
 	case c.AMUCacheWords < 0:
 		return fail("AMUCacheWords", "must be >= 0, got %d", c.AMUCacheWords)
 	case c.ActMsgQueueDepth <= 0:

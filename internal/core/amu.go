@@ -155,7 +155,7 @@ type finePut struct {
 // stages are prebound func values, the request queue is a head-indexed
 // FIFO, and fine puts ride pooled finePut records.
 type AMU struct {
-	eng *sim.Engine
+	eng sim.Engine
 	net *network.Network
 	mem *memsys.Memory
 	dir *directory.Controller
@@ -188,7 +188,7 @@ type AMU struct {
 }
 
 // New creates an AMU bound to its node's directory controller and memory.
-func New(eng *sim.Engine, net *network.Network, mem *memsys.Memory, dir *directory.Controller, p Params) *AMU {
+func New(eng sim.Engine, net *network.Network, mem *memsys.Memory, dir *directory.Controller, p Params) *AMU {
 	words := p.CacheWords
 	transient := false
 	if words == 0 {

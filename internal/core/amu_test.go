@@ -57,7 +57,7 @@ func TestOpApplyUnknownPanics(t *testing.T) {
 // rig wires an AMU to a real directory, memory and network, with a capture
 // endpoint for replies.
 type rig struct {
-	eng     *sim.Engine
+	eng     sim.Engine
 	net     *network.Network
 	mem     *memsys.Memory
 	dir     *directory.Controller

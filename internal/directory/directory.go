@@ -120,11 +120,12 @@ type Params struct {
 
 // Controller is one node's directory controller.
 type Controller struct {
-	eng *sim.Engine
-	net *network.Network
-	mem *memsys.Memory
-	amu AMUPort
-	p   Params
+	eng  sim.Engine
+	net  *network.Network
+	pool *network.DataPool
+	mem  *memsys.Memory
+	amu  AMUPort
+	p    Params
 
 	entries map[uint64]*entry
 
@@ -247,13 +248,14 @@ type Perturber interface {
 
 // New creates a directory controller for node p.Node. The AMU port may be
 // set later with SetAMU (the AMU and directory reference each other).
-func New(eng *sim.Engine, net *network.Network, mem *memsys.Memory, p Params) *Controller {
+func New(eng sim.Engine, net *network.Network, mem *memsys.Memory, p Params) *Controller {
 	if p.ProcsPerNode <= 0 {
 		panic("directory: ProcsPerNode must be positive")
 	}
 	return &Controller{
 		eng:     eng,
 		net:     net,
+		pool:    net.DataPool(p.Node),
 		mem:     mem,
 		p:       p,
 		entries: make(map[uint64]*entry),
@@ -500,7 +502,7 @@ func (c *Controller) grantExclusive(block uint64, e *entry, req network.Endpoint
 // that the network recycles after delivery.
 func (c *Controller) replyData(block uint64, dst network.Endpoint, kind network.Kind, done func()) {
 	c.occupy(c.p.DirCycles+c.p.DRAMCycles, func() {
-		words := c.net.AcquireData(c.p.BlockBytes / memsys.WordBytes)
+		words := c.pool.AcquireData(c.p.BlockBytes / memsys.WordBytes)
 		c.mem.ReadBlockInto(block, words)
 		c.send(network.Msg{
 			Kind: kind,

@@ -59,7 +59,7 @@ func (f *fakeCPU) countKind(k network.Kind) int {
 }
 
 type rig struct {
-	eng  *sim.Engine
+	eng  sim.Engine
 	net  *network.Network
 	mem  *memsys.Memory
 	ctrl *Controller

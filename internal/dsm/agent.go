@@ -31,7 +31,7 @@ type Params struct {
 
 // Agent is one node's disaggregated-memory endpoint.
 type Agent struct {
-	eng *sim.Engine
+	eng sim.Engine
 	net *network.Network
 	mem *memsys.Memory
 	p   Params
@@ -48,7 +48,7 @@ type Agent struct {
 }
 
 // New creates a memory agent for node p.Node.
-func New(eng *sim.Engine, net *network.Network, mem *memsys.Memory, p Params) *Agent {
+func New(eng sim.Engine, net *network.Network, mem *memsys.Memory, p Params) *Agent {
 	a := &Agent{eng: eng, net: net, mem: mem, p: p}
 	a.dispatchFn = a.dispatch
 	a.executeFn = a.execute

@@ -69,7 +69,7 @@ func (b *AMOBackend) Wire(m *Machine) error {
 	b.m = m
 	cfg := m.Cfg
 	for n := 0; n < cfg.Nodes(); n++ {
-		dir := directory.New(m.Eng, m.Net, m.Mem, directory.Params{
+		dir := directory.New(m.EngFor(n), m.Net, m.Mem, directory.Params{
 			Node:             n,
 			ProcsPerNode:     cfg.ProcsPerNode,
 			BlockBytes:       cfg.BlockBytes,
@@ -78,7 +78,7 @@ func (b *AMOBackend) Wire(m *Machine) error {
 			InjectCycles:     cfg.InjectCycles,
 			MulticastUpdates: cfg.MulticastUpdates,
 		})
-		amu := core.New(m.Eng, m.Net, m.Mem, dir, core.Params{
+		amu := core.New(m.EngFor(n), m.Net, m.Mem, dir, core.Params{
 			Node:        n,
 			CacheWords:  cfg.AMUCacheWords,
 			OpCycles:    cfg.AMUOpCycles,
@@ -133,7 +133,7 @@ func (b *SynCronBackend) Wire(m *Machine) error {
 	b.m = m
 	cfg := m.Cfg
 	for n := 0; n < cfg.Nodes(); n++ {
-		dir := directory.New(m.Eng, m.Net, m.Mem, directory.Params{
+		dir := directory.New(m.EngFor(n), m.Net, m.Mem, directory.Params{
 			Node:             n,
 			ProcsPerNode:     cfg.ProcsPerNode,
 			BlockBytes:       cfg.BlockBytes,
@@ -142,7 +142,7 @@ func (b *SynCronBackend) Wire(m *Machine) error {
 			InjectCycles:     cfg.InjectCycles,
 			MulticastUpdates: cfg.MulticastUpdates,
 		})
-		eng := syncron.New(m.Eng, m.Net, m.Mem, dir, syncron.Params{
+		eng := syncron.New(m.EngFor(n), m.Net, m.Mem, dir, syncron.Params{
 			Node:          n,
 			Partitions:    cfg.SyncPartitions,
 			TableEntries:  cfg.SyncTableEntries,
@@ -216,7 +216,7 @@ func (b *DSMBackend) Wire(m *Machine) error {
 	b.m = m
 	cfg := m.Cfg
 	for n := 0; n < cfg.Nodes(); n++ {
-		agent := dsm.New(m.Eng, m.Net, m.Mem, dsm.Params{
+		agent := dsm.New(m.EngFor(n), m.Net, m.Mem, dsm.Params{
 			Node:         n,
 			RemoteCycles: cfg.DSMRemoteCycles,
 		})

@@ -31,7 +31,7 @@ import (
 // programs with OnCPU (or OnAllCPUs), then call Run.
 type Machine struct {
 	Cfg   config.Config
-	Eng   *sim.Engine
+	Eng   sim.Engine
 	Topo  topology.Topology
 	Net   *network.Network
 	Mem   *memsys.Memory
@@ -41,11 +41,17 @@ type Machine struct {
 	DSMs  []*dsm.Agent            // dsm backend only
 	CPUs  []*proc.CPU
 
-	// bodies/bodiesDone track attached programs so CPUs that finish early
-	// keep serving active messages until every program body has completed.
-	bodies     int
-	bodiesDone int
-	allDone    func() bool
+	// bodies counts the programs attached in the current phase; done[id]
+	// marks CPU id's body complete. Each CPU writes only its own slot (from
+	// its own shard), and the coordinator reads the slice only after the
+	// engine quiesces, so the drain protocol is race-free on both kernels.
+	bodies int
+	done   []bool
+	// phaseDone releases the serve tails: it is written by the coordinator
+	// strictly between engine runs and read by parked CPUs on their next
+	// wake, so a phase ends for every CPU at the same simulated instant.
+	phaseDone bool
+	phasePred func() bool
 
 	backend Backend
 	reg     *metrics.Registry
@@ -79,7 +85,6 @@ func New(cfg config.Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
 	var topo topology.Topology
 	var err error
 	switch cfg.Interconnect {
@@ -93,6 +98,10 @@ func New(cfg config.Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng, err := newEngine(cfg, topo)
+	if err != nil {
+		return nil, err
+	}
 	net := network.New(eng, topo, network.Params{
 		HopCycles:  cfg.HopCycles,
 		BusCycles:  cfg.BusCycles,
@@ -102,7 +111,8 @@ func New(cfg config.Config) (*Machine, error) {
 	mem := memsys.New(cfg.Nodes(), cfg.BlockBytes, cfg.DRAMCycles)
 
 	m := &Machine{Cfg: cfg, Eng: eng, Topo: topo, Net: net, Mem: mem}
-	m.allDone = func() bool { return m.bodiesDone == m.bodies }
+	m.done = make([]bool, cfg.Processors)
+	m.phasePred = func() bool { return m.phaseDone }
 
 	m.backend = backendFor(cfg.Backend)
 	if err := m.backend.Wire(m); err != nil {
@@ -111,7 +121,7 @@ func New(cfg config.Config) (*Machine, error) {
 
 	for id := 0; id < cfg.Processors; id++ {
 		cch := cache.New(cfg.CacheSets, cfg.CacheWays, cfg.BlockBytes)
-		cpu := proc.New(eng, net, cch, m.backend.CPUParams(proc.Params{
+		cpu := proc.New(eng.ForNode(id/cfg.ProcsPerNode), net, cch, m.backend.CPUParams(proc.Params{
 			ID:           id,
 			Node:         id / cfg.ProcsPerNode,
 			ProcsPerNode: cfg.ProcsPerNode,
@@ -140,6 +150,48 @@ func New(cfg config.Config) (*Machine, error) {
 	return m, nil
 }
 
+// newEngine builds the kernel the configuration selects. The parallel
+// kernel's lookahead window is the minimum latency of any cross-shard
+// message: cross-node traffic pays at least Hops(a,b)*HopCycles hub-to-hub,
+// so the window is the minimum hop distance between nodes in different
+// shards times the per-hop charge. Chaos perturbation only adds latency,
+// so the bound stays conservative under fault injection.
+func newEngine(cfg config.Config, topo topology.Topology) (sim.Engine, error) {
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if cfg.Engine != "parallel" || shards == 1 {
+		return sim.NewEngine(), nil
+	}
+	nodes := cfg.Nodes()
+	nodeShard := make([]int, nodes)
+	for n := 0; n < nodes; n++ {
+		nodeShard[n] = n * shards / nodes
+	}
+	minHops := 0
+	for a := 0; a < nodes; a++ {
+		for b := 0; b < nodes; b++ {
+			if nodeShard[a] == nodeShard[b] {
+				continue
+			}
+			if h := topo.Hops(a, b); minHops == 0 || h < minHops {
+				minHops = h
+			}
+		}
+	}
+	if minHops == 0 {
+		return nil, fmt.Errorf("machine: no cross-shard hop distance for %d shards over %d nodes", shards, nodes)
+	}
+	window := sim.Time(uint64(minHops) * cfg.HopCycles)
+	return sim.NewParallel(shards, nodeShard, window), nil
+}
+
+// EngFor returns the node-affine engine view for node; per-node components
+// must schedule and read clocks through it (on the sequential kernel it is
+// the engine itself).
+func (m *Machine) EngFor(node int) sim.Engine { return m.Eng.ForNode(node) }
+
 // Metrics assembles an immutable snapshot of every counter in the machine:
 // per-CPU counters, caches and cycle attribution, per-node directory and
 // AMU counters, memory accesses and network traffic. It is safe to call at
@@ -158,11 +210,15 @@ func (m *Machine) EnableKernelMetrics() {
 	m.reg.RegisterKernel(func() metrics.KernelStats {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
-		return metrics.KernelStats{
+		ks := metrics.KernelStats{
 			EventsExecuted: m.Eng.Executed(),
 			HostMallocs:    ms.Mallocs,
 			HostAllocBytes: ms.TotalAlloc,
 		}
+		if pe, ok := m.Eng.(*sim.Parallel); ok {
+			ks.ShardEvents = pe.ShardExecuted()
+		}
+		return ks
 	})
 }
 
@@ -185,20 +241,18 @@ func (m *Machine) hubHandler(dir *directory.Controller, amu *core.AMU) network.H
 // returning its physical address. Distinct words never share a block.
 func (m *Machine) AllocWord(home int) uint64 { return m.Mem.AllocWord(home) }
 
-// OnCPU attaches a program to CPU id, started at cycle 0. After the program
-// body returns, the CPU keeps serving active messages until every attached
-// program has finished, so home CPUs stay responsive to stragglers.
+// OnCPU attaches a program to CPU id, started at the current cycle. After
+// the program body returns, the CPU keeps serving active messages until the
+// machine declares the phase complete (every attached body done and the
+// event queue drained), so home CPUs stay responsive to stragglers. A CPU
+// may be attached again once Run returns: each Run is one phase, and
+// snapshots taken between phases observe a fully quiescent machine.
 func (m *Machine) OnCPU(id int, program func(c *proc.CPU)) {
 	m.bodies++
 	m.CPUs[id].Run(0, func(c *proc.CPU) {
 		program(c)
-		m.bodiesDone++
-		if m.bodiesDone == m.bodies {
-			for _, other := range m.CPUs {
-				other.Poke()
-			}
-		}
-		c.ServeUntil(m.allDone)
+		m.done[id] = true
+		c.ServeUntil(m.phasePred)
 	})
 }
 
@@ -216,19 +270,54 @@ func (m *Machine) RegisterHandlerAll(id int, h proc.Handler) {
 	}
 }
 
-// Run drives the simulation until every program finishes. It returns the
-// final cycle count, or an error on deadlock.
+// Run drives the simulation until every attached program finishes and the
+// machine quiesces. It returns the final cycle count, or an error on
+// deadlock.
+//
+// The drain protocol: the engine runs until its queue empties, which parks
+// every finished body in its serve loop and surfaces as a deadlock report.
+// If every attached body has completed, that "deadlock" is phase
+// quiescence — the machine raises phaseDone, wakes all CPUs (in CPU order,
+// identically on both kernels), and runs the engine once more so the serve
+// tails unwind. Only a drain with unfinished bodies is a real deadlock.
 func (m *Machine) Run() (sim.Time, error) {
-	if err := m.Eng.Run(); err != nil {
-		return m.Eng.Now(), err
+	return m.RunUntil(^sim.Time(0))
+}
+
+// RunUntil drives the simulation up to the deadline (see Run).
+func (m *Machine) RunUntil(deadline sim.Time) (sim.Time, error) {
+	for {
+		err := m.Eng.RunUntil(deadline)
+		if err == nil {
+			break
+		}
+		dl, ok := err.(*sim.ErrDeadlock)
+		if !ok || !m.allBodiesDone() {
+			return m.Eng.Now(), err
+		}
+		_ = dl
+		m.phaseDone = true
+		for _, c := range m.CPUs {
+			c.Poke()
+		}
+	}
+	// Reset the attachment ledger so a next phase can be attached.
+	m.phaseDone = false
+	m.bodies = 0
+	for i := range m.done {
+		m.done[i] = false
 	}
 	return m.Eng.Now(), nil
 }
 
-// RunUntil drives the simulation up to the deadline.
-func (m *Machine) RunUntil(deadline sim.Time) (sim.Time, error) {
-	err := m.Eng.RunUntil(deadline)
-	return m.Eng.Now(), err
+func (m *Machine) allBodiesDone() bool {
+	n := 0
+	for _, d := range m.done {
+		if d {
+			n++
+		}
+	}
+	return n == m.bodies
 }
 
 // Shutdown unwinds any parked program goroutines. Call when abandoning a
@@ -236,9 +325,11 @@ func (m *Machine) RunUntil(deadline sim.Time) (sim.Time, error) {
 func (m *Machine) Shutdown() { m.Eng.Shutdown() }
 
 // EnableTrace attaches a message tracer retaining the most recent capacity
-// records and returns it.
+// records and returns it. Records flow through the engine's ordered Emit
+// sink, so the trace is byte-identical across kernels.
 func (m *Machine) EnableTrace(capacity int) *trace.Tracer {
 	t := trace.New(capacity)
-	m.Net.SetTracer(t)
+	m.Eng.SetEmitSink(func(cycle uint64, kind, what string) { t.Add(cycle, kind, "%s", what) })
+	m.Net.SetTracing(true)
 	return t
 }

@@ -37,13 +37,23 @@ func WordIndex(addr uint64, blockBytes int) int {
 
 // Memory is the machine-wide backing store plus per-node allocation state.
 // Reads of never-written addresses return zero, like zeroed DRAM.
+//
+// The store and access counters are banked per home node: an address is
+// only ever read or written by its home node's components (directory, AMU,
+// sync engine, memory agent), so on the parallel kernel each bank is
+// touched by exactly one shard and the store needs no locking.
 type Memory struct {
-	words      map[uint64]uint64 // keyed by word-aligned address
-	nextFree   []uint64          // per-node bump pointer (offset within node)
+	banks      []bank
+	nextFree   []uint64 // per-node bump pointer (offset within node)
 	blockBytes int
 	dramCycles uint64
-	reads      uint64
-	writes     uint64
+}
+
+// bank is one node's slice of physical memory.
+type bank struct {
+	words  map[uint64]uint64 // keyed by word-aligned address
+	reads  uint64
+	writes uint64
 }
 
 // New creates a Memory for nodes nodes with the given coherence block size
@@ -55,12 +65,16 @@ func New(nodes, blockBytes int, dramCycles uint64) *Memory {
 	if blockBytes <= 0 || blockBytes%WordBytes != 0 {
 		panic(fmt.Sprintf("memsys: bad block size %d", blockBytes))
 	}
-	return &Memory{
-		words:      make(map[uint64]uint64),
+	m := &Memory{
+		banks:      make([]bank, nodes),
 		nextFree:   make([]uint64, nodes),
 		blockBytes: blockBytes,
 		dramCycles: dramCycles,
 	}
+	for i := range m.banks {
+		m.banks[i].words = make(map[uint64]uint64)
+	}
+	return m
 }
 
 // DRAMCycles returns the per-access DRAM latency.
@@ -92,18 +106,29 @@ func (m *Memory) AllocWord(home int) uint64 {
 	return m.Alloc(home, WordBytes, m.blockBytes)
 }
 
+// bank returns the home bank of addr.
+func (m *Memory) bank(addr uint64) *bank {
+	n := HomeNode(addr)
+	if n < 0 || n >= len(m.banks) {
+		panic(fmt.Sprintf("memsys: address %#x has no home (node %d of %d)", addr, n, len(m.banks)))
+	}
+	return &m.banks[n]
+}
+
 // ReadWord returns the word at the word-aligned address addr.
 func (m *Memory) ReadWord(addr uint64) uint64 {
 	m.checkAligned(addr)
-	m.reads++
-	return m.words[addr]
+	b := m.bank(addr)
+	b.reads++
+	return b.words[addr]
 }
 
 // WriteWord stores val at the word-aligned address addr.
 func (m *Memory) WriteWord(addr, val uint64) {
 	m.checkAligned(addr)
-	m.writes++
-	m.words[addr] = val
+	b := m.bank(addr)
+	b.writes++
+	b.words[addr] = val
 }
 
 // ReadBlock returns the words of the block containing addr.
@@ -111,9 +136,10 @@ func (m *Memory) ReadBlock(addr uint64) []uint64 {
 	base := BlockAddr(addr, m.blockBytes)
 	n := m.blockBytes / WordBytes
 	out := make([]uint64, n)
-	m.reads++
+	b := m.bank(base)
+	b.reads++
 	for i := 0; i < n; i++ {
-		out[i] = m.words[base+uint64(i*WordBytes)]
+		out[i] = b.words[base+uint64(i*WordBytes)]
 	}
 	return out
 }
@@ -127,9 +153,10 @@ func (m *Memory) ReadBlockInto(addr uint64, out []uint64) {
 	if len(out) != n {
 		panic(fmt.Sprintf("memsys: ReadBlockInto with %d words, want %d", len(out), n))
 	}
-	m.reads++
+	b := m.bank(base)
+	b.reads++
 	for i := 0; i < n; i++ {
-		out[i] = m.words[base+uint64(i*WordBytes)]
+		out[i] = b.words[base+uint64(i*WordBytes)]
 	}
 }
 
@@ -139,15 +166,23 @@ func (m *Memory) WriteBlock(addr uint64, words []uint64) {
 	if len(words) != m.blockBytes/WordBytes {
 		panic(fmt.Sprintf("memsys: WriteBlock with %d words, want %d", len(words), m.blockBytes/WordBytes))
 	}
-	m.writes++
+	b := m.bank(base)
+	b.writes++
 	for i, w := range words {
-		m.words[base+uint64(i*WordBytes)] = w
+		b.words[base+uint64(i*WordBytes)] = w
 	}
 }
 
-// Stats returns the cumulative DRAM read/write transaction counters.
+// Stats returns the cumulative DRAM read/write transaction counters,
+// summed over banks in node order. Call only while the machine is
+// quiescent (snapshots are taken between runs).
 func (m *Memory) Stats() metrics.MemoryStats {
-	return metrics.MemoryStats{Reads: m.reads, Writes: m.writes}
+	var out metrics.MemoryStats
+	for i := range m.banks {
+		out.Reads += m.banks[i].reads
+		out.Writes += m.banks[i].writes
+	}
+	return out
 }
 
 func (m *Memory) checkAligned(addr uint64) {

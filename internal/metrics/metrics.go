@@ -159,6 +159,9 @@ type KernelStats struct {
 	// window performed. Nondeterministic across hosts and runs.
 	HostMallocs    uint64
 	HostAllocBytes uint64
+	// ShardEvents is the per-shard dispatch count when the machine runs the
+	// parallel kernel; absent (nil) on the sequential kernel.
+	ShardEvents []uint64 `json:",omitempty"`
 }
 
 // Snapshot is an immutable point-in-time view of every counter in the
@@ -214,6 +217,11 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 			EventsExecuted: s.Kernel.EventsExecuted - prev.Kernel.EventsExecuted,
 			HostMallocs:    s.Kernel.HostMallocs - prev.Kernel.HostMallocs,
 			HostAllocBytes: s.Kernel.HostAllocBytes - prev.Kernel.HostAllocBytes,
+		}
+		if len(s.Kernel.ShardEvents) == len(prev.Kernel.ShardEvents) {
+			for i, v := range s.Kernel.ShardEvents {
+				d.Kernel.ShardEvents = append(d.Kernel.ShardEvents, v-prev.Kernel.ShardEvents[i])
+			}
 		}
 	}
 	for i, c := range s.CPUs {

@@ -13,7 +13,7 @@ import (
 // payload — allocates nothing. Pinned at exactly zero so hot-path
 // regressions fail CI.
 
-func allocNet(t *testing.T) (*sim.Engine, *Network) {
+func allocNet(t *testing.T) (sim.Engine, *Network) {
 	t.Helper()
 	eng := sim.NewEngine()
 	topo, err := topology.NewFatTree(16, 8)

@@ -6,7 +6,6 @@ import (
 	"amosim/internal/metrics"
 	"amosim/internal/sim"
 	"amosim/internal/topology"
-	"amosim/internal/trace"
 )
 
 // Handler consumes a delivered message. Handlers run in event context: they
@@ -23,8 +22,17 @@ type Handler func(Msg)
 // and handler lookup indexes dense slices. Block payloads can ride the
 // network's word-buffer pool via AcquireData/Msg.DataOwned.
 type Network struct {
-	eng  *sim.Engine
+	eng  sim.Engine
 	topo topology.Topology
+	// engs[n] is the node-affine engine view for node n; every schedule,
+	// clock read and trace emission on behalf of a node goes through its
+	// view so the parallel kernel can attribute it to the right shard.
+	engs []sim.Engine
+	// nodePool[n] / nodeStats[n] index the owning shard's message pool,
+	// payload pool and traffic counters: all mutable network state is
+	// per-shard, touched only from that shard's event context.
+	nodePool []int32
+	shards   int
 
 	hopCycles  sim.Time
 	busCycles  sim.Time
@@ -39,16 +47,16 @@ type Network struct {
 	hubs []Handler
 	cpus []Handler // indexed by global CPU id
 
-	// msgFree recycles in-flight message slots; deliverCall is the prebound
-	// dispatch adapter so scheduling a delivery never allocates.
-	msgFree     []*Msg
+	// msgs recycle in-flight message slots per shard; deliverCall is the
+	// prebound dispatch adapter so scheduling a delivery never allocates.
+	msgs        []*msgPool
 	deliverCall func(any)
 	sendCall    func(any)
-	// dataFree recycles block-payload word buffers (see AcquireData).
-	dataFree [][]uint64
+	// pools recycle block-payload word buffers per shard (see DataPool).
+	pools []*DataPool
 
-	stats   Stats
-	tracer  *trace.Tracer
+	stats   []Stats
+	tracing bool
 	perturb Perturber
 }
 
@@ -59,8 +67,11 @@ type Network struct {
 // seeded state and the message stream; they must never reorder messages
 // whose order the protocol depends on (the chaos layer enforces per-link,
 // per-block FIFO by clamping its jitter).
+// DeliveryDelay runs in the sending shard's event context; now is that
+// shard's clock, and any state the implementation keys by message source
+// must be partitioned accordingly.
 type Perturber interface {
-	DeliveryDelay(m Msg, lat sim.Time) sim.Time
+	DeliveryDelay(m Msg, lat sim.Time, now sim.Time) sim.Time
 }
 
 // Stats accumulates traffic counters. All counters are monotonically
@@ -110,7 +121,7 @@ type Params struct {
 }
 
 // New creates a network over the given topology.
-func New(eng *sim.Engine, topo topology.Topology, p Params) *Network {
+func New(eng sim.Engine, topo topology.Topology, p Params) *Network {
 	nodes := topo.Nodes()
 	n := &Network{
 		eng:        eng,
@@ -122,18 +133,31 @@ func New(eng *sim.Engine, topo topology.Topology, p Params) *Network {
 		hopTable:   make([]int32, nodes*nodes),
 		nodes:      nodes,
 		hubs:       make([]Handler, nodes),
+		engs:       make([]sim.Engine, nodes),
+		nodePool:   make([]int32, nodes),
+		shards:     eng.NumShards(),
 	}
 	for a := 0; a < nodes; a++ {
 		for b := 0; b < nodes; b++ {
 			n.hopTable[a*nodes+b] = int32(topo.Hops(a, b))
 		}
 	}
+	for node := 0; node < nodes; node++ {
+		n.engs[node] = eng.ForNode(node)
+		n.nodePool[node] = int32(eng.NodeShard(node))
+	}
+	n.stats = make([]Stats, n.shards)
+	for i := 0; i < n.shards; i++ {
+		n.pools = append(n.pools, &DataPool{})
+		n.msgs = append(n.msgs, &msgPool{})
+	}
 	n.deliverCall = func(a any) { n.deliver(a.(*Msg)) }
 	n.sendCall = func(a any) {
 		pm := a.(*Msg)
 		m := *pm
 		*pm = Msg{}
-		n.msgFree = append(n.msgFree, pm)
+		mp := n.msgs[n.nodePool[m.Src.Node]]
+		mp.msgFree = append(mp.msgFree, pm)
 		n.Send(m)
 	}
 	return n
@@ -164,13 +188,28 @@ func (n *Network) RegisterCPU(cpu int, h Handler) {
 	n.cpus[cpu] = h
 }
 
-// Stats returns a snapshot of the traffic counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the traffic counters, summed over shards in
+// shard order (a deterministic fold).
+func (n *Network) Stats() Stats {
+	sum := n.stats[0]
+	for _, s := range n.stats[1:] {
+		for i := range sum.NetMessagesByKind {
+			sum.NetMessagesByKind[i] += s.NetMessagesByKind[i]
+		}
+		sum.NetMessages += s.NetMessages
+		sum.LocalMessages += s.LocalMessages
+		sum.NetBytes += s.NetBytes
+		sum.ByteHops += s.ByteHops
+		sum.Hops += s.Hops
+		sum.TransitCycles += s.TransitCycles
+	}
+	return sum
+}
 
 // Metrics converts the traffic counters into the unified metrics form,
 // naming per-kind counts by their mnemonic and omitting zero entries.
 func (n *Network) Metrics() metrics.NetworkStats {
-	s := n.stats
+	s := n.Stats()
 	out := metrics.NetworkStats{
 		Messages:      s.NetMessages,
 		LocalMessages: s.LocalMessages,
@@ -190,9 +229,10 @@ func (n *Network) Metrics() metrics.NetworkStats {
 	return out
 }
 
-// SetTracer installs an event tracer; every Send is recorded. Pass nil to
-// disable.
-func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
+// SetTracing enables (or disables) trace emission: every Send is reported
+// through the engine's ordered Emit sink (see Engine.SetEmitSink), which
+// delivers records in global event order on both kernels.
+func (n *Network) SetTracing(on bool) { n.tracing = on }
 
 // SetPerturber installs a delivery-latency perturber (nil disables). The
 // perturbed latency is what the traffic stats record: TransitCycles stays a
@@ -230,13 +270,30 @@ func (n *Network) Latency(src, dst Endpoint) sim.Time {
 	return lat
 }
 
+// DataPool is one shard's block-payload buffer pool. Components acquire
+// their node's pool once (Network.DataPool) and use it from their own event
+// context only; buffers travel with messages and are released into the
+// receiving shard's pool, so buffers migrate but pools are never shared.
+type DataPool struct {
+	dataFree [][]uint64
+}
+
+// msgPool is one shard's in-flight message-slot pool, recycled by deliver
+// and Send on the owning shard's event context only.
+type msgPool struct {
+	msgFree []*Msg
+}
+
+// DataPool returns the payload pool for node's shard.
+func (n *Network) DataPool(node int) *DataPool { return n.pools[n.nodePool[node]] }
+
 // AcquireData returns a zeroed word buffer of the given length from the
-// network's payload pool. Pair it with Msg.DataOwned so the buffer returns
-// to the pool after delivery, or hand it back directly with ReleaseData.
-func (n *Network) AcquireData(words int) []uint64 {
-	if k := len(n.dataFree) - 1; k >= 0 && cap(n.dataFree[k]) >= words {
-		b := n.dataFree[k][:words]
-		n.dataFree = n.dataFree[:k]
+// pool. Pair it with Msg.DataOwned so the buffer returns to a pool after
+// delivery, or hand it back directly with ReleaseData.
+func (p *DataPool) AcquireData(words int) []uint64 {
+	if k := len(p.dataFree) - 1; k >= 0 && cap(p.dataFree[k]) >= words {
+		b := p.dataFree[k][:words]
+		p.dataFree = p.dataFree[:k]
 		return b
 	}
 	return make([]uint64, words)
@@ -248,7 +305,7 @@ func (n *Network) AcquireData(words int) []uint64 {
 // releases a shortened reslice. Zero-capacity buffers (including nil) are
 // dropped rather than pooled: AcquireData pops only the top entry, so a
 // cap-0 entry on top would shadow the pool from every nonzero-size request.
-func (n *Network) ReleaseData(b []uint64) {
+func (p *DataPool) ReleaseData(b []uint64) {
 	if cap(b) == 0 {
 		return
 	}
@@ -256,8 +313,18 @@ func (n *Network) ReleaseData(b []uint64) {
 	for i := range b {
 		b[i] = 0
 	}
-	n.dataFree = append(n.dataFree, b)
+	p.dataFree = append(p.dataFree, b)
 }
+
+// AcquireData acquires from shard 0's pool; sequential-engine convenience
+// (and tests). Components on a parallel machine must use DataPool(node).
+func (n *Network) AcquireData(words int) []uint64 {
+	b := n.pools[0].AcquireData(words)
+	return b
+}
+
+// ReleaseData releases into shard 0's pool (see AcquireData).
+func (n *Network) ReleaseData(b []uint64) { n.pools[0].ReleaseData(b) }
 
 // Send schedules delivery of m after the appropriate latency and records
 // traffic. Messages between distinct endpoints on the same node pay bus
@@ -276,32 +343,36 @@ func (n *Network) Send(m Msg) {
 		lat += n.busCycles
 	}
 	bytes := n.PacketBytes(m)
+	eng := n.engs[m.Src.Node]
 	if n.perturb != nil {
-		lat += n.perturb.DeliveryDelay(m, lat)
+		lat += n.perturb.DeliveryDelay(m, lat, eng.Now())
 	}
+	sh := n.nodePool[m.Src.Node]
+	stats := &n.stats[sh]
 	if hops > 0 {
-		n.stats.NetMessages++
-		n.stats.NetMessagesByKind[m.Kind]++
-		n.stats.NetBytes += uint64(bytes)
-		n.stats.ByteHops += uint64(bytes) * uint64(hops)
-		n.stats.Hops += uint64(hops)
-		n.stats.TransitCycles += uint64(lat)
+		stats.NetMessages++
+		stats.NetMessagesByKind[m.Kind]++
+		stats.NetBytes += uint64(bytes)
+		stats.ByteHops += uint64(bytes) * uint64(hops)
+		stats.Hops += uint64(hops)
+		stats.TransitCycles += uint64(lat)
 	} else {
-		n.stats.LocalMessages++
+		stats.LocalMessages++
 	}
-	if n.tracer != nil {
-		n.tracer.Add(uint64(n.eng.Now()), "msg", "%-9s %-10s -> %-10s addr=%#x val=%d (%dB, %d hops)",
-			m.Kind, m.Src, m.Dst, m.Addr, m.Value, bytes, hops)
+	if n.tracing {
+		eng.Emit(uint64(eng.Now()), "msg", fmt.Sprintf("%-9s %-10s -> %-10s addr=%#x val=%d (%dB, %d hops)",
+			m.Kind, m.Src, m.Dst, m.Addr, m.Value, bytes, hops))
 	}
 	var pm *Msg
-	if k := len(n.msgFree) - 1; k >= 0 {
-		pm = n.msgFree[k]
-		n.msgFree = n.msgFree[:k]
+	mp := n.msgs[sh]
+	if k := len(mp.msgFree) - 1; k >= 0 {
+		pm = mp.msgFree[k]
+		mp.msgFree = mp.msgFree[:k]
 	} else {
 		pm = new(Msg)
 	}
 	*pm = m
-	n.eng.ScheduleCall(lat, n.deliverCall, pm)
+	eng.ScheduleCallNode(m.Dst.Node, lat, n.deliverCall, pm)
 }
 
 // SendAfter injects m into the network delay cycles from now: traffic is
@@ -314,22 +385,25 @@ func (n *Network) SendAfter(delay sim.Time, m Msg) {
 		return
 	}
 	var pm *Msg
-	if k := len(n.msgFree) - 1; k >= 0 {
-		pm = n.msgFree[k]
-		n.msgFree = n.msgFree[:k]
+	mp := n.msgs[n.nodePool[m.Src.Node]]
+	if k := len(mp.msgFree) - 1; k >= 0 {
+		pm = mp.msgFree[k]
+		mp.msgFree = mp.msgFree[:k]
 	} else {
 		pm = new(Msg)
 	}
 	*pm = m
-	n.eng.ScheduleCall(delay, n.sendCall, pm)
+	n.engs[m.Src.Node].ScheduleCall(delay, n.sendCall, pm)
 }
 
 func (n *Network) deliver(pm *Msg) {
 	m := *pm
 	// Recycle the slot before dispatching (the handler may Send); zero it
 	// defensively so a stale payload can never leak into a later message.
+	// The slot joins the delivering shard's pool: slots migrate freely.
 	*pm = Msg{}
-	n.msgFree = append(n.msgFree, pm)
+	mp := n.msgs[n.nodePool[m.Dst.Node]]
+	mp.msgFree = append(mp.msgFree, pm)
 	var h Handler
 	if m.Dst.IsHub() {
 		if m.Dst.Node >= 0 && m.Dst.Node < len(n.hubs) {
@@ -343,6 +417,6 @@ func (n *Network) deliver(pm *Msg) {
 	}
 	h(m)
 	if m.DataOwned {
-		n.ReleaseData(m.Data)
+		n.pools[n.nodePool[m.Dst.Node]].ReleaseData(m.Data)
 	}
 }

@@ -8,7 +8,7 @@ import (
 	"amosim/internal/topology"
 )
 
-func testNet(t *testing.T, nodes int) (*sim.Engine, *Network) {
+func testNet(t *testing.T, nodes int) (sim.Engine, *Network) {
 	t.Helper()
 	eng := sim.NewEngine()
 	topo, err := topology.NewFatTree(nodes, 8)

@@ -10,7 +10,7 @@ import (
 // Edge paths of the payload and message pools, found while writing the
 // amolint lifecycle pass.
 
-func poolNet(t *testing.T) (*sim.Engine, *Network) {
+func poolNet(t *testing.T) (sim.Engine, *Network) {
 	t.Helper()
 	eng := sim.NewEngine()
 	topo, err := topology.NewFatTree(16, 8)
@@ -32,7 +32,7 @@ func TestReleaseDataZeroCapacity(t *testing.T) {
 	_, net := poolNet(t)
 	net.ReleaseData(nil)
 	net.ReleaseData([]uint64{})
-	if got := len(net.dataFree); got != 0 {
+	if got := len(net.pools[0].dataFree); got != 0 {
 		t.Fatalf("zero-capacity release pooled %d buffer(s), want 0", got)
 	}
 	// A useful buffer released after the zero-cap ones must still be
@@ -55,7 +55,7 @@ func TestReleaseDataZeroLengthReslice(t *testing.T) {
 		b[i] = 0xdeadbeef + uint64(i)
 	}
 	net.ReleaseData(b[:0])
-	if got := len(net.dataFree); got != 1 {
+	if got := len(net.pools[0].dataFree); got != 1 {
 		t.Fatalf("zero-length release with capacity pooled %d buffer(s), want 1", got)
 	}
 	got := net.AcquireData(8)
@@ -67,7 +67,7 @@ func TestReleaseDataZeroLengthReslice(t *testing.T) {
 			t.Fatalf("reacquired buffer word %d = %#x, want 0 (stale payload leaked through the pool)", i, w)
 		}
 	}
-	if len(net.dataFree) != 0 {
+	if len(net.pools[0].dataFree) != 0 {
 		t.Fatalf("reacquire did not pop the pooled buffer (pool poisoned?)")
 	}
 }
@@ -85,16 +85,16 @@ func TestMsgFreeReuseAfterShutdown(t *testing.T) {
 	if err := eng.RunUntil(50); err != sim.ErrDeadline {
 		t.Fatalf("RunUntil = %v, want ErrDeadline (remote message in flight)", err)
 	}
-	if got := len(net.msgFree); got != 1 {
+	if got := len(net.msgs[0].msgFree); got != 1 {
 		t.Fatalf("msgFree has %d slot(s) at shutdown, want 1 (the delivered message)", got)
 	}
-	slot := net.msgFree[0]
+	slot := net.msgs[0].msgFree[0]
 	if slot.Kind != 0 || slot.Data != nil || slot.DataOwned {
 		t.Fatalf("recycled slot not zeroed: %+v", *slot)
 	}
 	eng.Shutdown()
 	net.Send(Msg{Kind: KindInvalidate, Src: Hub(0), Dst: Hub(0)})
-	if got := len(net.msgFree); got != 0 {
+	if got := len(net.msgs[0].msgFree); got != 0 {
 		t.Fatalf("Send after Shutdown left %d pooled slot(s), want 0 (reuse)", got)
 	}
 }

@@ -84,10 +84,11 @@ type pendingOp struct {
 
 // CPU is one simulated processor.
 type CPU struct {
-	p   Params
-	eng *sim.Engine
-	net *network.Network
-	c   *cache.Cache
+	p    Params
+	eng  sim.Engine
+	net  *network.Network
+	pool *network.DataPool
+	c    *cache.Cache
 
 	proc     *sim.Process
 	attached bool
@@ -143,7 +144,7 @@ type CPU struct {
 
 // New creates a CPU with its private cache and registers its network
 // endpoint.
-func New(eng *sim.Engine, net *network.Network, cch *cache.Cache, p Params) *CPU {
+func New(eng sim.Engine, net *network.Network, cch *cache.Cache, p Params) *CPU {
 	c := &CPU{
 		p:          p,
 		eng:        eng,
@@ -153,7 +154,8 @@ func New(eng *sim.Engine, net *network.Network, cch *cache.Cache, p Params) *CPU
 		handlers:   make(map[int]Handler),
 	}
 	c.registerWake = func(wake func()) { c.pendingWake = wake }
-	cch.SetRecycler(net.ReleaseData)
+	c.pool = net.DataPool(p.Node)
+	cch.SetRecycler(c.pool.ReleaseData)
 	net.RegisterCPU(p.ID, c.deliver)
 	return c
 }
@@ -251,7 +253,10 @@ func (c *CPU) HasHandler(id int) bool {
 }
 
 // Run attaches a program to the CPU and starts it after delay cycles. A CPU
-// runs at most one program per simulation.
+// runs one program at a time; once a program has finished (its machine Run
+// returned), a further phase may be attached and the CPU's measured window
+// extends from the first program's start to the latest program's end, so
+// cycle attribution stays conserved across contiguous phases.
 func (c *CPU) Run(delay sim.Time, program func(c *CPU)) {
 	if c.attached {
 		panic(fmt.Sprintf("proc: cpu %d already has a program", c.p.ID))
@@ -259,12 +264,16 @@ func (c *CPU) Run(delay sim.Time, program func(c *CPU)) {
 	c.attached = true
 	c.eng.Spawn(fmt.Sprintf("cpu%d", c.p.ID), delay, func(p *sim.Process) {
 		c.proc = p
-		c.startAt = c.eng.Now()
-		c.started = true
+		if !c.started {
+			c.startAt = c.eng.Now()
+			c.started = true
+		}
+		c.ended = false
 		program(c)
 		c.endAt = c.eng.Now()
 		c.ended = true
 		c.proc = nil
+		c.attached = false
 	})
 }
 
@@ -376,10 +385,10 @@ func (c *CPU) applyCacheReply(m network.Msg) {
 }
 
 func (c *CPU) installLine(block uint64, st cache.State, data []uint64) {
-	words := c.net.AcquireData(len(data))
+	words := c.pool.AcquireData(len(data))
 	copy(words, data)
 	// The cache takes ownership of the line buffer: it is released back to
-	// the network pool by the recycler hook (SetRecycler(net.ReleaseData))
+	// the network pool by the recycler hook (SetRecycler(pool.ReleaseData))
 	// when the line is evicted or replaced.
 	victim, dirty := c.c.Insert(block, st, words) //lint:owns-transfer
 	if dirty {
@@ -403,7 +412,7 @@ func (c *CPU) writeback(v cache.Victim) {
 
 func (c *CPU) applyInvalidate(m network.Msg) {
 	_, dropped := c.c.Invalidate(m.Addr)
-	c.net.ReleaseData(dropped)
+	c.pool.ReleaseData(dropped)
 	if c.linkValid && c.linkAddr == c.block(m.Addr) {
 		c.linkValid = false
 	}
@@ -437,7 +446,7 @@ func (c *CPU) applyIntervention(m network.Msg) {
 		} else {
 			// Already written back or only shared: the home's out-of-band
 			// writeback processing has (or will have) current data.
-			c.net.ReleaseData(words)
+			c.pool.ReleaseData(words)
 			reply.Flags = directory.IvnAckStale
 		}
 		c.lineEvents.Broadcast()
@@ -445,7 +454,7 @@ func (c *CPU) applyIntervention(m network.Msg) {
 		if words, ok := c.c.Downgrade(m.Addr); ok {
 			// The line keeps its buffer (now Shared); the reply needs its
 			// own copy.
-			buf := c.net.AcquireData(len(words))
+			buf := c.pool.AcquireData(len(words))
 			copy(buf, words)
 			reply.Data = buf
 			reply.DataBytes = c.p.BlockBytes

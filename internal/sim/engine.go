@@ -9,17 +9,20 @@
 //   - processes: coroutines started with Engine.Spawn, used by simulated
 //     CPUs running synchronization algorithms. A process may sleep for a
 //     number of cycles or park on a Cond; while it runs, no other process or
-//     event handler runs, so simulated state needs no locking.
+//     event handler runs on the same shard, so simulated state needs no
+//     locking as long as every component touches only its own node's state.
 //
-// The engine detects deadlock (live processes but no pending events) and
-// supports bounded runs via RunUntil.
+// Two kernels implement the Engine interface:
 //
-// The event queue is allocation-free in steady state: events live in a
-// pooled arena recycled through a free list, and the priority queue is an
-// indexed binary heap of arena slots, so neither scheduling nor dispatch
-// boxes through interfaces or grows the heap once the arena has warmed up.
-// Hot callers use ScheduleCall with a prebound func(any) plus a pointer
-// argument, which stores both without allocating.
+//   - Sequential (NewSequential): a single indexed-heap event queue — the
+//     allocation-free hot path every small experiment runs on;
+//   - Parallel (NewParallel): a conservative parallel kernel that partitions
+//     nodes across shards and executes lookahead windows concurrently,
+//     producing the exact event order of Sequential (see parallel.go).
+//
+// Components bind to a node-affine view via ForNode: on Sequential the view
+// is the engine itself; on Parallel it is the node's shard. All scheduling,
+// clock reads and process spawns must go through the component's own view.
 package sim
 
 import (
@@ -29,130 +32,54 @@ import (
 // Time is a point in simulated time, in CPU cycles.
 type Time = uint64
 
-// event is one arena slot. Exactly one of fn / call is set: fn is the
-// plain-closure form (Schedule), call+arg the prebound allocation-free form
-// (ScheduleCall).
-type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	call func(any)
-	arg  any
+// Engine is the discrete-event kernel contract shared by the Sequential and
+// Parallel implementations (and by the per-node views the latter hands out).
+//
+// The pooled-arena contract: Schedule and ScheduleCall never retain fn/arg
+// beyond dispatch, events live in recycled arenas, and the ScheduleCall form
+// (prebound func(any) plus pointer argument) must not heap-allocate.
+type Engine interface {
+	// Now returns the current simulated time of this view's clock. On a
+	// parallel shard view the clock is the shard's local clock, which agrees
+	// with the global clock at every window boundary and after Run returns.
+	Now() Time
+	// Executed reports the total number of events dispatched.
+	Executed() uint64
+	// Schedule runs fn at now+delay on this view's shard.
+	Schedule(delay Time, fn func())
+	// ScheduleCall runs call(arg) at now+delay on this view's shard; it is
+	// the allocation-free form of Schedule.
+	ScheduleCall(delay Time, call func(any), arg any)
+	// ScheduleCallNode runs call(arg) at now+delay on node's shard. Cross-
+	// shard deliveries require delay >= the engine's lookahead window.
+	ScheduleCallNode(node int, delay Time, call func(any), arg any)
+	// Spawn starts fn as a new process after delay cycles, pinned to this
+	// view's shard.
+	Spawn(name string, delay Time, fn func(p *Process)) *Process
+	// ForNode returns the node-affine view components on node must use.
+	ForNode(node int) Engine
+	// NumShards reports the shard count (1 for Sequential).
+	NumShards() int
+	// NodeShard reports which shard owns node (0 for Sequential).
+	NodeShard(node int) int
+	// Emit hands an ordered side-record (a trace line) to the engine,
+	// attributed to the currently executing event. The installed sink
+	// receives every record in global event-execution order.
+	Emit(cycle uint64, kind, what string)
+	// SetEmitSink installs the ordered-record consumer. Pass nil to disable.
+	SetEmitSink(sink func(cycle uint64, kind, what string))
+	// Run executes events until the queue drains; RunUntil bounds the run.
+	Run() error
+	RunUntil(deadline Time) error
+	// Pending reports the number of queued events.
+	Pending() int
+	// LiveProcesses reports spawned processes that have not yet returned.
+	LiveProcesses() int
+	// Stop makes Run return after the current event; Shutdown unwinds every
+	// parked process goroutine.
+	Stop()
+	Shutdown()
 }
-
-// Engine is a discrete-event simulator instance. The zero value is not
-// usable; create one with NewEngine.
-type Engine struct {
-	now Time
-	seq uint64
-	// arena holds every event slot ever allocated; free lists the recycled
-	// slots; order is the binary heap of live slots in (at, seq) order.
-	arena    []event
-	free     []int32
-	order    []int32
-	executed uint64
-	procs    int // live (spawned, not yet finished) processes
-	// plist records every spawned process so Shutdown can unwind the parked
-	// ones by closing their resume channels.
-	plist    []*Process
-	stopped  bool
-	shutdown bool
-	// running guards against re-entrant Run calls from event handlers.
-	running bool
-}
-
-// NewEngine returns an empty engine at time zero.
-func NewEngine() *Engine {
-	return &Engine{}
-}
-
-// Now returns the current simulated time.
-func (e *Engine) Now() Time { return e.now }
-
-// Executed reports the total number of events the engine has dispatched.
-func (e *Engine) Executed() uint64 { return e.executed }
-
-// Schedule runs fn at now+delay. Events scheduled at the same instant run in
-// scheduling order. Schedule may be called from event handlers and from
-// processes.
-func (e *Engine) Schedule(delay Time, fn func()) {
-	if fn == nil {
-		panic("sim: Schedule with nil fn")
-	}
-	e.push(e.now+delay, fn, nil, nil)
-}
-
-// ScheduleCall runs call(arg) at now+delay. It is the allocation-free form
-// of Schedule: with a prebound call (package-level func or a func value
-// created once at construction) and a pointer-typed arg, scheduling stores
-// both into a pooled event slot without heap allocation.
-func (e *Engine) ScheduleCall(delay Time, call func(any), arg any) {
-	if call == nil {
-		panic("sim: ScheduleCall with nil call")
-	}
-	e.push(e.now+delay, nil, call, arg)
-}
-
-func (e *Engine) push(at Time, fn func(), call func(any), arg any) {
-	e.seq++
-	var id int32
-	if n := len(e.free); n > 0 {
-		id = e.free[n-1]
-		e.free = e.free[:n-1]
-	} else {
-		e.arena = append(e.arena, event{})
-		id = int32(len(e.arena) - 1)
-	}
-	ev := &e.arena[id]
-	ev.at, ev.seq, ev.fn, ev.call, ev.arg = at, e.seq, fn, call, arg
-	e.order = append(e.order, id)
-	e.siftUp(len(e.order) - 1)
-}
-
-func (e *Engine) less(a, b int32) bool {
-	ea, eb := &e.arena[a], &e.arena[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
-	}
-	return ea.seq < eb.seq
-}
-
-func (e *Engine) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(e.order[i], e.order[parent]) {
-			break
-		}
-		e.order[i], e.order[parent] = e.order[parent], e.order[i]
-		i = parent
-	}
-}
-
-func (e *Engine) siftDown(i int) {
-	n := len(e.order)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && e.less(e.order[r], e.order[l]) {
-			m = r
-		}
-		if !e.less(e.order[m], e.order[i]) {
-			break
-		}
-		e.order[i], e.order[m] = e.order[m], e.order[i]
-		i = m
-	}
-}
-
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.order) }
-
-// LiveProcesses reports the number of spawned processes that have not yet
-// returned.
-func (e *Engine) LiveProcesses() int { return e.procs }
 
 // ErrDeadlock is returned by Run when live processes remain but no event can
 // ever wake them.
@@ -165,76 +92,10 @@ func (err *ErrDeadlock) Error() string {
 	return fmt.Sprintf("sim: deadlock at cycle %d: %d process(es) parked with no pending events", err.At, err.Procs)
 }
 
-// Run executes events until the queue drains. It returns nil when the queue
-// is empty and no processes remain parked, or an *ErrDeadlock if parked
-// processes can never be woken.
-func (e *Engine) Run() error {
-	return e.RunUntil(^Time(0))
-}
-
-// RunUntil executes events with timestamps <= deadline. It returns nil if the
-// simulation quiesced (possibly before the deadline), an *ErrDeadlock on
-// deadlock, or ErrDeadline if the deadline fired with work remaining.
-func (e *Engine) RunUntil(deadline Time) error {
-	if e.running {
-		panic("sim: re-entrant Run")
-	}
-	e.running = true
-	defer func() { e.running = false }()
-	for len(e.order) > 0 && !e.stopped {
-		id := e.order[0]
-		ev := &e.arena[id]
-		if ev.at > deadline {
-			return ErrDeadline
-		}
-		if ev.at < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.at
-		fn, call, arg := ev.fn, ev.call, ev.arg
-		// Release the slot before dispatching so the handler can reuse it;
-		// zero it defensively so stale callbacks can never leak.
-		*ev = event{}
-		last := len(e.order) - 1
-		e.order[0] = e.order[last]
-		e.order = e.order[:last]
-		if last > 0 {
-			e.siftDown(0)
-		}
-		e.free = append(e.free, id)
-		e.executed++
-		if fn != nil {
-			fn()
-		} else {
-			call(arg)
-		}
-	}
-	if e.procs > 0 && !e.stopped {
-		return &ErrDeadlock{At: e.now, Procs: e.procs}
-	}
-	return nil
-}
-
 // ErrDeadline is returned by RunUntil when the deadline passes with events
 // still pending.
 var ErrDeadline = fmt.Errorf("sim: deadline reached with pending events")
 
-// Stop makes Run return after the current event completes. Parked processes
-// remain parked; call Shutdown to unwind them.
-func (e *Engine) Stop() { e.stopped = true }
-
-// Shutdown unwinds every parked process goroutine. After Shutdown the engine
-// must not be used. It is safe to call Shutdown multiple times. Shutdown must
-// not be called from inside a process or event handler.
-// A process that already finished has no receiver on its resume channel;
-// closing it anyway is harmless.
-func (e *Engine) Shutdown() {
-	if e.shutdown {
-		return
-	}
-	e.shutdown = true
-	for _, p := range e.plist {
-		close(p.resume)
-	}
-	e.plist = nil
-}
+// NewEngine returns an empty sequential engine at time zero. It is the
+// historical constructor name; NewSequential is the explicit form.
+func NewEngine() *Sequential { return NewSequential() }

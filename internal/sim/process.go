@@ -1,11 +1,21 @@
 package sim
 
+// scheduler is the narrow kernel surface a process needs: it is implemented
+// by *Sequential and by the parallel engine's per-node shard views, so the
+// same Process type runs on both kernels.
+type scheduler interface {
+	schedCall(delay Time, call func(any), arg any)
+	clock() Time
+	procStart(p *Process)
+	procExit()
+}
+
 // Process is a simulated thread of control backed by a goroutine. Exactly one
-// process (or event handler) executes at a time, handing control back to the
-// kernel whenever it sleeps or parks, so the simulation stays deterministic
-// and shared simulated state needs no locking.
+// process (or event handler) executes at a time on a given shard, handing
+// control back to the kernel whenever it sleeps or parks, so the simulation
+// stays deterministic and shared simulated state needs no locking.
 type Process struct {
-	eng  *Engine
+	eng  scheduler
 	name string
 	// resume carries control kernel->process (true = run; the channel is
 	// closed by Shutdown, so a false receive unwinds the goroutine). yield
@@ -28,19 +38,18 @@ var dispatchCall = func(a any) { a.(*Process).dispatch() }
 // shut down, unwinding the stack so the goroutine exits.
 type shutdownSentinel struct{}
 
-// Spawn starts fn as a new process after delay cycles. The process runs to
-// completion unless the engine is shut down first. name is used in debugging
-// output only.
-func (e *Engine) Spawn(name string, delay Time, fn func(p *Process)) *Process {
+// spawn starts fn as a new process after delay cycles on s. The process runs
+// to completion unless the engine is shut down first. name is used in
+// debugging output only.
+func spawn(s scheduler, name string, delay Time, fn func(p *Process)) *Process {
 	p := &Process{
-		eng:    e,
+		eng:    s,
 		name:   name,
 		resume: make(chan bool),
 		yield:  make(chan struct{}),
 	}
 	p.wakeFn = p.wake
-	e.procs++
-	e.plist = append(e.plist, p)
+	s.procStart(p)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -52,10 +61,10 @@ func (e *Engine) Spawn(name string, delay Time, fn func(p *Process)) *Process {
 		}()
 		p.parkInitial()
 		fn(p)
-		e.procs--
+		s.procExit()
 		p.yield <- struct{}{} // final handoff back to the kernel
 	}()
-	e.ScheduleCall(delay, dispatchCall, p)
+	s.schedCall(delay, dispatchCall, p)
 	return p
 }
 
@@ -86,16 +95,13 @@ func (p *Process) park() {
 // Name returns the debugging name given at Spawn.
 func (p *Process) Name() string { return p.name }
 
-// Engine returns the engine this process runs on.
-func (p *Process) Engine() *Engine { return p.eng }
-
 // Now returns the current simulated time.
-func (p *Process) Now() Time { return p.eng.now }
+func (p *Process) Now() Time { return p.eng.clock() }
 
 // Sleep suspends the process for d cycles. Sleep(0) yields to other work
 // scheduled at the current instant.
 func (p *Process) Sleep(d Time) {
-	p.eng.ScheduleCall(d, dispatchCall, p)
+	p.eng.schedCall(d, dispatchCall, p)
 	p.park()
 }
 
@@ -106,7 +112,7 @@ func (p *Process) wake() {
 		panic("sim: process woken twice")
 	}
 	p.wakeArmed = false
-	p.eng.ScheduleCall(0, dispatchCall, p)
+	p.eng.schedCall(0, dispatchCall, p)
 }
 
 // parkWaiting arms the process's wake function and returns it; it runs again
@@ -135,12 +141,12 @@ func (p *Process) Await(register func(wake func())) {
 // simulated hardware wakes all spinners and each re-checks its predicate,
 // mirroring how cache-line events wake all local spin loops.
 type Cond struct {
-	eng     *Engine
 	waiters []*Process
 }
 
-// NewCond returns a condition variable bound to e.
-func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+// NewCond returns a condition variable bound to e. Every waiter must run on
+// the same shard of e, since Broadcast wakes them through their own views.
+func NewCond(e Engine) *Cond { return &Cond{} }
 
 // Wait parks the calling process until the next Broadcast.
 func (c *Cond) Wait(p *Process) {

@@ -1,0 +1,254 @@
+package sim
+
+// event is one arena slot. Exactly one of fn / call is set: fn is the
+// plain-closure form (Schedule), call+arg the prebound allocation-free form
+// (ScheduleCall).
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	call func(any)
+	arg  any
+}
+
+// Sequential is the single-heap discrete-event kernel: one event queue, one
+// clock, events dispatched strictly in (time, sequence) order. The zero
+// value is not usable; create one with NewSequential.
+//
+// The event queue is allocation-free in steady state: events live in a
+// pooled arena recycled through a free list, and the priority queue is an
+// indexed binary heap of arena slots, so neither scheduling nor dispatch
+// boxes through interfaces or grows the heap once the arena has warmed up.
+// Hot callers use ScheduleCall with a prebound func(any) plus a pointer
+// argument, which stores both without allocating.
+type Sequential struct {
+	now Time
+	seq uint64
+	// arena holds every event slot ever allocated; free lists the recycled
+	// slots; order is the binary heap of live slots in (at, seq) order.
+	arena    []event
+	free     []int32
+	order    []int32
+	executed uint64
+	procs    int // live (spawned, not yet finished) processes
+	// plist records every spawned process so Shutdown can unwind the parked
+	// ones by closing their resume channels.
+	plist    []*Process
+	stopped  bool
+	shutdown bool
+	// running guards against re-entrant Run calls from event handlers.
+	running bool
+	sink    func(cycle uint64, kind, what string)
+}
+
+// NewSequential returns an empty engine at time zero.
+func NewSequential() *Sequential {
+	return &Sequential{}
+}
+
+// Now returns the current simulated time.
+func (e *Sequential) Now() Time { return e.now }
+
+// Executed reports the total number of events the engine has dispatched.
+func (e *Sequential) Executed() uint64 { return e.executed }
+
+// ForNode implements Engine: the sequential kernel is its own view for
+// every node.
+func (e *Sequential) ForNode(node int) Engine { return e }
+
+// NumShards implements Engine.
+func (e *Sequential) NumShards() int { return 1 }
+
+// NodeShard implements Engine.
+func (e *Sequential) NodeShard(node int) int { return 0 }
+
+// Emit implements Engine: with a single heap, execution order is emission
+// order, so records flow straight to the sink.
+func (e *Sequential) Emit(cycle uint64, kind, what string) {
+	if e.sink != nil {
+		e.sink(cycle, kind, what)
+	}
+}
+
+// SetEmitSink implements Engine.
+func (e *Sequential) SetEmitSink(sink func(cycle uint64, kind, what string)) { e.sink = sink }
+
+// Schedule runs fn at now+delay. Events scheduled at the same instant run in
+// scheduling order. Schedule may be called from event handlers and from
+// processes.
+func (e *Sequential) Schedule(delay Time, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	e.push(e.now+delay, fn, nil, nil)
+}
+
+// ScheduleCall runs call(arg) at now+delay. It is the allocation-free form
+// of Schedule: with a prebound call (package-level func or a func value
+// created once at construction) and a pointer-typed arg, scheduling stores
+// both into a pooled event slot without heap allocation.
+func (e *Sequential) ScheduleCall(delay Time, call func(any), arg any) {
+	if call == nil {
+		panic("sim: ScheduleCall with nil call")
+	}
+	e.push(e.now+delay, nil, call, arg)
+}
+
+// ScheduleCallNode implements Engine: with a single shard the destination
+// node never changes the queue.
+func (e *Sequential) ScheduleCallNode(node int, delay Time, call func(any), arg any) {
+	e.ScheduleCall(delay, call, arg)
+}
+
+func (e *Sequential) push(at Time, fn func(), call func(any), arg any) {
+	e.seq++
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		id = int32(len(e.arena) - 1)
+	}
+	ev := &e.arena[id]
+	ev.at, ev.seq, ev.fn, ev.call, ev.arg = at, e.seq, fn, call, arg
+	e.order = append(e.order, id)
+	e.siftUp(len(e.order) - 1)
+}
+
+func (e *Sequential) less(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Sequential) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(e.order[i], e.order[parent]) {
+			break
+		}
+		e.order[i], e.order[parent] = e.order[parent], e.order[i]
+		i = parent
+	}
+}
+
+func (e *Sequential) siftDown(i int) {
+	n := len(e.order)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e.less(e.order[r], e.order[l]) {
+			m = r
+		}
+		if !e.less(e.order[m], e.order[i]) {
+			break
+		}
+		e.order[i], e.order[m] = e.order[m], e.order[i]
+		i = m
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Sequential) Pending() int { return len(e.order) }
+
+// LiveProcesses reports the number of spawned processes that have not yet
+// returned.
+func (e *Sequential) LiveProcesses() int { return e.procs }
+
+// Run executes events until the queue drains. It returns nil when the queue
+// is empty and no processes remain parked, or an *ErrDeadlock if parked
+// processes can never be woken.
+func (e *Sequential) Run() error {
+	return e.RunUntil(^Time(0))
+}
+
+// RunUntil executes events with timestamps <= deadline. It returns nil if the
+// simulation quiesced (possibly before the deadline), an *ErrDeadlock on
+// deadlock, or ErrDeadline if the deadline fired with work remaining.
+func (e *Sequential) RunUntil(deadline Time) error {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.order) > 0 && !e.stopped {
+		id := e.order[0]
+		ev := &e.arena[id]
+		if ev.at > deadline {
+			return ErrDeadline
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		fn, call, arg := ev.fn, ev.call, ev.arg
+		// Release the slot before dispatching so the handler can reuse it;
+		// zero it defensively so stale callbacks can never leak.
+		*ev = event{}
+		last := len(e.order) - 1
+		e.order[0] = e.order[last]
+		e.order = e.order[:last]
+		if last > 0 {
+			e.siftDown(0)
+		}
+		e.free = append(e.free, id)
+		e.executed++
+		if fn != nil {
+			fn()
+		} else {
+			call(arg)
+		}
+	}
+	if e.procs > 0 && !e.stopped {
+		return &ErrDeadlock{At: e.now, Procs: e.procs}
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Parked processes
+// remain parked; call Shutdown to unwind them.
+func (e *Sequential) Stop() { e.stopped = true }
+
+// Shutdown unwinds every parked process goroutine. After Shutdown the engine
+// must not be used. It is safe to call Shutdown multiple times. Shutdown must
+// not be called from inside a process or event handler.
+// A process that already finished has no receiver on its resume channel;
+// closing it anyway is harmless.
+func (e *Sequential) Shutdown() {
+	if e.shutdown {
+		return
+	}
+	e.shutdown = true
+	for _, p := range e.plist {
+		close(p.resume)
+	}
+	e.plist = nil
+}
+
+// --- scheduler (process support) --------------------------------------------
+
+func (e *Sequential) schedCall(delay Time, call func(any), arg any) {
+	e.ScheduleCall(delay, call, arg)
+}
+
+func (e *Sequential) clock() Time { return e.now }
+
+func (e *Sequential) procStart(p *Process) {
+	e.procs++
+	e.plist = append(e.plist, p)
+}
+
+func (e *Sequential) procExit() { e.procs-- }
+
+// Spawn starts fn as a new process after delay cycles. The process runs to
+// completion unless the engine is shut down first. name is used in debugging
+// output only.
+func (e *Sequential) Spawn(name string, delay Time, fn func(p *Process)) *Process {
+	return spawn(e, name, delay, fn)
+}

@@ -33,7 +33,7 @@ type Barrier struct {
 	// spinners' reloads.
 	naive bool
 
-	episodes map[int]uint64 // per-CPU completed-episode count
+	episodes []uint64 // per-CPU completed-episode count, indexed by CPU ID
 }
 
 // SetAMOUpdateAlways switches the AMO coding to update-on-every-increment,
@@ -63,7 +63,7 @@ func NewBarrier(m *machine.Machine, mech Mechanism, procs, home int) *Barrier {
 		procs:    procs,
 		count:    base,
 		flag:     base + uint64(bb),
-		episodes: make(map[int]uint64),
+		episodes: make([]uint64, m.Cfg.Processors),
 	}
 }
 
@@ -131,7 +131,7 @@ type TreeBarrier struct {
 	root   uint64 // root counter
 	rootFl uint64 // root release flag (conventional mechanisms)
 
-	episodes map[int]uint64
+	episodes []uint64
 }
 
 type treeGroup struct {
@@ -157,7 +157,7 @@ func NewTreeBarrier(m *machine.Machine, mech Mechanism, procs, branching int) *T
 		mech:      mech,
 		procs:     procs,
 		branching: branching,
-		episodes:  make(map[int]uint64),
+		episodes:  make([]uint64, m.Cfg.Processors),
 	}
 	ngroups := (procs + branching - 1) / branching
 	for g := 0; g < ngroups; g++ {

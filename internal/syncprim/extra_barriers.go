@@ -18,7 +18,7 @@ type SenseBarrier struct {
 	count uint64
 	sense uint64
 
-	local map[int]uint64 // per-CPU local sense
+	local []uint64 // per-CPU local sense, indexed by CPU ID
 }
 
 // NewSenseBarrier allocates sense-reversing barrier state on home.
@@ -34,7 +34,7 @@ func NewSenseBarrier(m *machine.Machine, mech Mechanism, procs, home int) *Sense
 		procs: procs,
 		count: m.AllocWord(home),
 		sense: m.AllocWord(home),
-		local: make(map[int]uint64),
+		local: make([]uint64, m.Cfg.Processors),
 	}
 	m.Mem.WriteWord(b.count, uint64(procs))
 	return b
@@ -82,7 +82,7 @@ type DisseminationBarrier struct {
 	// flags[round][cpu] holds the episode number last signalled.
 	flags [][]uint64
 
-	episodes map[int]uint64
+	episodes []uint64
 }
 
 // NewDisseminationBarrier builds dissemination state for procs CPUs; amo
@@ -99,7 +99,7 @@ func NewDisseminationBarrier(m *machine.Machine, procs int, amo bool) *Dissemina
 		amo:      amo,
 		procs:    procs,
 		rounds:   rounds,
-		episodes: make(map[int]uint64),
+		episodes: make([]uint64, m.Cfg.Processors),
 	}
 	for r := 0; r < rounds; r++ {
 		row := make([]uint64, procs)

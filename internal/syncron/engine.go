@@ -96,7 +96,7 @@ type partition struct {
 // implements directory.AMUPort so the directory can recall engine-held
 // words, and the machine's hub routes AMO/MAO/uncached traffic to Handle.
 type Engine struct {
-	eng *sim.Engine
+	eng sim.Engine
 	net *network.Network
 	mem *memsys.Memory
 	dir *directory.Controller
@@ -111,7 +111,7 @@ type Engine struct {
 
 // New creates a node's engine set bound to its directory controller and
 // memory, registering itself as the directory's word-grain sync agent.
-func New(eng *sim.Engine, net *network.Network, mem *memsys.Memory, dir *directory.Controller, p Params) *Engine {
+func New(eng sim.Engine, net *network.Network, mem *memsys.Memory, dir *directory.Controller, p Params) *Engine {
 	if p.Partitions <= 0 || p.Partitions&(p.Partitions-1) != 0 {
 		panic(fmt.Sprintf("syncron: Partitions must be a positive power of two, got %d", p.Partitions))
 	}

@@ -21,7 +21,7 @@ func TestRobustnessOrdering(t *testing.T) {
 		procs = 16
 	}
 	cfg := DefaultConfig(procs)
-	opts := BarrierOptions{Episodes: 4, Warmup: 1, ChaosSeed: 1, ChaosLevel: 1}
+	opts := BarrierOptions{Episodes: 4, Warmup: 1, RunConfig: RunConfig{ChaosSeed: 1, ChaosLevel: 1}}
 
 	pts := make([]SweepPoint, len(syncprim.Mechanisms))
 	for i, mech := range syncprim.Mechanisms {

@@ -90,18 +90,24 @@ func TestRunnerDeadline(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersShareDefaultRunner checks the legacy package-level
-// functions still work and configure the same default Runner.
-func TestDeprecatedWrappersShareDefaultRunner(t *testing.T) {
-	prev := SetSweepWorkers(3)
-	defer SetSweepWorkers(prev)
+// TestSetDefaultRunnerSharesCacheAndWorkers checks the SetDefaultRunner /
+// DefaultRunner pair: reconfiguring workers keeps the shared cache, and the
+// configuration is visible through SweepWorkers and DefaultRunner.
+func TestSetDefaultRunnerSharesCacheAndWorkers(t *testing.T) {
+	prev := SetDefaultRunner(Runner{Workers: 3})
+	defer SetDefaultRunner(prev)
 	if got := SweepWorkers(); got != 3 {
 		t.Fatalf("SweepWorkers() = %d, want 3", got)
 	}
-	if got := DefaultRunner().Workers; got != 3 {
-		t.Fatalf("DefaultRunner().Workers = %d, want 3", got)
+	r := DefaultRunner()
+	if r.Workers != 3 {
+		t.Fatalf("DefaultRunner().Workers = %d, want 3", r.Workers)
 	}
-	vals, err := RunSweepPoints([]SweepPoint{{Label: "one", Run: func() (any, error) { return 42, nil }}})
+	if r.Cache != prev.Cache {
+		t.Fatalf("SetDefaultRunner with nil Cache dropped the shared cache")
+	}
+	vals, err := r.RunSweepPoints(context.Background(),
+		[]SweepPoint{{Label: "one", Run: func() (any, error) { return 42, nil }}})
 	if err != nil || len(vals) != 1 || vals[0].(int) != 42 {
 		t.Fatalf("RunSweepPoints = %v, %v", vals, err)
 	}

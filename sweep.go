@@ -145,25 +145,6 @@ func runPoints(points []SweepPoint) ([]any, error) {
 	return r.RunSweepPoints(context.Background(), points)
 }
 
-// SetSweepWorkers sets the worker-pool size of the default Runner,
-// returning the previous setting. n <= 0 restores the default
-// (runtime.GOMAXPROCS(0)); n == 1 forces the sequential path.
-//
-// Deprecated: build a Runner and set Runner.Workers instead.
-func SetSweepWorkers(n int) int {
-	sweepMu.Lock()
-	defer sweepMu.Unlock()
-	prev := defaultRunner.Workers
-	if n <= 0 {
-		n = 0
-	}
-	defaultRunner.Workers = n
-	if prev == 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return prev
-}
-
 // SweepWorkers reports the default Runner's effective worker-pool size.
 func SweepWorkers() int {
 	sweepMu.Lock()
@@ -193,36 +174,6 @@ func SweepCacheStats() sweep.CacheStats {
 	return c.Stats()
 }
 
-// SetSweepProgress installs a progress callback on the default Runner
-// (nil disables).
-//
-// Deprecated: build a Runner and set Runner.Progress instead.
-func SetSweepProgress(fn func(SweepEvent)) {
-	sweepMu.Lock()
-	defer sweepMu.Unlock()
-	defaultRunner.Progress = fn
-}
-
-// RunSweep expands spec and executes its points on the default Runner.
-//
-// Deprecated: build a Runner and call Runner.RunSweep, which also takes a
-// context for cancellation.
-func RunSweep(spec SweepSpec) ([]any, error) { return runSweep(spec) }
-
-// RunSweepPoints executes an explicit point list on the default Runner.
-//
-// Deprecated: build a Runner and call Runner.RunSweepPoints, which also
-// takes a context for cancellation.
-func RunSweepPoints(points []SweepPoint) ([]any, error) { return runPoints(points) }
-
-// backendTag renders a non-default backend for sweep labels ("" for amo).
-func backendTag(b Backend) string {
-	if b == BackendAMO {
-		return ""
-	}
-	return " [" + b.String() + "]"
-}
-
 // sweepValues converts an engine result slice to its concrete type.
 func sweepValues[T any](vals []any) []T {
 	out := make([]T, len(vals))
@@ -239,9 +190,9 @@ func sweepValues[T any](vals []any) []T {
 // flat references — are simulated once.
 func BarrierPoint(cfg Config, mech Mechanism, opts BarrierOptions) SweepPoint {
 	opts = opts.WithDefaults()
-	cfg = applyBackend(cfg, opts.Backend)
+	cfg = opts.apply(cfg)
 	return SweepPoint{
-		Label: fmt.Sprintf("barrier %s p=%d b=%d%s", mech, cfg.Processors, opts.Branching, backendTag(cfg.Backend)),
+		Label: fmt.Sprintf("barrier %s p=%d b=%d%s", mech, cfg.Processors, opts.Branching, labelTag(cfg)),
 		Key:   sweep.KeyOf("barrier", cfg, int(mech), opts),
 		Run: func() (any, error) {
 			r, err := RunBarrier(cfg, mech, opts)
@@ -257,9 +208,9 @@ func BarrierPoint(cfg Config, mech Mechanism, opts BarrierOptions) SweepPoint {
 // RunLock(cfg, kind, mech, opts) on a fresh machine.
 func LockPoint(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) SweepPoint {
 	opts = opts.WithDefaults()
-	cfg = applyBackend(cfg, opts.Backend)
+	cfg = opts.apply(cfg)
 	return SweepPoint{
-		Label: fmt.Sprintf("lock %s %s p=%d%s", kind, mech, cfg.Processors, backendTag(cfg.Backend)),
+		Label: fmt.Sprintf("lock %s %s p=%d%s", kind, mech, cfg.Processors, labelTag(cfg)),
 		Key:   sweep.KeyOf("lock", cfg, int(kind), int(mech), opts),
 		Run: func() (any, error) {
 			r, err := RunLock(cfg, kind, mech, opts)
@@ -381,9 +332,9 @@ type WorkloadExperiment struct {
 	Mechs []Mechanism
 	// Apps lists the kernels (nil selects WorkloadApps).
 	Apps []string
-	// Backend selects the memory-system backend for every cell (the zero
-	// value is the default amo machine).
-	Backend Backend
+	// RunConfig selects backend, event kernel and fault injection for
+	// every cell (the zero value is the default amo machine).
+	RunConfig
 }
 
 // Name implements SweepSpec.
@@ -402,7 +353,7 @@ func (e WorkloadExperiment) Points() []SweepPoint {
 	}
 	pts := make([]SweepPoint, 0, len(e.Procs)*len(apps)*len(mechs))
 	for _, p := range e.Procs {
-		cfg := applyBackend(DefaultConfig(p), e.Backend)
+		cfg := e.apply(DefaultConfig(p))
 		for _, app := range apps {
 			for _, mech := range mechs {
 				pt, err := WorkloadPoint(app, cfg, mech)

@@ -379,14 +379,14 @@ func AblationUpdate(procs []int, opts BarrierOptions) (*stats.Table, error) {
 // motivation measured directly: the same program gets faster by swapping
 // the synchronization mechanism.
 func ApplicationTable(procs []int, backend Backend) (*stats.Table, error) {
-	spec := WorkloadExperiment{Procs: procs, Backend: backend}
+	spec := WorkloadExperiment{Procs: procs, RunConfig: RunConfig{Backend: backend}}
 	vals, err := runSweep(spec)
 	if err != nil {
 		return nil, err
 	}
 	rs := sweepValues[workload.Result](vals)
 	t := &stats.Table{
-		Title:  "Applications: total cycles (verified kernels)" + backendTag(backend),
+		Title:  "Applications: total cycles (verified kernels)" + RunConfig{Backend: backend}.Tag(),
 		Header: []string{"app", "CPUs", "LL/SC", "MAO", "AMO", "AMO speedup"},
 	}
 	const mechsPerApp = 3 // the spec's default LLSC, MAO, AMO columns
@@ -598,7 +598,7 @@ func BackendTable(procs []int, bopts BarrierOptions, lopts LockOptions) (*stats.
 		}
 		for _, app := range WorkloadApps {
 			for _, b := range Backends {
-				cfg := applyBackend(DefaultConfig(p), b)
+				cfg := RunConfig{Backend: b}.apply(DefaultConfig(p))
 				pt, err := WorkloadPoint(app, cfg, AMO)
 				if err != nil {
 					return nil, err
