@@ -90,17 +90,26 @@ type CPU = proc.CPU
 // locks.
 type Mechanism = syncprim.Mechanism
 
-// The five mechanisms compared in the paper.
+// The five mechanisms compared in the paper, plus the post-paper
+// hierarchical Combining class.
 const (
 	LLSC   = syncprim.LLSC
 	Atomic = syncprim.Atomic
 	ActMsg = syncprim.ActMsg
 	MAO    = syncprim.MAO
 	AMO    = syncprim.AMO
+	// Combining is NUMA-clustered hierarchical combining (cohort locks and
+	// flat-combining barriers built from plain atomics) — the modern
+	// software competitor the paper predates. It is not part of
+	// Mechanisms, which the golden tables iterate.
+	Combining = syncprim.Combining
 )
 
-// Mechanisms lists all mechanisms in the paper's presentation order.
+// Mechanisms lists the paper's five mechanisms in presentation order.
 var Mechanisms = syncprim.Mechanisms
+
+// AllMechanisms additionally includes the post-paper Combining class.
+var AllMechanisms = syncprim.AllMechanisms
 
 // ParseMechanism parses a mechanism name, case-insensitively, accepting
 // both String forms ("LL/SC") and CLI spellings ("llsc"). It round-trips
@@ -150,6 +159,35 @@ type MCSLock = syncprim.MCSLock
 func NewMCSLock(m *Machine, mech Mechanism, procs, home int) *MCSLock {
 	return syncprim.NewMCSLock(m, mech, procs, home)
 }
+
+// CombiningBarrier is the hierarchical flat-combining barrier of the
+// Combining mechanism class: per-cluster combiners collect local arrivals
+// and meet at a root counter, with clusters sized from the machine
+// topology.
+type CombiningBarrier = syncprim.CombiningBarrier
+
+// NewCombiningBarrier builds a combining barrier; cluster 0 derives the
+// cluster size from the machine topology.
+func NewCombiningBarrier(m *Machine, mech Mechanism, procs, home, cluster int) *CombiningBarrier {
+	return syncprim.NewCombiningBarrier(m, mech, procs, home, cluster)
+}
+
+// CombiningLock is the hierarchical cohort lock of the Combining mechanism
+// class: per-cluster MCS queues under a central MCS lock, with bounded
+// local baton passing.
+type CombiningLock = syncprim.CombiningLock
+
+// NewCombiningLock allocates cohort-lock state; cluster 0 derives the
+// cluster size from the machine topology, passLimit 0 selects the default
+// local-handoff budget.
+func NewCombiningLock(m *Machine, mech Mechanism, procs, home, cluster, passLimit int) *CombiningLock {
+	return syncprim.NewCombiningLock(m, mech, procs, home, cluster, passLimit)
+}
+
+// CombiningClusterSize derives the combining cluster size (in CPUs) for a
+// configuration: one torus row of nodes on a torus, one router group on
+// the fat tree.
+func CombiningClusterSize(cfg Config) int { return syncprim.CombiningClusterSize(cfg) }
 
 // TicketLock is the FIFO ticket lock (Figure 4 of the paper).
 type TicketLock = syncprim.TicketLock

@@ -51,6 +51,94 @@ func TestSweepKeyCoversEveryConfigField(t *testing.T) {
 	}
 }
 
+// auditOptionFields perturbs every exported leaf field of the struct at v
+// (recursing through embedded structs like RunConfig) and demands that key()
+// reports a different sweep key for each perturbation. Fields are restored
+// between probes, so each perturbation is tested in isolation.
+func auditOptionFields(t *testing.T, v reflect.Value, prefix, baseKey string, key func() string) {
+	t.Helper()
+	rt := v.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		name := prefix + "." + f.Name
+		if f.PkgPath != "" {
+			t.Errorf("%s is unexported: it cannot reach the JSON cache key", name)
+			continue
+		}
+		fv := v.Field(i)
+		if fv.Kind() == reflect.Struct {
+			auditOptionFields(t, fv, name, baseKey, key)
+			continue
+		}
+		old := reflect.ValueOf(fv.Interface())
+		switch fv.Kind() {
+		case reflect.Int, reflect.Int64:
+			fv.SetInt(fv.Int() + 1)
+		case reflect.Uint, reflect.Uint64:
+			fv.SetUint(fv.Uint() + 1)
+		case reflect.Bool:
+			fv.SetBool(!fv.Bool())
+		case reflect.String:
+			fv.SetString(fv.String() + "x")
+		default:
+			t.Errorf("%s has kind %s the audit cannot perturb; extend auditOptionFields", name, fv.Kind())
+			continue
+		}
+		if got := key(); got == baseKey {
+			t.Errorf("perturbing %s did not change the sweep key: cached results would alias", name)
+		}
+		fv.Set(old)
+	}
+}
+
+// TestSweepKeyCoversEveryOptionField extends the cache-key audit from the
+// machine config to the experiment options: every BarrierOptions and
+// LockOptions field — the combining knobs (ClusterSize, CombinePasses) and
+// the embedded RunConfig selectors included — must move the key. The base
+// options use non-default values everywhere a default exists, so a
+// perturbation can never collide with the defaulted spelling of the same
+// point.
+func TestSweepKeyCoversEveryOptionField(t *testing.T) {
+	cfg := DefaultConfig(8)
+
+	bopts := BarrierOptions{Episodes: 3, Warmup: 1, Branching: 2, ClusterSize: 3, WorkCycles: 97, Home: 1}
+	bKey := func() string { return BarrierPoint(cfg, AMO, bopts).Key }
+	auditOptionFields(t, reflect.ValueOf(&bopts).Elem(), "BarrierOptions", bKey(), bKey)
+
+	lopts := LockOptions{Acquires: 3, CSCycles: 26, GapCycles: 65, Home: 1, ClusterSize: 3, CombinePasses: 5}
+	lKey := func() string { return LockPoint(cfg, Cohort, Combining, lopts).Key }
+	auditOptionFields(t, reflect.ValueOf(&lopts).Elem(), "LockOptions", lKey(), lKey)
+}
+
+// TestCombiningNeverAliasesCacheKey pins the new mechanism class and lock
+// kind into the no-alias contract: every mechanism (the paper's five plus
+// Combining) and every lock kind (Cohort included) must produce a distinct
+// sweep key for otherwise-identical points.
+func TestCombiningNeverAliasesCacheKey(t *testing.T) {
+	cfg := DefaultConfig(8)
+	bopts := BarrierOptions{Episodes: 2, Warmup: 1}
+	seen := map[string]Mechanism{}
+	for _, mech := range AllMechanisms {
+		k := BarrierPoint(cfg, mech, bopts).Key
+		if prev, dup := seen[k]; dup {
+			t.Errorf("barrier key aliases between mechanisms %v and %v", prev, mech)
+		}
+		seen[k] = mech
+	}
+	lopts := LockOptions{Acquires: 2}
+	lockSeen := map[string]string{}
+	for _, kind := range []LockKind{Ticket, Array, MCS, Cohort} {
+		for _, mech := range []Mechanism{Atomic, Combining} {
+			k := LockPoint(cfg, kind, mech, lopts).Key
+			id := kind.String() + "/" + mech.String()
+			if prev, dup := lockSeen[k]; dup {
+				t.Errorf("lock key aliases between %s and %s", prev, id)
+			}
+			lockSeen[k] = id
+		}
+	}
+}
+
 // TestBackendNeverAliasesCacheKey is the regression the Backend field
 // demands: two points differing only in backend — whether via the config
 // or via the options override — must have distinct cache keys.

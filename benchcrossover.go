@@ -1,0 +1,126 @@
+package amosim
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// The crossover benchmark behind `amotables -bench-crossover`: the
+// crossover grid at its CI scales ({64, 256} CPUs, all three backends),
+// written as BENCH_crossover.json. Every simulated figure is deterministic
+// — ci.sh regenerates the document and diffs the deterministic fields
+// against the checked-in baseline, so any drift in the combining
+// primitives, the sharer-vector encoding, or the backends' cost models is
+// caught the same way BENCH_pdes.json catches kernel drift. Host* fields
+// record wall clock for context and are excluded from the comparison.
+
+// CrossoverBenchProcs is the processor sweep the benchmark document pins:
+// the crossover experiment's CI scales. The flagship 1024/4096 points are
+// excluded — they are a multi-minute manual run (see CrossoverProcs).
+var CrossoverBenchProcs = []int{64, 256}
+
+// CrossoverBenchRow is one (backend, CPUs) cell set of the document.
+type CrossoverBenchRow struct {
+	Backend string
+	Procs   int
+	crossoverCells
+}
+
+// CrossoverBench is the BENCH_crossover.json document.
+type CrossoverBench struct {
+	Generator string
+
+	// Workload identity: the budgets actually applied at the pinned
+	// scales (crossoverBudget output for the defaults).
+	Procs    []int
+	Episodes int
+	Warmup   int
+	Acquires int
+
+	// Deterministic outputs: the grid, backend-major, plus the per-backend
+	// crossover points at these scales.
+	Rows             []CrossoverBenchRow
+	BarrierCrossover map[string]string
+	LockCrossover    map[string]string
+
+	// Host measurements (nondeterministic; excluded from CompareCrossover).
+	HostCPUs    int
+	HostSeconds float64
+}
+
+// BenchCrossover runs the crossover grid at the CI scales and returns the
+// BENCH_crossover.json document.
+func BenchCrossover() ([]byte, error) {
+	start := time.Now()
+	keys, grid, err := crossoverGrid(CrossoverBenchProcs, BarrierOptions{}, LockOptions{})
+	if err != nil {
+		return nil, err
+	}
+	bo, lo := crossoverBudget(CrossoverBenchProcs[0], BarrierOptions{}, LockOptions{})
+	doc := CrossoverBench{
+		Generator: "amotables -bench-crossover",
+		Procs:     CrossoverBenchProcs,
+		Episodes:  bo.Episodes,
+		Warmup:    bo.Warmup,
+		Acquires:  lo.Acquires,
+
+		BarrierCrossover: map[string]string{},
+		LockCrossover:    map[string]string{},
+
+		HostCPUs:    runtime.NumCPU(),
+		HostSeconds: time.Since(start).Seconds(),
+	}
+	for _, k := range keys {
+		doc.Rows = append(doc.Rows, CrossoverBenchRow{
+			Backend:        k.backend.String(),
+			Procs:          k.p,
+			crossoverCells: grid[k],
+		})
+	}
+	for _, b := range Backends {
+		doc.BarrierCrossover[b.String()] = crossoverPoint(CrossoverBenchProcs, grid, b,
+			func(c crossoverCells) bool { return c.BarComb < c.BarAMO })
+		doc.LockCrossover[b.String()] = crossoverPoint(CrossoverBenchProcs, grid, b,
+			func(c crossoverCells) bool { return c.LockComb < c.LockAMO })
+	}
+	doc.HostSeconds = time.Since(start).Seconds()
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// CompareCrossover gates current against the checked-in
+// BENCH_crossover.json: every deterministic field must match exactly. A
+// diff means the combining primitives, a backend cost model, or the
+// directory's sharer bookkeeping changed observable behavior — regenerate
+// the baseline deliberately if the change is intended.
+func CompareCrossover(baseline, current []byte) error {
+	var base, cur CrossoverBench
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return fmt.Errorf("amosim: bad crossover baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return fmt.Errorf("amosim: bad crossover measurement: %w", err)
+	}
+	det := func(doc CrossoverBench) CrossoverBench {
+		doc.HostCPUs = 0
+		doc.HostSeconds = 0
+		return doc
+	}
+	baseDet, err := json.Marshal(det(base))
+	if err != nil {
+		return err
+	}
+	curDet, err := json.Marshal(det(cur))
+	if err != nil {
+		return err
+	}
+	if string(baseDet) != string(curDet) {
+		return fmt.Errorf("amosim: crossover deterministic fields drifted from baseline:\nbaseline: %s\nnow:      %s", baseDet, curDet)
+	}
+	return nil
+}

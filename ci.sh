@@ -52,6 +52,11 @@ echo "== parallel event kernel -race"
 # detector: determinism and race-freedom are the same promise here.
 go test -race -run 'TestEngine' .
 
+echo "== combining primitives -race"
+# The Combining mechanism class (cohort lock + cluster barrier) and its
+# chaos differential/pinned-digest matrix under the race detector.
+go test -race -run 'TestCombining' ./internal/syncprim ./internal/chaos .
+
 echo "== fuzz smoke"
 # Each native fuzz target gets a short randomized run on top of its
 # checked-in corpus. Targets are named individually: -fuzz requires an
@@ -115,6 +120,25 @@ go run ./cmd/amotables -exp table2 -procs 8,16 -episodes 2 -warmup 1 >"$seqout"
 go run ./cmd/amotables -exp table2 -procs 8,16 -episodes 2 -warmup 1 -engine parallel -shards 4 >"$parout"
 diff -u "$seqout" "$parout"
 
+echo "== crossover determinism"
+# The crossover experiment (AMO vs combining vs conventional, all three
+# backends) must emit byte-identical stdout on the sequential and parallel
+# event kernels at its CI scales. The 1024/4096 flagship scales are a
+# manual run: amotables -only crossover.
+go run ./cmd/amotables -only crossover -procs 64,256 >"$seqout"
+go run ./cmd/amotables -only crossover -procs 64,256 -engine parallel -shards 4 >"$parout"
+diff -u "$seqout" "$parout"
+
+echo "== crossover drift gate"
+# Regenerate BENCH_crossover.json: every deterministic field must match the
+# checked-in baseline exactly. On a deliberate modeling change, regenerate
+# with
+#     go run ./cmd/amotables -bench-crossover BENCH_crossover.json
+# and commit the updated document.
+xjson=$(mktemp)
+trap 'rm -f "$tmpjson" "$seqout" "$parout" "$xjson"' EXIT
+go run ./cmd/amotables -bench-crossover "$xjson" -bench-crossover-gate BENCH_crossover.json
+
 echo "== parallel event kernel speedup/drift gate"
 # Regenerate BENCH_pdes.json: the deterministic fields (kernel equivalence
 # at 1024 CPUs) must match the checked-in baseline exactly, and on hosts
@@ -123,7 +147,7 @@ echo "== parallel event kernel speedup/drift gate"
 #     go run ./cmd/amotables -bench-pdes BENCH_pdes.json
 # and commit the updated document.
 pdesjson=$(mktemp)
-trap 'rm -f "$tmpjson" "$seqout" "$parout" "$pdesjson"' EXIT
+trap 'rm -f "$tmpjson" "$seqout" "$parout" "$xjson" "$pdesjson"' EXIT
 go run ./cmd/amotables -bench-pdes "$pdesjson" -bench-pdes-gate BENCH_pdes.json
 
 echo "== hot path: zero-alloc regression tests"
@@ -138,7 +162,7 @@ echo "== hot path: determinism and throughput gate"
 # benchstat-style ±20% tolerance (the second run exercises the gate).
 hot1=$(mktemp)
 hot2=$(mktemp)
-trap 'rm -f "$tmpjson" "$seqout" "$parout" "$hot1" "$hot2" "$hot1.det" "$hot2.det" "$hot1.base"' EXIT
+trap 'rm -f "$tmpjson" "$seqout" "$parout" "$xjson" "$pdesjson" "$hot1" "$hot2" "$hot1.det" "$hot2.det" "$hot1.base"' EXIT
 go run ./cmd/amotables -bench-hotpath "$hot1"
 go run ./cmd/amotables -bench-hotpath "$hot2" -bench-hotpath-gate BENCH_hotpath.json
 grep -v Host "$hot1" >"$hot1.det"

@@ -9,6 +9,8 @@
 //	amosim -primitive ticket -mech MAO -procs 128 -acquires 8
 //	amosim -primitive array -mech Atomic -procs 16
 //	amosim -primitive mcs -mech AMO -procs 64
+//	amosim -primitive barrier -mech Combining -procs 1024
+//	amosim -primitive combining -mech Combining -procs 256 -cluster 16
 //	amosim -primitive barrier -mech AMO -procs 32 -metrics out.json
 //	amosim -primitive barrier -mech AMO -procs 32 -backend syncron
 //
@@ -78,8 +80,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("amosim: ")
 	var (
-		primitive = flag.String("primitive", "barrier", "barrier, ticket, array or mcs")
-		mechFlag  = flag.String("mech", "AMO", "LLSC, Atomic, ActMsg, MAO or AMO")
+		primitive = flag.String("primitive", "barrier", "barrier, ticket, array, mcs or combining (the cohort lock)")
+		mechFlag  = flag.String("mech", "AMO", "LLSC, Atomic, ActMsg, MAO, AMO or Combining")
 		backend   = flag.String("backend", "amo", "memory-system backend: amo, syncron or dsm")
 		engine    = flag.String("engine", "", "event kernel: seq or parallel (default seq; results are identical)")
 		shards    = flag.Int("shards", 0, "parallel-kernel shard count (with -engine parallel)")
@@ -87,6 +89,7 @@ func main() {
 		episodes  = flag.Int("episodes", 8, "measured barrier episodes")
 		warmup    = flag.Int("warmup", 2, "warm-up barrier episodes")
 		tree      = flag.Int("tree", 0, "tree-barrier branching factor (0 = centralized)")
+		cluster   = flag.Int("cluster", 0, "combining cluster size in CPUs (0 = derive from the topology)")
 		acquires  = flag.Int("acquires", 4, "lock acquisitions per CPU")
 		amuWords  = flag.Int("amu-cache", 8, "AMU operand-cache words (0 disables)")
 		metricsTo = flag.String("metrics", "", "write the result (with its window metrics snapshot) to this file as JSON")
@@ -113,10 +116,11 @@ func main() {
 
 	if *primitive == "barrier" {
 		r, err := runOne[amosim.BarrierResult](amosim.BarrierPoint(cfg, mech, amosim.BarrierOptions{
-			Episodes:  *episodes,
-			Warmup:    *warmup,
-			Branching: *tree,
-			RunConfig: amosim.RunConfig{ChaosSeed: *chaosSeed, ChaosLevel: *chaosLvl},
+			Episodes:    *episodes,
+			Warmup:      *warmup,
+			Branching:   *tree,
+			ClusterSize: *cluster,
+			RunConfig:   amosim.RunConfig{ChaosSeed: *chaosSeed, ChaosLevel: *chaosLvl},
 		}))
 		if err != nil {
 			log.Fatal(err)
@@ -124,6 +128,9 @@ func main() {
 		kind := "centralized"
 		if *tree > 0 {
 			kind = fmt.Sprintf("tree(b=%d)", *tree)
+		}
+		if mech == amosim.Combining {
+			kind = "cluster-combining"
 		}
 		fmt.Printf("%s %s barrier, %d CPUs, %d episodes\n", r.Mechanism, kind, r.Procs, r.Episodes)
 		if *chaosLvl > 0 {
@@ -143,11 +150,12 @@ func main() {
 
 	kind, err := amosim.ParseLockKind(*primitive)
 	if err != nil {
-		log.Fatalf("unknown primitive %q (barrier, ticket, array, mcs)", *primitive)
+		log.Fatalf("unknown primitive %q (barrier, ticket, array, mcs, combining)", *primitive)
 	}
 	r, err := runOne[amosim.LockResult](amosim.LockPoint(cfg, kind, mech, amosim.LockOptions{
-		Acquires:  *acquires,
-		RunConfig: amosim.RunConfig{ChaosSeed: *chaosSeed, ChaosLevel: *chaosLvl},
+		Acquires:    *acquires,
+		ClusterSize: *cluster,
+		RunConfig:   amosim.RunConfig{ChaosSeed: *chaosSeed, ChaosLevel: *chaosLvl},
 	}))
 	if err != nil {
 		log.Fatal(err)

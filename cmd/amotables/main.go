@@ -41,6 +41,12 @@
 // enough cores for the shard workers — the parallel kernel's speedup
 // floor.
 //
+// With -bench-crossover PATH it runs the combining-crossover grid at its
+// CI scales (64 and 256 CPUs, all three backends) and writes the
+// BENCH_crossover.json document; -bench-crossover-gate BASELINE
+// additionally demands the deterministic fields match the baseline
+// exactly.
+//
 // -cpuprofile and -memprofile write pprof profiles of whatever the
 // invocation runs; sweep points are labeled (pprof tag "sweep_point") so
 // profile samples attribute to the experiment cell that produced them.
@@ -83,6 +89,8 @@ func main() {
 		hotIters = flag.Int("bench-iters", 0, "timed iterations for -bench-hotpath/-bench-pdes (0 = default)")
 		pdesOut  = flag.String("bench-pdes", "", "write the parallel-kernel benchmark document (BENCH_pdes.json) to this file, then exit")
 		pdesGate = flag.String("bench-pdes-gate", "", "with -bench-pdes: baseline JSON to gate the fresh measurement against (exact deterministic fields, core-aware speedup floor)")
+		xOut     = flag.String("bench-crossover", "", "write the combining-crossover benchmark document (BENCH_crossover.json) to this file, then exit")
+		xGate    = flag.String("bench-crossover-gate", "", "with -bench-crossover: baseline JSON to gate the fresh measurement against (exact deterministic fields)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -169,6 +177,26 @@ func main() {
 				log.Fatal(err)
 			}
 			if err := amosim.ComparePdes(baseline, doc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	if *xOut != "" {
+		doc, err := amosim.BenchCrossover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*xOut, doc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if *xGate != "" {
+			baseline, err := os.ReadFile(*xGate)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := amosim.CompareCrossover(baseline, doc); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -1,0 +1,147 @@
+package amosim
+
+import (
+	"fmt"
+
+	"amosim/internal/stats"
+)
+
+// The crossover experiment: at what scale does hierarchical software
+// combining (cohort locks, flat-combining barriers built from plain
+// atomics) overtake the paper's hardware AMOs — and how do both compare to
+// the strongest conventional software on each memory-system backend? Each
+// row holds one (backend, CPUs) cell set; the trailing "crossover" rows
+// report, per backend, the first swept scale at which Combining beats the
+// AMO flat barrier / AMO ticket lock, if any.
+
+// CrossoverProcs is the default processor sweep of the crossover
+// experiment. The two largest scales are a deliberately heavyweight
+// flagship run (minutes of wall clock on the DSM backend); CI and the
+// BENCH_crossover gate stop at 256.
+var CrossoverProcs = []int{64, 256, 1024, 4096}
+
+// crossoverBudget scales the measurement budget down at the largest
+// scales so the 1024/4096-CPU points stay tractable: the O(P²)-traffic
+// ticket lock and the coherence-free DSM backend both grow superlinearly
+// in wall-clock per measured operation. Budgets are applied after
+// defaulting so an explicit small budget is respected.
+func crossoverBudget(p int, bopts BarrierOptions, lopts LockOptions) (BarrierOptions, LockOptions) {
+	bo := bopts.WithDefaults()
+	lo := lopts.WithDefaults()
+	if bo.Episodes > 4 {
+		bo.Episodes = 4
+	}
+	if bo.Warmup > 1 {
+		bo.Warmup = 1
+	}
+	if lo.Acquires > 2 {
+		lo.Acquires = 2
+	}
+	if p > 256 {
+		if bo.Episodes > 2 {
+			bo.Episodes = 2
+		}
+		if lo.Acquires > 1 {
+			lo.Acquires = 1
+		}
+	}
+	return bo, lo
+}
+
+// crossoverKey identifies one (backend, scale) cell set of the grid.
+type crossoverKey struct {
+	backend Backend
+	p       int
+}
+
+// crossoverCells holds one cell set: barrier cycles/barrier for the AMO
+// flat barrier, the Combining cluster barrier and the Atomic combining
+// tree (branched at the cluster size), and lock cycles/pass for the AMO
+// ticket lock, the Combining cohort lock and the Atomic MCS lock.
+type crossoverCells struct {
+	BarAMO, BarComb, BarTree   float64
+	LockAMO, LockComb, LockMCS float64
+}
+
+// crossoverGrid simulates the full grid through the sweep cache and
+// returns the cell sets in presentation order (backend-major, then scale).
+func crossoverGrid(procs []int, bopts BarrierOptions, lopts LockOptions) ([]crossoverKey, map[crossoverKey]crossoverCells, error) {
+	var pts []SweepPoint
+	var keys []crossoverKey
+	for _, b := range Backends {
+		for _, p := range procs {
+			cfg := DefaultConfig(p)
+			bo, lo := crossoverBudget(p, bopts, lopts)
+			bo.Backend, lo.Backend = b, b
+			tree := bo
+			tree.Branching = CombiningClusterSize(cfg)
+			pts = append(pts,
+				BarrierPoint(cfg, AMO, bo),
+				BarrierPoint(cfg, Combining, bo),
+				BarrierPoint(cfg, Atomic, tree),
+				LockPoint(cfg, Ticket, AMO, lo),
+				LockPoint(cfg, Cohort, Combining, lo),
+				LockPoint(cfg, MCS, Atomic, lo),
+			)
+			keys = append(keys, crossoverKey{b, p})
+		}
+	}
+	vals, err := runPoints(pts)
+	if err != nil {
+		return nil, nil, err
+	}
+	grid := make(map[crossoverKey]crossoverCells, len(keys))
+	for i, k := range keys {
+		grid[k] = crossoverCells{
+			BarAMO:   vals[6*i].(BarrierResult).CyclesPerBarrier,
+			BarComb:  vals[6*i+1].(BarrierResult).CyclesPerBarrier,
+			BarTree:  vals[6*i+2].(BarrierResult).CyclesPerBarrier,
+			LockAMO:  vals[6*i+3].(LockResult).CyclesPerPass,
+			LockComb: vals[6*i+4].(LockResult).CyclesPerPass,
+			LockMCS:  vals[6*i+5].(LockResult).CyclesPerPass,
+		}
+	}
+	return keys, grid, nil
+}
+
+// crossoverPoint reports the first swept scale at which better holds for a
+// backend, "none" if it never does.
+func crossoverPoint(procs []int, grid map[crossoverKey]crossoverCells, b Backend, better func(crossoverCells) bool) string {
+	for _, p := range procs {
+		if better(grid[crossoverKey{b, p}]) {
+			return fmt.Sprintf("P=%d", p)
+		}
+	}
+	return "none"
+}
+
+// CrossoverTable sweeps AMO hardware primitives against hierarchical
+// combining and the strongest conventional software (Atomic combining
+// tree, Atomic MCS) across backends and scales. Barrier cells are
+// cycles/barrier; lock cells are cycles/pass.
+func CrossoverTable(procs []int, bopts BarrierOptions, lopts LockOptions) (*stats.Table, error) {
+	keys, grid, err := crossoverGrid(procs, bopts, lopts)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title: "Crossover: AMO hardware vs hierarchical combining vs conventional software",
+		Header: []string{"CPUs", "backend",
+			"amo bar", "comb bar", "tree bar",
+			"amo tkt", "comb lock", "mcs lock"},
+	}
+	for _, k := range keys {
+		v := grid[k]
+		t.AddRow(stats.I(k.p), k.backend.String(),
+			stats.F1(v.BarAMO), stats.F1(v.BarComb), stats.F1(v.BarTree),
+			stats.F1(v.LockAMO), stats.F1(v.LockComb), stats.F1(v.LockMCS))
+	}
+	// Crossover summary: per backend, the first swept scale where the
+	// combining primitive undercuts its AMO counterpart.
+	for _, b := range Backends {
+		t.AddRow("xover", b.String(),
+			"", crossoverPoint(procs, grid, b, func(c crossoverCells) bool { return c.BarComb < c.BarAMO }), "",
+			"", crossoverPoint(procs, grid, b, func(c crossoverCells) bool { return c.LockComb < c.LockAMO }), "")
+	}
+	return t, nil
+}

@@ -90,6 +90,10 @@ type BarrierOptions struct {
 	Warmup int
 	// Branching > 0 selects a two-level combining tree with that factor.
 	Branching int
+	// ClusterSize sets the cluster size (in CPUs) of the hierarchical
+	// combining barrier used when the mechanism is Combining; 0 derives it
+	// from the machine topology (see syncprim.CombiningClusterSize).
+	ClusterSize int
 	// WorkCycles is the deterministic per-episode local work ceiling used
 	// to stagger arrivals (default 96).
 	WorkCycles int
@@ -130,7 +134,12 @@ func RunBarrier(cfg Config, mech Mechanism, opts BarrierOptions) (BarrierResult,
 	orc := attachChaos(m, opts.ChaosSeed, opts.ChaosLevel)
 
 	var wait func(c *proc.CPU)
-	if opts.Branching > 0 {
+	if mech == Combining {
+		// The Combining class is inherently hierarchical: it always runs
+		// as the flat-combining cluster barrier (Branching is ignored).
+		cb := syncprim.NewCombiningBarrier(m, mech, cfg.Processors, opts.Home, opts.ClusterSize)
+		wait = cb.Wait
+	} else if opts.Branching > 0 {
 		tb := syncprim.NewTreeBarrier(m, mech, cfg.Processors, opts.Branching)
 		wait = tb.Wait
 	} else {
@@ -259,6 +268,9 @@ const (
 	Ticket = syncprim.Ticket
 	Array  = syncprim.Array
 	MCS    = syncprim.MCS
+	// Cohort is the hierarchical combining (cohort) lock, the Combining
+	// mechanism class's lock algorithm.
+	Cohort = syncprim.Cohort
 )
 
 // ParseLockKind parses a lock-algorithm name, case-insensitively. It
@@ -278,6 +290,12 @@ type LockOptions struct {
 	GapCycles int
 	// Home is the lock's home node (default 0).
 	Home int
+	// ClusterSize sets the cluster size (in CPUs) of the Cohort combining
+	// lock; 0 derives it from the machine topology.
+	ClusterSize int
+	// CombinePasses bounds consecutive local handoffs of the Cohort lock
+	// before it must release the central lock (default 8).
+	CombinePasses int
 	// RunConfig selects backend, event kernel and fault injection.
 	RunConfig
 }
@@ -288,6 +306,7 @@ func (o LockOptions) WithDefaults() LockOptions {
 	o.Acquires = sweep.DefaultInt(o.Acquires, 4)
 	o.CSCycles = sweep.DefaultInt(o.CSCycles, 25)
 	o.GapCycles = sweep.DefaultInt(o.GapCycles, 64)
+	o.CombinePasses = sweep.DefaultInt(o.CombinePasses, 8)
 	return o
 }
 
@@ -320,6 +339,13 @@ func RunLock(cfg Config, kind LockKind, mech Mechanism, opts LockOptions) (LockR
 		}
 	case MCS:
 		l := syncprim.NewMCSLock(m, mech, cfg.Processors, opts.Home)
+		acquire = func(c *proc.CPU) func() {
+			l.Acquire(c)
+			return func() { l.Release(c) }
+		}
+	case Cohort:
+		l := syncprim.NewCombiningLock(m, mech, cfg.Processors, opts.Home,
+			opts.ClusterSize, opts.CombinePasses)
 		acquire = func(c *proc.CPU) func() {
 			l.Acquire(c)
 			return func() { l.Release(c) }

@@ -15,7 +15,7 @@ import (
 // hardware.
 func TestTrialAllBackendsClean(t *testing.T) {
 	for _, backend := range config.Backends {
-		for _, mech := range syncprim.Mechanisms {
+		for _, mech := range syncprim.AllMechanisms {
 			t.Run(backend.String()+"/"+mech.String(), func(t *testing.T) {
 				spec := chaos.TrialSpec{
 					Seed: 11, Mech: mech, Procs: 4,
@@ -36,7 +36,7 @@ func TestTrialAllBackendsClean(t *testing.T) {
 // counts) on all three backends. Cycles and traffic legitimately differ;
 // function must not.
 func TestBackendDifferential(t *testing.T) {
-	for _, mech := range []syncprim.Mechanism{syncprim.LLSC, syncprim.MAO, syncprim.AMO} {
+	for _, mech := range []syncprim.Mechanism{syncprim.LLSC, syncprim.MAO, syncprim.AMO, syncprim.Combining} {
 		t.Run(mech.String(), func(t *testing.T) {
 			var results []chaos.TrialResult
 			for _, backend := range config.Backends {

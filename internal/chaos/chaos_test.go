@@ -78,7 +78,7 @@ func TestLevelZeroIsClean(t *testing.T) {
 // TestAllMechanismsLevel1 runs one modest trial per mechanism so a failure
 // names the broken mechanism directly, outside the big sweep.
 func TestAllMechanismsLevel1(t *testing.T) {
-	for _, mech := range syncprim.Mechanisms {
+	for _, mech := range syncprim.AllMechanisms {
 		mech := mech
 		t.Run(mech.String(), func(t *testing.T) {
 			spec := chaos.TrialSpec{
@@ -132,11 +132,11 @@ func TestCompareOutcomesDetects(t *testing.T) {
 }
 
 // TestChaosSweep is the acceptance gate: ≥1000 seeded trials fanned across
-// all five mechanisms through the sweep engine, zero invariant or
+// every mechanism class through the sweep engine, zero invariant or
 // differential violations, and a byte-identical digest for the same seeds
 // rerun at Workers 1 vs 4.
 func TestChaosSweep(t *testing.T) {
-	groups := 200 // × 5 mechanisms = 1000 trials
+	groups := 200 // × 6 mechanism classes = 1200 trials
 	replayGroups := 8
 	if testing.Short() {
 		groups, replayGroups = 20, 3
@@ -150,7 +150,7 @@ func TestChaosSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	perGroup := len(syncprim.Mechanisms)
+	perGroup := len(syncprim.AllMechanisms)
 	if len(results) != groups*perGroup {
 		t.Fatalf("got %d results, want %d", len(results), groups*perGroup)
 	}

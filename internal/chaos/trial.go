@@ -230,11 +230,29 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 	for i := range vars {
 		vars[i] = m.AllocWord(layout.Intn(nodes))
 	}
-	b := syncprim.NewBarrier(m, s.Mech, s.Procs, layout.Intn(nodes))
-	var lock *syncprim.TicketLock
+	// The Combining mechanism runs its own primitives — the hierarchical
+	// flat-combining barrier and the cohort lock — under the exact same
+	// schedule and oracles; the layout RNG draw sequence is identical either
+	// way, so the other mechanisms' digests are unaffected.
+	var bwait func(*proc.CPU)
+	if s.Mech == syncprim.Combining {
+		bwait = syncprim.NewCombiningBarrier(m, s.Mech, s.Procs, layout.Intn(nodes), 0).Wait
+	} else {
+		bwait = syncprim.NewBarrier(m, s.Mech, s.Procs, layout.Intn(nodes)).Wait
+	}
+	var lockAcquire func(c *proc.CPU) uint64
+	var lockRelease func(c *proc.CPU, t uint64)
 	var lockWord uint64
 	if s.LockPasses > 0 {
-		lock = syncprim.NewTicketLock(m, s.Mech, layout.Intn(nodes))
+		if s.Mech == syncprim.Combining {
+			cl := syncprim.NewCombiningLock(m, s.Mech, s.Procs, layout.Intn(nodes), 0, 0)
+			lockAcquire = func(c *proc.CPU) uint64 { cl.Acquire(c); return 0 }
+			lockRelease = func(c *proc.CPU, _ uint64) { cl.Release(c) }
+		} else {
+			tl := syncprim.NewTicketLock(m, s.Mech, layout.Intn(nodes))
+			lockAcquire = tl.Acquire
+			lockRelease = tl.Release
+		}
 		lockWord = m.AllocWord(layout.Intn(nodes))
 	}
 
@@ -283,17 +301,17 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 				c.Think(uint64(o.think))
 			}
 			for p := 0; p < s.LockPasses; p++ {
-				t := lock.Acquire(c)
+				t := lockAcquire(c)
 				v := c.Load(lockWord)
 				c.Think(8)
 				c.Store(lockWord, v+1)
-				lock.Release(c, t)
+				lockRelease(c, t)
 				opsDone[id]++
 			}
 			if checkArrivals {
 				arrived[id] = e + 1
 			}
-			b.Wait(c)
+			bwait(c)
 			if checkArrivals {
 				for j := range arrived {
 					if arrived[j] < e+1 && len(violations[id]) < maxViolations {
@@ -324,7 +342,7 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 	for i, a := range vars {
 		res.FinalValues[i] = m.ReadWordCoherent(a)
 	}
-	if lock != nil {
+	if s.LockPasses > 0 {
 		res.LockWord = m.ReadWordCoherent(lockWord)
 	}
 	res.Digest = digest(tr, res)
@@ -367,7 +385,7 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 			seen[v] = true
 		}
 	}
-	if lock != nil {
+	if s.LockPasses > 0 {
 		want := uint64(s.Procs * s.Episodes * s.LockPasses)
 		if res.LockWord != want {
 			return res, tr, s.fail("lock-protected word = %d, want %d (mutual exclusion)", res.LockWord, want)
@@ -391,7 +409,7 @@ func digest(tr *trace.Tracer, r TrialResult) string {
 }
 
 // Group is one differential unit: the same seeded workload expanded across
-// all five mechanisms.
+// every mechanism class, the paper's five plus hierarchical Combining.
 type Group struct {
 	Seed  uint64
 	Specs []TrialSpec
@@ -416,7 +434,7 @@ func NewGroup(seed uint64) Group {
 		Backend:    config.Backends[r.Intn(len(config.Backends))],
 	}
 	g := Group{Seed: seed}
-	for _, mech := range syncprim.Mechanisms {
+	for _, mech := range syncprim.AllMechanisms {
 		spec := base
 		spec.Mech = mech
 		g.Specs = append(g.Specs, spec)
@@ -425,7 +443,7 @@ func NewGroup(seed uint64) Group {
 }
 
 // Points expands the group into sweep points, one per mechanism, in
-// syncprim.Mechanisms order. Each point's Run executes RunTrial and fails
+// syncprim.AllMechanisms order. Each point's Run executes RunTrial and fails
 // on any oracle violation.
 func (g Group) Points() []sweep.Point {
 	pts := make([]sweep.Point, len(g.Specs))
@@ -489,7 +507,7 @@ func SpecFromBytes(data []byte) TrialSpec {
 	}
 	return TrialSpec{
 		Seed:       seed,
-		Mech:       syncprim.Mechanisms[at(0)%uint64(len(syncprim.Mechanisms))],
+		Mech:       syncprim.AllMechanisms[at(0)%uint64(len(syncprim.AllMechanisms))],
 		Procs:      []int{2, 4}[at(1)%2],
 		Vars:       1 + int(at(2)%3),
 		Ops:        1 + int(at(3)%4),

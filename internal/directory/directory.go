@@ -48,7 +48,7 @@ func (s state) String() string {
 type entry struct {
 	state    state
 	owner    int             // CPU id, valid when state == exclusive
-	sharers  []int           // CPU ids in ascending order, valid when state == shared
+	sharers  sharerSet       // sharer vector, valid when state == shared
 	amuWords map[uint64]bool // word addrs currently held by the local AMU
 	busy     bool
 	waitq    []func() // head-indexed FIFO of queued transactions
@@ -66,33 +66,17 @@ type txn struct {
 	onIvnAck    func(m network.Msg)
 }
 
-// addSharer inserts cpu into the sorted sharer list (no-op if present).
-func (e *entry) addSharer(cpu int) {
-	i := sort.SearchInts(e.sharers, cpu)
-	if i < len(e.sharers) && e.sharers[i] == cpu {
-		return
-	}
-	e.sharers = append(e.sharers, 0)
-	copy(e.sharers[i+1:], e.sharers[i:])
-	e.sharers[i] = cpu
-}
+// addSharer inserts cpu into the sharer vector (no-op if present).
+func (e *entry) addSharer(cpu int) { e.sharers.add(cpu) }
 
-// removeSharer deletes cpu from the sharer list (no-op if absent).
-func (e *entry) removeSharer(cpu int) {
-	i := sort.SearchInts(e.sharers, cpu)
-	if i < len(e.sharers) && e.sharers[i] == cpu {
-		e.sharers = append(e.sharers[:i], e.sharers[i+1:]...)
-	}
-}
+// removeSharer deletes cpu from the sharer vector (no-op if absent).
+func (e *entry) removeSharer(cpu int) { e.sharers.remove(cpu) }
 
 // hasSharer reports whether cpu is recorded as a sharer.
-func (e *entry) hasSharer(cpu int) bool {
-	i := sort.SearchInts(e.sharers, cpu)
-	return i < len(e.sharers) && e.sharers[i] == cpu
-}
+func (e *entry) hasSharer(cpu int) bool { return e.sharers.has(cpu) }
 
-// clearSharers empties the sharer list, keeping its backing storage.
-func (e *entry) clearSharers() { e.sharers = e.sharers[:0] }
+// clearSharers empties the sharer vector, keeping its backing storage.
+func (e *entry) clearSharers() { e.sharers.clear() }
 
 // AMUPort is how the directory reaches the Active Memory Unit that shares
 // its hub. Recall must synchronously write every AMU-cached word of the
@@ -105,9 +89,12 @@ type AMUPort interface {
 type Params struct {
 	Node         int
 	ProcsPerNode int
-	BlockBytes   int
-	DirCycles    uint64
-	DRAMCycles   uint64
+	// Procs is the machine's total CPU count; it sizes the coarse bitmap
+	// the sharer vector promotes to (0 = grow on demand).
+	Procs      int
+	BlockBytes int
+	DirCycles  uint64
+	DRAMCycles uint64
 	// InjectCycles serializes fan-out: the i-th message of an invalidation
 	// or word-update burst leaves the hub i*InjectCycles after the first
 	// (one network port, one packet at a time). This is the t_p term of the
@@ -209,7 +196,11 @@ func (c *Controller) acquireFine() *fineJob {
 		ctl := j.c
 		e := ctl.entryOf(j.block)
 		ctl.mem.WriteWord(j.addr, j.val)
-		for i, cpu := range e.sharers {
+		for it := e.sharers.iter(); ; {
+			i, cpu, ok := it.next()
+			if !ok {
+				break
+			}
 			ctl.stats.WordUpdates++
 			ctl.sendStaggered(i, network.Msg{
 				Kind:      network.KindWordUpdate,
@@ -295,6 +286,7 @@ func (c *Controller) entryOf(block uint64) *entry {
 	e := c.entries[block]
 	if e == nil {
 		e = &entry{amuWords: make(map[uint64]bool)}
+		e.sharers.procs = c.p.Procs
 		c.entries[block] = e
 	}
 	return e
@@ -520,14 +512,18 @@ func (c *Controller) replyData(block uint64, dst network.Endpoint, kind network.
 // all acks arrive. With no sharers it runs done immediately (after the
 // directory occupancy charge).
 func (c *Controller) invalidateSharers(e *entry, block uint64, done func()) {
-	n := len(e.sharers)
+	n := e.sharers.count()
 	if n == 0 {
 		c.occupy(c.p.DirCycles, done)
 		return
 	}
 	e.txn = txn{waitingAcks: n, onAcks: done}
 	e.txnLive = true
-	for i, cpu := range e.sharers {
+	for it := e.sharers.iter(); ; {
+		i, cpu, ok := it.next()
+		if !ok {
+			break
+		}
 		c.stats.Invalidations++
 		m := network.Msg{
 			Kind: network.KindInvalidate,
@@ -721,7 +717,7 @@ type Snapshot struct {
 func (c *Controller) SnapshotOf(addr uint64) Snapshot {
 	e := c.entryOf(c.block(addr))
 	s := Snapshot{State: e.state.String(), Owner: e.owner, Busy: e.busy}
-	s.Sharers = append([]int(nil), e.sharers...)
+	s.Sharers = e.sharers.slice()
 	s.AMUWords = sortedWords(e)
 	return s
 }
@@ -740,8 +736,7 @@ func (c *Controller) Blocks() []uint64 {
 // Sharers returns the CPUs currently recorded as sharing the block at addr,
 // in ascending order (for tests and introspection).
 func (c *Controller) Sharers(addr uint64) []int {
-	e := c.entryOf(c.block(addr))
-	return append([]int(nil), e.sharers...)
+	return c.entryOf(c.block(addr)).sharers.slice()
 }
 
 func (c *Controller) send(m network.Msg) { c.net.Send(m) }

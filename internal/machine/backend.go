@@ -72,6 +72,7 @@ func (b *AMOBackend) Wire(m *Machine) error {
 		dir := directory.New(m.EngFor(n), m.Net, m.Mem, directory.Params{
 			Node:             n,
 			ProcsPerNode:     cfg.ProcsPerNode,
+			Procs:            cfg.Processors,
 			BlockBytes:       cfg.BlockBytes,
 			DirCycles:        cfg.DirCycles,
 			DRAMCycles:       cfg.DRAMCycles,
@@ -136,6 +137,7 @@ func (b *SynCronBackend) Wire(m *Machine) error {
 		dir := directory.New(m.EngFor(n), m.Net, m.Mem, directory.Params{
 			Node:             n,
 			ProcsPerNode:     cfg.ProcsPerNode,
+			Procs:            cfg.Processors,
 			BlockBytes:       cfg.BlockBytes,
 			DirCycles:        cfg.DirCycles,
 			DRAMCycles:       cfg.DRAMCycles,

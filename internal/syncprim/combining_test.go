@@ -1,0 +1,207 @@
+package syncprim
+
+import (
+	"testing"
+
+	"amosim/internal/config"
+	"amosim/internal/proc"
+)
+
+// TestCombiningBarrierAllMechanisms checks the combining barrier's episode
+// semantics for every mechanism class it can be instantiated over,
+// including the Combining class itself, with a cluster size that forces a
+// multi-cluster hierarchy.
+func TestCombiningBarrierAllMechanisms(t *testing.T) {
+	const procs = 8
+	const episodes = 4
+	for _, mech := range AllMechanisms {
+		t.Run(mech.String(), func(t *testing.T) {
+			m := newMachine(t, procs)
+			b := NewCombiningBarrier(m, mech, procs, 0, 2)
+			if b.Clusters() != 4 {
+				t.Fatalf("clusters = %d, want 4", b.Clusters())
+			}
+			arrived := make([]int, episodes)
+			violations := 0
+			m.OnAllCPUs(func(c *proc.CPU) {
+				for e := 0; e < episodes; e++ {
+					c.Think(uint64(c.ID()*37 + e*11))
+					arrived[e]++
+					b.Wait(c)
+					if arrived[e] != procs {
+						violations++
+					}
+				}
+			})
+			mustRun(t, m)
+			if violations != 0 {
+				t.Fatalf("%d barrier violations", violations)
+			}
+		})
+	}
+}
+
+// TestCombiningBarrierUnevenClusters exercises a final cluster smaller than
+// the cluster size, and a single-CPU cluster.
+func TestCombiningBarrierUnevenClusters(t *testing.T) {
+	const procs = 8
+	const episodes = 3
+	m := newMachine(t, procs)
+	b := NewCombiningBarrier(m, Combining, 7, 0, 3) // clusters of 3, 3, 1
+	if b.Clusters() != 3 {
+		t.Fatalf("clusters = %d, want 3", b.Clusters())
+	}
+	arrived := make([]int, episodes)
+	violations := 0
+	for cpu := 0; cpu < 7; cpu++ {
+		m.OnCPU(cpu, func(c *proc.CPU) {
+			for e := 0; e < episodes; e++ {
+				c.Think(uint64(c.ID()*13 + e*7))
+				arrived[e]++
+				b.Wait(c)
+				if arrived[e] != 7 {
+					violations++
+				}
+			}
+		})
+	}
+	mustRun(t, m)
+	if violations != 0 {
+		t.Fatalf("%d barrier violations with uneven clusters", violations)
+	}
+}
+
+// TestCombiningBarrierAllBackends runs the episode check on every memory
+// backend with the topology-derived cluster size.
+func TestCombiningBarrierAllBackends(t *testing.T) {
+	const procs = 8
+	const episodes = 3
+	for _, backend := range config.Backends {
+		t.Run(backend.String(), func(t *testing.T) {
+			m := newMachine(t, procs, withBackend(backend))
+			b := NewCombiningBarrier(m, Combining, procs, 0, 0)
+			arrived := make([]int, episodes)
+			violations := 0
+			m.OnAllCPUs(func(c *proc.CPU) {
+				for e := 0; e < episodes; e++ {
+					c.Think(uint64(c.ID()*37 + e*11))
+					arrived[e]++
+					b.Wait(c)
+					if arrived[e] != procs {
+						violations++
+					}
+				}
+			})
+			mustRun(t, m)
+			if violations != 0 {
+				t.Fatalf("%d barrier violations on %s", violations, backend)
+			}
+			if err := m.CheckCoherence(); err != nil {
+				t.Fatalf("coherence after combining barrier on %s: %v", backend, err)
+			}
+		})
+	}
+}
+
+// TestCombiningLockAllMechanisms runs the mutual-exclusion torture test
+// with a tiny pass limit so every run exercises both the local baton path
+// and the global release/reacquire path.
+func TestCombiningLockAllMechanisms(t *testing.T) {
+	for _, mech := range AllMechanisms {
+		t.Run(mech.String(), func(t *testing.T) {
+			m := newMachine(t, 8)
+			l := NewCombiningLock(m, mech, 8, 0, 2, 2)
+			exerciseLock(t, m, func(c *proc.CPU) func() {
+				l.Acquire(c)
+				return func() { l.Release(c) }
+			}, 3)
+		})
+	}
+}
+
+// TestCombiningLockAllBackends runs the torture test on every backend with
+// the topology-derived cluster size and default pass limit.
+func TestCombiningLockAllBackends(t *testing.T) {
+	for _, backend := range config.Backends {
+		t.Run(backend.String(), func(t *testing.T) {
+			m := newMachine(t, 8, withBackend(backend))
+			l := NewCombiningLock(m, Combining, 8, 0, 0, 0)
+			exerciseLock(t, m, func(c *proc.CPU) func() {
+				l.Acquire(c)
+				return func() { l.Release(c) }
+			}, 2)
+		})
+	}
+}
+
+// TestCombiningLockUncontended checks the fast path: a single CPU
+// acquiring and releasing repeatedly, with no waiters anywhere.
+func TestCombiningLockUncontended(t *testing.T) {
+	m := newMachine(t, 4)
+	l := NewCombiningLock(m, Combining, 4, 0, 2, 4)
+	passes := 0
+	m.OnCPU(0, func(c *proc.CPU) {
+		for i := 0; i < 5; i++ {
+			l.Acquire(c)
+			passes++
+			l.Release(c)
+		}
+	})
+	mustRun(t, m)
+	if passes != 5 {
+		t.Fatalf("passes = %d, want 5", passes)
+	}
+}
+
+// TestCombiningClusterSize pins the topology-derived cluster sizing: one
+// router group on the default fat tree, one torus row on a torus, clamped
+// to the processor count.
+func TestCombiningClusterSize(t *testing.T) {
+	cases := []struct {
+		procs        int
+		interconnect string
+		want         int
+	}{
+		{8, "", 8},          // radix 8 × ppn 2 = 16, clamped to 8
+		{64, "", 16},        // radix 8 × ppn 2
+		{64, "torus", 16},   // 32 nodes → 8×4 torus: one row of 8 nodes
+		{1024, "", 16},      // radix 8 × ppn 2
+		{1024, "torus", 64}, // 512 nodes → 32×16 torus: one row of 32 nodes
+	}
+	for _, tc := range cases {
+		cfg := config.Default(tc.procs)
+		cfg.Interconnect = tc.interconnect
+		got := CombiningClusterSize(cfg)
+		if got != tc.want {
+			t.Errorf("CombiningClusterSize(procs=%d, %q) = %d, want %d",
+				tc.procs, tc.interconnect, got, tc.want)
+		}
+		if got < 1 || got > tc.procs {
+			t.Errorf("cluster size %d out of range [1, %d]", got, tc.procs)
+		}
+	}
+}
+
+// TestCombiningParseRoundTrips pins the CLI surface of the new class.
+func TestCombiningParseRoundTrips(t *testing.T) {
+	if m, err := ParseMechanism("combining"); err != nil || m != Combining {
+		t.Fatalf("ParseMechanism(combining) = %v, %v", m, err)
+	}
+	if m, err := ParseMechanism(Combining.String()); err != nil || m != Combining {
+		t.Fatalf("ParseMechanism(%q) = %v, %v", Combining.String(), m, err)
+	}
+	for _, s := range []string{"combining", "cohort", "Combining"} {
+		if k, err := ParseLockKind(s); err != nil || k != Cohort {
+			t.Fatalf("ParseLockKind(%q) = %v, %v", s, k, err)
+		}
+	}
+	if Cohort.String() != "combining" {
+		t.Fatalf("Cohort.String() = %q", Cohort.String())
+	}
+	if len(Mechanisms) != 5 {
+		t.Fatalf("Mechanisms must stay the paper's five, got %d", len(Mechanisms))
+	}
+	if AllMechanisms[len(AllMechanisms)-1] != Combining {
+		t.Fatal("AllMechanisms must include Combining")
+	}
+}

@@ -15,6 +15,11 @@ const (
 	Ticket LockKind = iota
 	Array
 	MCS
+	// Cohort is the hierarchical combining lock (HSynch-style cohort lock:
+	// per-cluster MCS queues under a central MCS lock with local baton
+	// passing). Its String form is "combining" to match the mechanism
+	// class it belongs to.
+	Cohort
 )
 
 func (k LockKind) String() string {
@@ -25,6 +30,8 @@ func (k LockKind) String() string {
 		return "array"
 	case MCS:
 		return "mcs"
+	case Cohort:
+		return "combining"
 	}
 	return fmt.Sprintf("LockKind(%d)", int(k))
 }
@@ -39,6 +46,8 @@ func ParseLockKind(s string) (LockKind, error) {
 		return Array, nil
 	case "mcs":
 		return MCS, nil
+	case "combining", "cohort":
+		return Cohort, nil
 	}
-	return 0, fmt.Errorf("syncprim: unknown lock kind %q (ticket, array, mcs)", s)
+	return 0, fmt.Errorf("syncprim: unknown lock kind %q (ticket, array, mcs, combining)", s)
 }

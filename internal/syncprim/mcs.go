@@ -73,9 +73,10 @@ func NewMCSLock(m *machine.Machine, mech Mechanism, procs, home int) *MCSLock {
 	return l
 }
 
-// swap performs an atomic exchange with the lock's mechanism.
-func (l *MCSLock) swap(c *proc.CPU, addr, val uint64) uint64 {
-	switch l.mech {
+// mechSwap performs an atomic exchange with the given mechanism. It is
+// shared by the queue locks (MCS and the hierarchical combining lock).
+func mechSwap(c *proc.CPU, mech Mechanism, addr, val uint64) uint64 {
+	switch mech {
 	case LLSC:
 		for attempt := uint64(0); ; attempt++ {
 			v := c.LoadLinked(addr)
@@ -84,7 +85,7 @@ func (l *MCSLock) swap(c *proc.CPU, addr, val uint64) uint64 {
 			}
 			c.Think(backoffCycles(attempt, c.ID()))
 		}
-	case Atomic:
+	case Atomic, Combining:
 		return c.AtomicSwap(addr, val)
 	case ActMsg:
 		return c.ActiveMessageCall(handlerSwap, addr, val)
@@ -96,9 +97,10 @@ func (l *MCSLock) swap(c *proc.CPU, addr, val uint64) uint64 {
 	panic("syncprim: unknown mechanism")
 }
 
-// cas performs an atomic compare-and-swap, reporting success.
-func (l *MCSLock) cas(c *proc.CPU, addr, expect, val uint64) bool {
-	switch l.mech {
+// mechCAS performs an atomic compare-and-swap with the given mechanism,
+// reporting success.
+func mechCAS(c *proc.CPU, mech Mechanism, addr, expect, val uint64) bool {
+	switch mech {
 	case LLSC:
 		for attempt := uint64(0); ; attempt++ {
 			v := c.LoadLinked(addr)
@@ -110,7 +112,7 @@ func (l *MCSLock) cas(c *proc.CPU, addr, expect, val uint64) bool {
 			}
 			c.Think(backoffCycles(attempt, c.ID()))
 		}
-	case Atomic:
+	case Atomic, Combining:
 		return c.AtomicCompareSwap(addr, expect, val) == expect
 	case ActMsg:
 		return c.ActiveMessageCall(handlerCAS, addr, expect<<32|val&0xFFFFFFFF) == expect
@@ -120,6 +122,16 @@ func (l *MCSLock) cas(c *proc.CPU, addr, expect, val uint64) bool {
 		return c.AMO(amoOpCSwap, addr, val, expect, amoFlagTest) == expect
 	}
 	panic("syncprim: unknown mechanism")
+}
+
+// swap performs an atomic exchange with the lock's mechanism.
+func (l *MCSLock) swap(c *proc.CPU, addr, val uint64) uint64 {
+	return mechSwap(c, l.mech, addr, val)
+}
+
+// cas performs an atomic compare-and-swap, reporting success.
+func (l *MCSLock) cas(c *proc.CPU, addr, expect, val uint64) bool {
+	return mechCAS(c, l.mech, addr, expect, val)
 }
 
 // Acquire takes the lock.

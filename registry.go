@@ -193,6 +193,14 @@ func Experiments() []ExperimentInfo {
 			},
 		},
 		{
+			Name:         "crossover",
+			Describe:     "Crossover: AMO hardware vs hierarchical combining vs conventional software across backends and scales",
+			DefaultProcs: CrossoverProcs,
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return CrossoverTable(p.procs(CrossoverProcs), p.Barrier, p.Lock)
+			},
+		},
+		{
 			Name:         "ablation-multicast",
 			Describe:     "Ablation: word-update multicast fanout limit",
 			DefaultProcs: []int{16, 64, 256},

@@ -1,0 +1,95 @@
+package amosim
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestScaleMatrix is the large-machine acceptance matrix, replacing the old
+// calibration probe: every scale the crossover experiment sweeps, on both
+// event kernels. Each cell runs the Combining cluster barrier — the one
+// primitive designed for these scales, and cheap enough to simulate at
+// 4096 CPUs — and asserts three things:
+//
+//  1. the machine quiesces coherently after the episodes (a hung combiner
+//     or lost release at scale would deadlock or corrupt state);
+//  2. a fresh-cache sweep at Workers=1 and Workers=4 produces
+//     byte-identical result documents, full metrics snapshot included;
+//  3. the flat AMO barrier riding along in the same sweep agrees too, so
+//     the matrix also covers the directory's coarse-bitmap sharer path at
+//     scales far past the exact-list threshold.
+//
+// The 4096-CPU column is skipped under -short; the full matrix runs in
+// tier-1 CI.
+func TestScaleMatrix(t *testing.T) {
+	engines := []struct {
+		name string
+		rc   RunConfig
+	}{
+		{"seq", RunConfig{}},
+		{"pdes8", RunConfig{Engine: "parallel", Shards: 8}},
+	}
+	for _, p := range []int{64, 256, 1024, 4096} {
+		for _, eng := range engines {
+			p, eng := p, eng
+			t.Run(fmt.Sprintf("p%d/%s", p, eng.name), func(t *testing.T) {
+				if p >= 4096 && testing.Short() {
+					t.Skip("4096-CPU column skipped in short mode")
+				}
+				cfg := DefaultConfig(p)
+				opts := BarrierOptions{Episodes: 2, Warmup: 1, RunConfig: eng.rc}
+
+				// Direct run: episodes must complete and the machine must
+				// quiesce with every coherence invariant intact.
+				m, err := NewMachine(opts.apply(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer m.Shutdown()
+				cb := NewCombiningBarrier(m, Combining, p, 0, 0)
+				m.OnAllCPUs(func(c *CPU) {
+					for e := 0; e < 3; e++ {
+						c.Think(uint64((c.ID()*37 + e*13) % 96))
+						cb.Wait(c)
+					}
+				})
+				cycles, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cycles == 0 {
+					t.Fatal("barrier episodes took zero cycles")
+				}
+				if err := m.CheckCoherence(); err != nil {
+					t.Fatalf("quiescence coherence at p=%d: %v", p, err)
+				}
+				t.Logf("p=%4d %-5s cluster=%d %10d cycles", p, eng.name, cb.ClusterSize(), cycles)
+
+				// Sweep determinism: the same two points, fresh caches,
+				// Workers 1 vs 4 — byte-identical documents.
+				runOnce := func(workers int) string {
+					var out string
+					withWorkers(t, workers, func() {
+						vals, err := runPoints([]SweepPoint{
+							BarrierPoint(cfg, Combining, opts),
+							BarrierPoint(cfg, AMO, opts),
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						b, err := json.Marshal(vals)
+						if err != nil {
+							t.Fatal(err)
+						}
+						out = string(b)
+					})
+					return out
+				}
+				if seq, par := runOnce(1), runOnce(4); seq != par {
+					t.Errorf("p=%d %s: workers=1 and workers=4 sweep documents differ", p, eng.name)
+				}
+			})
+		}
+	}
+}
