@@ -38,6 +38,7 @@ import (
 	"amosim/internal/stats"
 	"amosim/internal/syncprim"
 	"amosim/internal/trace"
+	"amosim/internal/workload"
 )
 
 // Tracer is a bounded in-memory message/event log; attach one with
@@ -281,3 +282,35 @@ type LockResult = stats.LockResult
 
 // Speedup returns how many times faster x is than base, given cycle costs.
 func Speedup(baseCycles, xCycles float64) float64 { return stats.Speedup(baseCycles, xCycles) }
+
+// WorkloadSpec is one registered application workload: a stable name, its
+// parameters (rendered into both labels and cache keys), and a sweep-point
+// constructor. See internal/workload.
+type WorkloadSpec = workload.Spec
+
+// WorkloadRunConfig carries the cross-cutting selectors a workload spec
+// consumes beyond the machine config (the chaos plan).
+type WorkloadRunConfig = workload.RunConfig
+
+// WorkloadSpecs returns every registered workload spec in registration
+// order.
+func WorkloadSpecs() []WorkloadSpec { return workload.All() }
+
+// WorkloadSpecByName returns the registered spec with the given name.
+func WorkloadSpecByName(name string) (WorkloadSpec, bool) { return workload.ByName(name) }
+
+// WorkloadResult reports one verified closed-loop workload run.
+type WorkloadResult = workload.Result
+
+// TrafficOptions configure the open-loop traffic driver (arrival process,
+// offered rate, request counts, seed).
+type TrafficOptions = workload.TrafficOptions
+
+// TrafficResult reports one verified open-loop traffic run, including the
+// sojourn-time percentile window.
+type TrafficResult = workload.TrafficResult
+
+// LatencyWindow is a sojourn-time summary: count, mean, p50/p99/p999 and
+// max cycles, with Exact reporting whether quantiles came from retained
+// samples or log-spaced histogram buckets.
+type LatencyWindow = stats.LatencyWindow

@@ -110,6 +110,55 @@ func TestSweepKeyCoversEveryOptionField(t *testing.T) {
 	auditOptionFields(t, reflect.ValueOf(&lopts).Elem(), "LockOptions", lKey(), lKey)
 }
 
+// setNonDefaults recursively sets every exported leaf field of the struct
+// at v to a fixed non-zero value, so a WithDefaults resolution can never
+// map a perturbed spelling back onto the base one (e.g. a zero seed
+// defaulting to 1 colliding with a perturbation to 1).
+func setNonDefaults(v reflect.Value) {
+	for i := 0; i < v.NumField(); i++ {
+		fv := v.Field(i)
+		switch fv.Kind() {
+		case reflect.Struct:
+			setNonDefaults(fv)
+		case reflect.Int, reflect.Int64:
+			fv.SetInt(7)
+		case reflect.Uint, reflect.Uint64:
+			fv.SetUint(7)
+		case reflect.Bool:
+			fv.SetBool(true)
+		case reflect.String:
+			fv.SetString("fixed")
+		}
+	}
+}
+
+// TestSweepKeyCoversEveryWorkloadSpecField extends the cache-key audit to
+// the typed workload registry: every exported field of every registered
+// spec — the classic kernels' tunables and the traffic specs' embedded
+// TrafficOptions alike — must move the sweep key, as must the workload
+// RunConfig selectors. A parameter that can change a result without
+// changing the key would alias cached cells.
+func TestSweepKeyCoversEveryWorkloadSpecField(t *testing.T) {
+	cfg := DefaultConfig(8)
+	for _, s := range WorkloadSpecs() {
+		sv := reflect.New(reflect.TypeOf(s)).Elem()
+		sv.Set(reflect.ValueOf(s))
+		setNonDefaults(sv)
+		key := func() string {
+			return sv.Interface().(WorkloadSpec).Point(cfg, AMO, WorkloadRunConfig{}).Key
+		}
+		auditOptionFields(t, sv, reflect.TypeOf(s).Name(), key(), key)
+	}
+
+	rc := WorkloadRunConfig{ChaosSeed: 9, ChaosLevel: 2}
+	s, ok := WorkloadSpecByName("stencil")
+	if !ok {
+		t.Fatal("stencil workload not registered")
+	}
+	rKey := func() string { return s.Point(cfg, AMO, rc).Key }
+	auditOptionFields(t, reflect.ValueOf(&rc).Elem(), "WorkloadRunConfig", rKey(), rKey)
+}
+
 // TestCombiningNeverAliasesCacheKey pins the new mechanism class and lock
 // kind into the no-alias contract: every mechanism (the paper's five plus
 // Combining) and every lock kind (Cohort included) must produce a distinct

@@ -57,6 +57,14 @@ echo "== combining primitives -race"
 # chaos differential/pinned-digest matrix under the race detector.
 go test -race -run 'TestCombining' ./internal/syncprim ./internal/chaos .
 
+echo "== open-loop traffic -race (short)"
+# The open-loop traffic harness: the arrival process, the latency
+# histogram, the irregular workloads across mechanisms/backends, the
+# traffic-enabled chaos trials, and the root-level byte-identity matrix
+# (worker counts and kernels) under the race detector.
+go test -race -short ./internal/traffic/... ./internal/stats/...
+go test -race -short -run 'TestTraffic' ./internal/workload ./internal/chaos .
+
 echo "== fuzz smoke"
 # Each native fuzz target gets a short randomized run on top of its
 # checked-in corpus. Targets are named individually: -fuzz requires an
@@ -139,6 +147,24 @@ xjson=$(mktemp)
 trap 'rm -f "$tmpjson" "$seqout" "$parout" "$xjson"' EXIT
 go run ./cmd/amotables -bench-crossover "$xjson" -bench-crossover-gate BENCH_crossover.json
 
+echo "== traffic determinism"
+# The open-loop traffic table (sojourn percentiles by offered rate) must
+# emit byte-identical stdout on the sequential and parallel event kernels.
+go run ./cmd/amotables -only traffic -procs 8 -traffic-requests 120 >"$seqout"
+go run ./cmd/amotables -only traffic -procs 8 -traffic-requests 120 -engine parallel -shards 4 >"$parout"
+diff -u "$seqout" "$parout"
+
+echo "== traffic drift gate"
+# Regenerate BENCH_traffic.json: every deterministic field (arrival
+# schedule, sojourn percentiles, saturation verdicts) must match the
+# checked-in baseline exactly. On a deliberate modeling change, regenerate
+# with
+#     go run ./cmd/amotables -bench-traffic BENCH_traffic.json
+# and commit the updated document.
+tjson=$(mktemp)
+trap 'rm -f "$tmpjson" "$seqout" "$parout" "$xjson" "$tjson"' EXIT
+go run ./cmd/amotables -bench-traffic "$tjson" -bench-traffic-gate BENCH_traffic.json
+
 echo "== parallel event kernel speedup/drift gate"
 # Regenerate BENCH_pdes.json: the deterministic fields (kernel equivalence
 # at 1024 CPUs) must match the checked-in baseline exactly, and on hosts
@@ -147,7 +173,7 @@ echo "== parallel event kernel speedup/drift gate"
 #     go run ./cmd/amotables -bench-pdes BENCH_pdes.json
 # and commit the updated document.
 pdesjson=$(mktemp)
-trap 'rm -f "$tmpjson" "$seqout" "$parout" "$xjson" "$pdesjson"' EXIT
+trap 'rm -f "$tmpjson" "$seqout" "$parout" "$xjson" "$tjson" "$pdesjson"' EXIT
 go run ./cmd/amotables -bench-pdes "$pdesjson" -bench-pdes-gate BENCH_pdes.json
 
 echo "== hot path: zero-alloc regression tests"
@@ -162,7 +188,7 @@ echo "== hot path: determinism and throughput gate"
 # benchstat-style ±20% tolerance (the second run exercises the gate).
 hot1=$(mktemp)
 hot2=$(mktemp)
-trap 'rm -f "$tmpjson" "$seqout" "$parout" "$xjson" "$pdesjson" "$hot1" "$hot2" "$hot1.det" "$hot2.det" "$hot1.base"' EXIT
+trap 'rm -f "$tmpjson" "$seqout" "$parout" "$xjson" "$tjson" "$pdesjson" "$hot1" "$hot2" "$hot1.det" "$hot2.det" "$hot1.base"' EXIT
 go run ./cmd/amotables -bench-hotpath "$hot1"
 go run ./cmd/amotables -bench-hotpath "$hot2" -bench-hotpath-gate BENCH_hotpath.json
 grep -v Host "$hot1" >"$hot1.det"

@@ -13,6 +13,15 @@
 //	amosim -primitive combining -mech Combining -procs 256 -cluster 16
 //	amosim -primitive barrier -mech AMO -procs 32 -metrics out.json
 //	amosim -primitive barrier -mech AMO -procs 32 -backend syncron
+//	amosim -app mpmc -mech AMO -procs 64 -rate 128 -requests 5000
+//	amosim -app bfs -mech LLSC -procs 16 -process fixed
+//	amosim -app histogram -mech MAO -procs 32
+//
+// -app replaces the primitive with a verified application workload: the
+// classic phased kernels run closed-loop and report total cycles; the
+// open-loop traffic apps inject requests at the offered -rate and report
+// sojourn-time percentiles (p50/p99/p999/max) plus the achieved rate and
+// a saturation verdict.
 //
 // The experiment runs as a single point on the sweep engine, so it gets
 // the same deadline, deadlock-capture and retry semantics as a table
@@ -92,6 +101,10 @@ func main() {
 		cluster   = flag.Int("cluster", 0, "combining cluster size in CPUs (0 = derive from the topology)")
 		acquires  = flag.Int("acquires", 4, "lock acquisitions per CPU")
 		amuWords  = flag.Int("amu-cache", 8, "AMU operand-cache words (0 disables)")
+		app       = flag.String("app", "", "run a workload instead of a primitive: a classic kernel (stencil, prefixsum, histogram) or an open-loop traffic app (bfs, pagerank, triangles, workqueue, mpmc)")
+		rate      = flag.Int("rate", 0, "traffic apps: offered arrival rate in requests per 1000 cycles (0 = default)")
+		requests  = flag.Int("requests", 0, "traffic apps: measured request count (0 = default)")
+		process   = flag.String("process", "", "traffic apps: arrival process, fixed or poisson (default poisson)")
 		metricsTo = flag.String("metrics", "", "write the result (with its window metrics snapshot) to this file as JSON")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-injection seed (with -chaos-level)")
 		chaosLvl  = flag.Int("chaos-level", 0, "fault-injection intensity: 0 off, 1 mild, 2 hostile; enables runtime invariant oracles")
@@ -112,6 +125,61 @@ func main() {
 	cfg.Shards = *shards
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
+	}
+
+	if *app != "" {
+		wrc := amosim.WorkloadRunConfig{ChaosSeed: *chaosSeed, ChaosLevel: *chaosLvl}
+		o := amosim.TrafficOptions{Process: *process, Rate: *rate, Requests: *requests}
+		spec, isTraffic := amosim.TrafficWorkloadSpec(*app, o)
+		if !isTraffic {
+			var ok bool
+			spec, ok = amosim.WorkloadSpecByName(*app)
+			if !ok {
+				log.Fatalf("unknown workload %q (see -help)", *app)
+			}
+		}
+		if isTraffic {
+			r, err := runOne[amosim.TrafficResult](spec.Point(cfg, mech, wrc))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s %s traffic, %d CPUs, %s %d req/kcycle, %d requests\n",
+				r.Mechanism, r.Name, r.Procs, r.Process, r.Rate, r.Requests)
+			if *chaosLvl > 0 {
+				fmt.Printf("  chaos: seed %d level %d, invariants clean\n", *chaosSeed, *chaosLvl)
+			}
+			sat := ""
+			if r.Saturated {
+				sat = " (saturated)"
+			}
+			fmt.Printf("  achieved req/kcycle: %12.2f%s\n", r.Achieved, sat)
+			fmt.Printf("  p50 sojourn (cyc):   %12d\n", r.Latency.P50)
+			fmt.Printf("  p99 sojourn (cyc):   %12d\n", r.Latency.P99)
+			fmt.Printf("  p999 sojourn (cyc):  %12d\n", r.Latency.P999)
+			fmt.Printf("  max sojourn (cyc):   %12d\n", r.Latency.Max)
+			if *metricsTo != "" {
+				if err := writeMetrics(*metricsTo, r, r.Metrics); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return
+		}
+		r, err := runOne[amosim.WorkloadResult](spec.Point(cfg, mech, wrc))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %s workload, %d CPUs\n", r.Mechanism, r.Name, r.Procs)
+		if *chaosLvl > 0 {
+			fmt.Printf("  chaos: seed %d level %d, invariants clean\n", *chaosSeed, *chaosLvl)
+		}
+		fmt.Printf("  total cycles:        %12d\n", r.Cycles)
+		fmt.Printf("  network messages:    %12d\n", r.NetMessages)
+		if *metricsTo != "" {
+			if err := writeMetrics(*metricsTo, r, r.Metrics); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
 	}
 
 	if *primitive == "barrier" {

@@ -47,6 +47,13 @@
 // additionally demands the deterministic fields match the baseline
 // exactly.
 //
+// With -bench-traffic PATH it runs the pinned open-loop traffic grid
+// (every traffic app on every backend at two offered rates) and writes
+// the BENCH_traffic.json document; -bench-traffic-gate BASELINE
+// additionally demands the deterministic fields match the baseline
+// exactly. The interactive "traffic" experiment takes -traffic-rates,
+// -traffic-requests, and -traffic-process.
+//
 // -cpuprofile and -memprofile write pprof profiles of whatever the
 // invocation runs; sweep points are labeled (pprof tag "sweep_point") so
 // profile samples attribute to the experiment cell that produced them.
@@ -91,6 +98,11 @@ func main() {
 		pdesGate = flag.String("bench-pdes-gate", "", "with -bench-pdes: baseline JSON to gate the fresh measurement against (exact deterministic fields, core-aware speedup floor)")
 		xOut     = flag.String("bench-crossover", "", "write the combining-crossover benchmark document (BENCH_crossover.json) to this file, then exit")
 		xGate    = flag.String("bench-crossover-gate", "", "with -bench-crossover: baseline JSON to gate the fresh measurement against (exact deterministic fields)")
+		tOut     = flag.String("bench-traffic", "", "write the open-loop traffic benchmark document (BENCH_traffic.json) to this file, then exit")
+		tGate    = flag.String("bench-traffic-gate", "", "with -bench-traffic: baseline JSON to gate the fresh measurement against (exact deterministic fields)")
+		tRates   = flag.String("traffic-rates", "", "comma-separated offered rates (req/kcycle) for the traffic experiment")
+		tReqs    = flag.Int("traffic-requests", 0, "measured requests per traffic cell (0 = default)")
+		tProcess = flag.String("traffic-process", "", "arrival process for the traffic experiment: fixed or poisson")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -203,6 +215,26 @@ func main() {
 		return
 	}
 
+	if *tOut != "" {
+		doc, err := amosim.BenchTraffic()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*tOut, doc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if *tGate != "" {
+			baseline, err := os.ReadFile(*tGate)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := amosim.CompareTraffic(baseline, doc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
 	if *hotOut != "" {
 		doc, err := amosim.BenchHotpath(*hotIters)
 		if err != nil {
@@ -228,6 +260,16 @@ func main() {
 		Lock:     lopts,
 		TreeMech: treeMech,
 		Backend:  bend,
+		Traffic:  amosim.TrafficOptions{Process: *tProcess, Requests: *tReqs},
+	}
+	if *tRates != "" {
+		for _, f := range strings.Split(*tRates, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad -traffic-rates entry %q", f)
+			}
+			params.TrafficRates = append(params.TrafficRates, n)
+		}
 	}
 	if *procs != "" {
 		for _, f := range strings.Split(*procs, ",") {

@@ -82,4 +82,35 @@ func main() {
 		r := vals[i].(amosim.BarrierResult)
 		fmt.Printf("  %-20s %8.1f cycles/barrier\n", pt.Label, r.CyclesPerBarrier)
 	}
+
+	// Application workloads register as typed specs: look one up by name
+	// (amosim.WorkloadSpecs() lists all of them) and build its sweep point.
+	// Every spec parameter appears in both the point's label and its cache
+	// key, and the kernel verifies its output against a host oracle.
+	wspec, ok := amosim.WorkloadSpecByName("histogram")
+	if !ok {
+		log.Fatal("histogram workload not registered")
+	}
+	wpt := wspec.Point(cfg, amosim.AMO, amosim.WorkloadRunConfig{})
+	wvals, err := runner.RunSweepPoints(context.Background(), []amosim.SweepPoint{wpt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wr := wvals[0].(amosim.WorkloadResult)
+	fmt.Printf("workload %s: %d cycles, %d network messages (verified against host oracle)\n",
+		wr.Name, wr.Cycles, wr.NetMessages)
+
+	// The open-loop traffic specs additionally take an offered arrival
+	// rate and report sojourn-time percentiles.
+	tspec, ok := amosim.TrafficWorkloadSpec("mpmc", amosim.TrafficOptions{Rate: 2, Requests: 200})
+	if !ok {
+		log.Fatal("mpmc traffic workload not registered")
+	}
+	tvals, err := runner.RunSweepPoints(context.Background(), []amosim.SweepPoint{tspec.Point(cfg, amosim.AMO, amosim.WorkloadRunConfig{})})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := tvals[0].(amosim.TrafficResult)
+	fmt.Printf("traffic %s at %d req/kcycle: achieved %.2f, p50 %d / p99 %d cycles sojourn\n",
+		tr.Name, tr.Rate, tr.Achieved, tr.Latency.P50, tr.Latency.P99)
 }

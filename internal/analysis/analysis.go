@@ -104,7 +104,7 @@ func inSimPackages(mod *Module, pkg *Package) bool {
 
 // AllRules returns every rule, in a fixed order.
 func AllRules() []Rule {
-	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}, SweepShareRule{}, ChaosDetRule{}, BackendPureRule{}, ShardPureRule{}, LifecycleRule{}, EscapeRule{}}
+	return []Rule{MapRangeRule{}, ExhaustiveRule{}, BannedRule{}, LatencyRule{}, BareCounterRule{}, SweepShareRule{}, ChaosDetRule{}, BackendPureRule{}, ShardPureRule{}, OpenLoopRule{}, LifecycleRule{}, EscapeRule{}}
 }
 
 // RuleNames returns the names of rules, comma-joined, for usage text.

@@ -146,8 +146,8 @@ func TestNoExternalDependencies(t *testing.T) {
 // TestSelectRules exercises the rule-subset flag parsing.
 func TestSelectRules(t *testing.T) {
 	all, err := analysis.SelectRules("")
-	if err != nil || len(all) != 11 {
-		t.Fatalf("SelectRules(\"\") = %d rules, err %v; want 11, nil", len(all), err)
+	if err != nil || len(all) != 12 {
+		t.Fatalf("SelectRules(\"\") = %d rules, err %v; want 12, nil", len(all), err)
 	}
 	sub, err := analysis.SelectRules("maprange, banned")
 	if err != nil || len(sub) != 2 {

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// openLoopPackages hold the open-loop traffic machinery: the arrival
+// process (internal/traffic) and the request workloads plus their driver
+// (internal/workload). Neither is in simPackages — they run above the
+// machine, not inside the protocol engines — so maprange/banned do not
+// reach them; this rule carries the determinism contract there.
+var openLoopPackages = map[string]bool{
+	"internal/traffic":  true,
+	"internal/workload": true,
+}
+
+// OpenLoopRule keeps the open-loop traffic packages (internal/traffic,
+// internal/workload) free of host nondeterminism. A traffic schedule and
+// the workload it drives must replay byte-identically from
+// (process, seed, rate, n) alone — TrafficTable promises identical bytes
+// at any sweep worker count and on either event kernel — so inside an
+// open-loop package the rule bans
+//
+//   - importing math/rand or math/rand/v2 — arrival jitter and payload
+//     generation must come from the seeded chaos/SplitMix64 streams;
+//   - the wall clock (time.Now/Since/Until) — sojourn times are measured
+//     in simulated cycles, never host time;
+//   - raw `for … range` over a map — map iteration order is randomized
+//     per run, so building a graph, scattering payloads, or draining a
+//     queue in map order desynchronizes the request stream between runs.
+//     Iterate a sorted key slice, or annotate //lint:order-independent
+//     when the body genuinely commutes.
+type OpenLoopRule struct{}
+
+// Name implements Rule.
+func (OpenLoopRule) Name() string { return "openloop" }
+
+// Check implements Rule.
+func (OpenLoopRule) Check(mod *Module, pkg *Package) []Diagnostic {
+	if !openLoopPackages[mod.RelPath(pkg)] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, Diagnostic{
+					Pos:  mod.Fset.Position(imp.Pos()),
+					Rule: "openloop",
+					Msg:  path + " import in an open-loop traffic package: schedules must replay from (process, seed, rate, n) alone; draw from the seeded chaos streams",
+				})
+			}
+		}
+		annotated := annotatedLines(mod.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pkg.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				pos := mod.Fset.Position(n.Pos())
+				if annotationCovers(annotated, pos.Line) {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:  pos,
+					Rule: "openloop",
+					Msg: "nondeterministic iteration over " + types.TypeString(tv.Type, types.RelativeTo(pkg.Types)) +
+						" in an open-loop traffic package: range a sorted key slice, or annotate " + OrderIndependentAnnotation +
+						" if the body is order-independent",
+				})
+			case *ast.SelectorExpr:
+				obj, ok := pkg.Info.Uses[n.Sel]
+				if !ok {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				if bannedTimeFuncs[fn.Name()] {
+					out = append(out, Diagnostic{
+						Pos:  mod.Fset.Position(n.Pos()),
+						Rule: "openloop",
+						Msg:  "time." + fn.Name() + " in an open-loop traffic package: sojourn time is simulated cycles, never the wall clock",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"amosim/internal/sweep"
 	"amosim/internal/syncprim"
 	"amosim/internal/trace"
+	"amosim/internal/traffic"
 )
 
 // traceCap bounds the per-trial message trace. The digest hashes the full
@@ -58,6 +59,15 @@ type TrialSpec struct {
 	// other shards, so they only arm on the sequential kernel.
 	Engine string
 	Shards int
+	// TrafficOps, when positive, appends an open-loop phase after the
+	// episodes: TrafficOps requests arrive Poisson at TrafficRate requests
+	// per kilocycle (the internal/traffic schedule), each claimed by
+	// mechanism fetch-add and counted into a shared word. The phase's
+	// functional outcome (TrafficDone plus fetch-add permutation) is
+	// mechanism-independent, so it joins the differential oracle. Zero
+	// leaves the trial — and every pinned digest — exactly as before.
+	TrafficOps  int
+	TrafficRate int
 }
 
 // String renders the spec as a replayable literal.
@@ -66,6 +76,9 @@ func (s TrialSpec) String() string {
 		s.Seed, mechIdent(s.Mech), s.Procs, s.Vars, s.Ops, s.Episodes, s.LockPasses, s.Level, s.Squeeze, backendIdent(s.Backend))
 	if s.Engine != "" {
 		base += fmt.Sprintf(", Engine: %q, Shards: %d", s.Engine, s.Shards)
+	}
+	if s.TrafficOps > 0 {
+		base += fmt.Sprintf(", TrafficOps: %d, TrafficRate: %d", s.TrafficOps, s.TrafficRate)
 	}
 	return base + "}"
 }
@@ -98,6 +111,9 @@ func (s TrialSpec) Label() string {
 	}
 	if s.Engine == "parallel" {
 		tag += fmt.Sprintf(" [pdes:%d]", s.Shards)
+	}
+	if s.TrafficOps > 0 {
+		tag += fmt.Sprintf(" [traffic:%d@%d]", s.TrafficOps, s.TrafficRate)
 	}
 	return fmt.Sprintf("chaos seed=%d %s p=%d L%d%s", s.Seed, s.Mech, s.Procs, s.Level, tag)
 }
@@ -171,6 +187,10 @@ type TrialResult struct {
 	Injected Stats
 	// Transitions is the number of directory transitions the oracle saw.
 	Transitions uint64
+	// TrafficDone is the open-loop phase's final counter value (zero when
+	// the phase is disabled); it must equal Spec.TrafficOps and is part of
+	// the cross-mechanism differential outcome.
+	TrafficDone uint64
 }
 
 // RunTrial executes the trial and checks every oracle: the transition
@@ -329,6 +349,46 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 		return TrialResult{}, tr, s.fail("run: %v", err)
 	}
 
+	// Open-loop traffic phase: requests arrive on the internal/traffic
+	// schedule after the episode phase quiesced, claimed by mechanism
+	// fetch-add. Functionally the phase is a fetch-add permutation, so it
+	// joins the same differential oracle as the episode counters.
+	var trafficTicket, trafficCount uint64
+	trafficOld := make([][]uint64, s.Procs)
+	if s.TrafficOps > 0 {
+		if s.TrafficRate < 1 {
+			return TrialResult{}, tr, fmt.Errorf("chaos: trial %s has TrafficOps without a TrafficRate", s)
+		}
+		tlay := NewRNG(s.Seed).Split("traffic-layout")
+		trafficTicket = m.AllocWord(tlay.Intn(nodes))
+		trafficCount = m.AllocWord(tlay.Intn(nodes))
+		sched, serr := traffic.New(traffic.Poisson, NewRNG(s.Seed).Split("traffic-arrivals").Uint64(),
+			s.TrafficRate, s.TrafficOps, uint64(cycles))
+		if serr != nil {
+			return TrialResult{}, tr, s.fail("traffic schedule: %v", serr)
+		}
+		n := uint64(s.TrafficOps)
+		m.OnAllCPUs(func(c *proc.CPU) {
+			id := c.ID()
+			for {
+				i := syncprim.FetchAdd(c, s.Mech, trafficTicket, 1)
+				if i >= n {
+					break
+				}
+				if at := sched.At(int(i)); uint64(c.Now()) < at {
+					c.Think(at - uint64(c.Now()))
+				}
+				old := syncprim.FetchAdd(c, s.Mech, trafficCount, 1)
+				trafficOld[id] = append(trafficOld[id], old)
+			}
+			bwait(c)
+		})
+		cycles, err = m.Run()
+		if err != nil {
+			return TrialResult{}, tr, s.fail("traffic phase: %v", err)
+		}
+	}
+
 	res := TrialResult{
 		Spec:        s,
 		FinalValues: make([]uint64, s.Vars),
@@ -344,6 +404,9 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 	}
 	if s.LockPasses > 0 {
 		res.LockWord = m.ReadWordCoherent(lockWord)
+	}
+	if s.TrafficOps > 0 {
+		res.TrafficDone = m.ReadWordCoherent(trafficCount)
 	}
 	res.Digest = digest(tr, res)
 
@@ -396,6 +459,28 @@ func runTrial(s TrialSpec, mutate func(*config.Config)) (TrialResult, *trace.Tra
 			return res, tr, s.fail("cpu %d completed %d ops, want %d", id, n, expectedOps[id])
 		}
 	}
+	if s.TrafficOps > 0 {
+		if res.TrafficDone != uint64(s.TrafficOps) {
+			return res, tr, s.fail("traffic counter = %d, want %d", res.TrafficDone, s.TrafficOps)
+		}
+		if got := m.ReadWordCoherent(trafficTicket); got < uint64(s.TrafficOps) {
+			return res, tr, s.fail("only %d of %d traffic tickets claimed", got, s.TrafficOps)
+		}
+		var merged []uint64
+		for cpu := range trafficOld {
+			merged = append(merged, trafficOld[cpu]...)
+		}
+		if len(merged) != s.TrafficOps {
+			return res, tr, s.fail("traffic saw %d increments, want %d", len(merged), s.TrafficOps)
+		}
+		seen := make([]bool, s.TrafficOps)
+		for _, v := range merged {
+			if v >= uint64(s.TrafficOps) || seen[v] {
+				return res, tr, s.fail("traffic fetch-add old values %v are not a permutation of 0..%d", merged, s.TrafficOps-1)
+			}
+			seen[v] = true
+		}
+	}
 	return res, tr, nil
 }
 
@@ -405,6 +490,10 @@ func digest(tr *trace.Tracer, r TrialResult) string {
 	_ = tr.Dump(h)
 	fmt.Fprintf(h, "dropped=%d cycles=%d finals=%v lock=%d ops=%v\n",
 		tr.Dropped(), r.Cycles, r.FinalValues, r.LockWord, r.OpsDone)
+	// Guarded so trials without a traffic phase keep their pinned digests.
+	if r.Spec.TrafficOps > 0 {
+		fmt.Fprintf(h, "traffic=%d\n", r.TrafficDone)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -432,6 +521,11 @@ func NewGroup(seed uint64) Group {
 		Level:      1 + r.Intn(2),
 		Squeeze:    r.Below(250),
 		Backend:    config.Backends[r.Intn(len(config.Backends))],
+		// Half the groups append an open-loop traffic phase (drawn after
+		// every pre-existing field, so group shapes that predate traffic
+		// only change by the new fields).
+		TrafficOps:  r.Intn(2) * 6,
+		TrafficRate: 1 + r.Intn(4),
 	}
 	g := Group{Seed: seed}
 	for _, mech := range syncprim.AllMechanisms {
@@ -480,10 +574,12 @@ func CompareOutcomes(results []TrialResult) error {
 		}
 		if fmt.Sprint(r.FinalValues) != fmt.Sprint(ref.FinalValues) ||
 			r.LockWord != ref.LockWord ||
+			r.TrafficDone != ref.TrafficDone ||
 			fmt.Sprint(r.OpsDone) != fmt.Sprint(ref.OpsDone) {
-			return fmt.Errorf("chaos: seed %d diverges between %s and %s: finals %v/%v lock %d/%d ops %v/%v [replay: %s and %s]",
+			return fmt.Errorf("chaos: seed %d diverges between %s and %s: finals %v/%v lock %d/%d traffic %d/%d ops %v/%v [replay: %s and %s]",
 				ref.Spec.Seed, ref.Spec.Mech, r.Spec.Mech,
 				ref.FinalValues, r.FinalValues, ref.LockWord, r.LockWord,
+				ref.TrafficDone, r.TrafficDone,
 				ref.OpsDone, r.OpsDone, ref.Spec, r.Spec)
 		}
 	}
@@ -506,15 +602,17 @@ func SpecFromBytes(data []byte) TrialSpec {
 		seed = seed*1099511628211 + uint64(b)
 	}
 	return TrialSpec{
-		Seed:       seed,
-		Mech:       syncprim.AllMechanisms[at(0)%uint64(len(syncprim.AllMechanisms))],
-		Procs:      []int{2, 4}[at(1)%2],
-		Vars:       1 + int(at(2)%3),
-		Ops:        1 + int(at(3)%4),
-		Episodes:   1 + int(at(4)%2),
-		LockPasses: int(at(5) % 2),
-		Level:      1 + int(at(6)%2),
-		Squeeze:    at(7)%4 == 0,
-		Backend:    config.Backends[at(8)%uint64(len(config.Backends))],
+		Seed:        seed,
+		Mech:        syncprim.AllMechanisms[at(0)%uint64(len(syncprim.AllMechanisms))],
+		Procs:       []int{2, 4}[at(1)%2],
+		Vars:        1 + int(at(2)%3),
+		Ops:         1 + int(at(3)%4),
+		Episodes:    1 + int(at(4)%2),
+		LockPasses:  int(at(5) % 2),
+		Level:       1 + int(at(6)%2),
+		Squeeze:     at(7)%4 == 0,
+		Backend:     config.Backends[at(8)%uint64(len(config.Backends))],
+		TrafficOps:  int(at(9) % 3 * 4),
+		TrafficRate: 1 + int(at(10)%8),
 	}
 }

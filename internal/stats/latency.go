@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Latency histograms for the open-loop traffic harness: every injected
+// request carries its scheduled arrival cycle, and its sojourn time
+// (completion cycle minus arrival cycle) is folded into a LatencyHist.
+// Quantiles are reported from measurement windows, mirroring the metrics
+// layer's Snapshot/Diff discipline: fold the warm-up phase, clone the
+// histogram, fold the measured phase, and diff the two.
+//
+// Bucketing is integer-only and deterministic: sojourns 0..15 cycles get
+// exact unit buckets; above that, every power-of-two octave is split into
+// eight log-spaced sub-buckets, bounding quantile error at 12.5% while
+// keeping the bucket count fixed (no allocation or rebalancing during a
+// run, and identical layout on every host).
+//
+// For test oracles and small runs the histogram additionally retains raw
+// samples up to LatencyExactSamples: while every sample of a window is
+// retained, quantiles and the maximum are computed exactly from the sorted
+// samples instead of from bucket upper bounds.
+
+const (
+	// latencyUnitBuckets is the number of exact unit buckets (values
+	// 0..latencyUnitBuckets-1).
+	latencyUnitBuckets = 16
+	// latencySubBuckets is the number of log-spaced sub-buckets per
+	// power-of-two octave above the unit range.
+	latencySubBuckets = 8
+	// latencyBuckets is the total bucket count: unit buckets plus eight
+	// sub-buckets for each octave [2^4, 2^5) .. [2^63, 2^64).
+	latencyBuckets = latencyUnitBuckets + (64-4)*latencySubBuckets
+
+	// LatencyExactSamples is the raw-sample retention cap. Windows whose
+	// samples are all retained report exact quantiles; beyond the cap the
+	// histogram degrades to deterministic bucket upper bounds.
+	LatencyExactSamples = 8192
+)
+
+// latencyBucketOf maps a sojourn value to its bucket index.
+func latencyBucketOf(v uint64) int {
+	if v < latencyUnitBuckets {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // v in [2^e, 2^(e+1)), e >= 4
+	sub := int((v >> uint(e-3)) & (latencySubBuckets - 1))
+	return latencyUnitBuckets + (e-4)*latencySubBuckets + sub
+}
+
+// LatencyBucketUpper returns the largest value a bucket holds — the
+// deterministic quantile estimate reported when exact samples are not
+// available.
+func LatencyBucketUpper(i int) uint64 {
+	if i < latencyUnitBuckets {
+		return uint64(i)
+	}
+	k := i - latencyUnitBuckets
+	e := 4 + k/latencySubBuckets
+	sub := uint64(k % latencySubBuckets)
+	return (latencySubBuckets+sub+1)<<uint(e-3) - 1
+}
+
+// LatencyHist is a cumulative sojourn-time histogram. The zero value is not
+// usable; construct with NewLatencyHist. Add order does not affect the
+// bucket counts, sum, or maximum; the exact-sample mode records samples in
+// fold order, which callers keep deterministic by folding host-side in
+// request order.
+type LatencyHist struct {
+	counts  [latencyBuckets]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+	samples []uint64
+}
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
+
+// Add folds one sojourn sample.
+func (h *LatencyHist) Add(v uint64) {
+	h.counts[latencyBucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < LatencyExactSamples {
+		h.samples = append(h.samples, v)
+	}
+}
+
+// Count reports the number of samples folded so far.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// Clone returns an independent copy — the start-of-window snapshot for a
+// later Window call.
+func (h *LatencyHist) Clone() *LatencyHist {
+	c := *h
+	c.samples = append([]uint64(nil), h.samples...)
+	return &c
+}
+
+// exactAll reports whether every folded sample is retained raw.
+func (h *LatencyHist) exactAll() bool { return uint64(len(h.samples)) == h.count }
+
+// LatencyWindow is the measured-window view of a histogram diff: the
+// sojourn-time quantiles of the samples folded between a start snapshot and
+// now. All fields are deterministic; Exact reports whether they were
+// computed from raw samples (small windows) or from log-spaced bucket upper
+// bounds.
+type LatencyWindow struct {
+	// Count is the number of samples in the window; Sum their total.
+	Count uint64
+	Sum   uint64
+	// Mean is Sum/Count (0 for an empty window).
+	Mean float64
+	// P50, P99 and P999 are the 50th/99th/99.9th percentile sojourn times;
+	// Max is the window maximum. In bucket mode each is the upper bound of
+	// the bucket holding the corresponding rank.
+	P50  uint64
+	P99  uint64
+	P999 uint64
+	Max  uint64
+	// Exact is true when the window's quantiles came from raw sorted
+	// samples rather than bucket upper bounds.
+	Exact bool
+}
+
+// Window diffs the histogram against a start-of-window snapshot (taken with
+// Clone before the measured phase) and reports the window's quantiles.
+// start must be a snapshot of this histogram's own past; Window panics if
+// the alleged start has folded more samples than the end.
+func (h *LatencyHist) Window(start *LatencyHist) LatencyWindow {
+	if start.count > h.count {
+		panic(fmt.Sprintf("stats: latency window start has %d samples, end has %d", start.count, h.count))
+	}
+	w := LatencyWindow{Count: h.count - start.count, Sum: h.sum - start.sum}
+	if w.Count == 0 {
+		return w
+	}
+	w.Mean = float64(w.Sum) / float64(w.Count)
+	if h.exactAll() && start.exactAll() {
+		w.Exact = true
+		win := append([]uint64(nil), h.samples[start.count:]...)
+		sort.Slice(win, func(i, j int) bool { return win[i] < win[j] })
+		w.P50 = win[rankIndex(0.50, len(win))]
+		w.P99 = win[rankIndex(0.99, len(win))]
+		w.P999 = win[rankIndex(0.999, len(win))]
+		w.Max = win[len(win)-1]
+		return w
+	}
+	var diff [latencyBuckets]uint64
+	for i := range diff {
+		diff[i] = h.counts[i] - start.counts[i]
+	}
+	w.P50 = bucketQuantile(&diff, w.Count, 0.50)
+	w.P99 = bucketQuantile(&diff, w.Count, 0.99)
+	w.P999 = bucketQuantile(&diff, w.Count, 0.999)
+	top := 0
+	for i, n := range diff {
+		if n > 0 {
+			top = i
+		}
+	}
+	w.Max = LatencyBucketUpper(top)
+	return w
+}
+
+// rankIndex maps quantile q over n sorted samples to a 0-based index using
+// the ceiling-rank convention: the smallest sample such that at least
+// ceil(q*n) samples are <= it.
+func rankIndex(q float64, n int) int {
+	r := int(math.Ceil(q * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r - 1
+}
+
+// bucketQuantile returns the upper bound of the bucket holding the
+// ceiling-rank sample of quantile q.
+func bucketQuantile(diff *[latencyBuckets]uint64, count uint64, q float64) uint64 {
+	rank := uint64(rankIndex(q, int(count))) + 1
+	var cum uint64
+	for i, n := range diff {
+		cum += n
+		if cum >= rank {
+			return LatencyBucketUpper(i)
+		}
+	}
+	return LatencyBucketUpper(latencyBuckets - 1)
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+)
+
+// testRNG is a tiny SplitMix64 stream so the oracle test does not depend on
+// math/rand's generator or seeding behaviour across Go versions.
+type testRNG uint64
+
+func (r *testRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// oracleQuantile is the sorted-sample ceiling-rank quantile the histogram
+// promises in exact mode.
+func oracleQuantile(sorted []uint64, q float64) uint64 {
+	return sorted[rankIndex(q, len(sorted))]
+}
+
+// TestLatencyExactQuantileOracle is the exact-mode contract: for windows
+// whose samples are all retained, P50/P99/P999/Max must equal the
+// sorted-sample quantiles exactly — across 4 window sizes and 8 seeds, with
+// samples spanning the unit buckets, the log-spaced octaves, and repeated
+// values.
+func TestLatencyExactQuantileOracle(t *testing.T) {
+	sizes := []int{16, 333, 2048, LatencyExactSamples}
+	for _, n := range sizes {
+		for seed := uint64(1); seed <= 8; seed++ {
+			r := testRNG(seed * 0x1234567)
+			h := NewLatencyHist()
+			start := h.Clone()
+			samples := make([]uint64, 0, n)
+			for i := 0; i < n; i++ {
+				// Mix scales: tiny exact-bucket values, mid-range, and
+				// heavy-tail values deep into the octave buckets.
+				var v uint64
+				switch r.next() % 4 {
+				case 0:
+					v = r.next() % 16
+				case 1:
+					v = r.next() % 1000
+				case 2:
+					v = r.next() % 100000
+				default:
+					v = r.next() % (1 << 40)
+				}
+				h.Add(v)
+				samples = append(samples, v)
+			}
+			w := h.Window(start)
+			if !w.Exact {
+				t.Fatalf("n=%d seed=%d: window not exact below the retention cap", n, seed)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			if got, want := w.P50, oracleQuantile(samples, 0.50); got != want {
+				t.Errorf("n=%d seed=%d: P50 = %d, oracle %d", n, seed, got, want)
+			}
+			if got, want := w.P99, oracleQuantile(samples, 0.99); got != want {
+				t.Errorf("n=%d seed=%d: P99 = %d, oracle %d", n, seed, got, want)
+			}
+			if got, want := w.P999, oracleQuantile(samples, 0.999); got != want {
+				t.Errorf("n=%d seed=%d: P999 = %d, oracle %d", n, seed, got, want)
+			}
+			if got, want := w.Max, samples[len(samples)-1]; got != want {
+				t.Errorf("n=%d seed=%d: Max = %d, oracle %d", n, seed, got, want)
+			}
+			var sum uint64
+			for _, v := range samples {
+				sum += v
+			}
+			if w.Sum != sum || w.Count != uint64(n) {
+				t.Errorf("n=%d seed=%d: Sum/Count = %d/%d, oracle %d/%d", n, seed, w.Sum, w.Count, sum, n)
+			}
+		}
+	}
+}
+
+// TestLatencyWindowSkipsWarmup checks the Clone/Window discipline: samples
+// folded before the start snapshot must not leak into the window.
+func TestLatencyWindowSkipsWarmup(t *testing.T) {
+	h := NewLatencyHist()
+	for i := uint64(0); i < 100; i++ {
+		h.Add(1_000_000 + i) // huge warm-up sojourns
+	}
+	start := h.Clone()
+	for i := uint64(0); i < 50; i++ {
+		h.Add(i) // small measured sojourns
+	}
+	w := h.Window(start)
+	if w.Count != 50 {
+		t.Fatalf("window count = %d, want 50", w.Count)
+	}
+	if !w.Exact {
+		t.Fatalf("window not exact")
+	}
+	if w.Max >= 1_000_000 {
+		t.Fatalf("warm-up samples leaked into the window: max %d", w.Max)
+	}
+	if w.P50 != 24 { // ceil(0.5*50) = rank 25 → sorted[24]
+		t.Fatalf("P50 = %d, want 24", w.P50)
+	}
+}
+
+// TestLatencyBucketModeBounds checks the degraded mode past the retention
+// cap: quantiles must be deterministic upper bounds within one sub-bucket
+// (12.5%) of the exact sorted-sample quantile, and never below it.
+func TestLatencyBucketModeBounds(t *testing.T) {
+	n := LatencyExactSamples * 3
+	r := testRNG(42)
+	h := NewLatencyHist()
+	start := h.Clone()
+	samples := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		v := r.next() % (1 << 30)
+		h.Add(v)
+		samples = append(samples, v)
+	}
+	w := h.Window(start)
+	if w.Exact {
+		t.Fatalf("window exact above the retention cap")
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	check := func(name string, got uint64, q float64) {
+		t.Helper()
+		want := oracleQuantile(samples, q)
+		if got < want {
+			t.Errorf("%s = %d below the exact quantile %d", name, got, want)
+		}
+		if float64(got) > float64(want)*1.125+1 {
+			t.Errorf("%s = %d exceeds the exact quantile %d by more than a sub-bucket", name, got, want)
+		}
+	}
+	check("P50", w.P50, 0.50)
+	check("P99", w.P99, 0.99)
+	check("P999", w.P999, 0.999)
+	if max := samples[len(samples)-1]; w.Max < max || float64(w.Max) > float64(max)*1.125+1 {
+		t.Errorf("Max = %d, exact %d", w.Max, max)
+	}
+}
+
+// TestLatencyBucketLayout pins the bucket geometry: bucketOf and
+// BucketUpper must agree (upper bound is in its own bucket, and the next
+// value starts the next bucket).
+func TestLatencyBucketLayout(t *testing.T) {
+	for i := 0; i < latencyBuckets; i++ {
+		u := LatencyBucketUpper(i)
+		if got := latencyBucketOf(u); got != i {
+			t.Fatalf("bucket %d: upper bound %d maps to bucket %d", i, u, got)
+		}
+		if i+1 < latencyBuckets {
+			if got := latencyBucketOf(u + 1); got != i+1 {
+				t.Fatalf("bucket %d: %d maps to bucket %d, want %d", i, u+1, got, i+1)
+			}
+		}
+	}
+	if latencyBucketOf(0) != 0 || latencyBucketOf(15) != 15 || latencyBucketOf(16) != 16 {
+		t.Fatalf("unit-bucket layout broken")
+	}
+}

@@ -1,0 +1,100 @@
+package traffic
+
+import "testing"
+
+func TestParseProcessRoundTrip(t *testing.T) {
+	for _, p := range Processes {
+		got, err := ParseProcess(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseProcess(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProcess("uniform"); err == nil {
+		t.Fatalf("ParseProcess accepted an unknown process")
+	}
+}
+
+func TestScheduleDeterministicAndMonotonic(t *testing.T) {
+	for _, p := range Processes {
+		a, err := New(p, 7, 16, 500, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := New(p, 7, 16, 500, 100)
+		if a.Len() != 500 {
+			t.Fatalf("%v: Len = %d", p, a.Len())
+		}
+		prev := uint64(100)
+		for i := 0; i < a.Len(); i++ {
+			if a.At(i) != b.At(i) {
+				t.Fatalf("%v: schedule not deterministic at %d: %d vs %d", p, i, a.At(i), b.At(i))
+			}
+			if a.At(i) < prev {
+				t.Fatalf("%v: arrival %d at %d precedes %d", p, i, a.At(i), prev)
+			}
+			prev = a.At(i)
+		}
+		if a.Horizon() != a.At(a.Len()-1) {
+			t.Fatalf("%v: Horizon %d != last arrival %d", p, a.Horizon(), a.At(a.Len()-1))
+		}
+	}
+}
+
+func TestScheduleSeedsIndependent(t *testing.T) {
+	a, _ := New(Poisson, 1, 16, 200, 0)
+	b, _ := New(Poisson, 2, 16, 200, 0)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.At(i) == b.At(i) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatalf("distinct seeds produced identical Poisson schedules")
+	}
+}
+
+func TestFixedScheduleSpacing(t *testing.T) {
+	s, err := New(Fixed, 9, 8, 16, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		want := uint64(1000) + uint64(i+1)*125
+		if s.At(i) != want {
+			t.Fatalf("fixed arrival %d at %d, want %d", i, s.At(i), want)
+		}
+	}
+}
+
+func TestPoissonRateRealized(t *testing.T) {
+	// The empirical mean gap must be within 15% of 1000/rate over a long
+	// schedule (law of large numbers; the draw is deterministic, so this is
+	// a fixed property of the seed, not a flaky statistical test).
+	const rate, n = 50, 20000
+	s, err := New(Poisson, 3, rate, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(s.Horizon()) / n
+	want := 1000.0 / rate
+	if mean < want*0.85 || mean > want*1.15 {
+		t.Fatalf("poisson mean gap %.2f, want about %.2f", mean, want)
+	}
+}
+
+func TestScheduleRejectsBadInputs(t *testing.T) {
+	if _, err := New(Poisson, 1, 0, 10, 0); err == nil {
+		t.Fatalf("rate 0 accepted")
+	}
+	if _, err := New(Fixed, 1, 8, -1, 0); err == nil {
+		t.Fatalf("negative n accepted")
+	}
+	if _, err := New(Process(99), 1, 8, 1, 0); err == nil {
+		t.Fatalf("unknown process accepted")
+	}
+	empty, err := New(Fixed, 1, 8, 0, 0)
+	if err != nil || empty.Len() != 0 || empty.Horizon() != 0 {
+		t.Fatalf("empty schedule: %v %d %d", err, empty.Len(), empty.Horizon())
+	}
+}

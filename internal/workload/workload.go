@@ -51,6 +51,10 @@ func finish(m *machine.Machine, name string, mech syncprim.Mechanism, cycles sim
 // the data dependence requires). Boundary reads reach into neighbours'
 // memory, so the kernel generates real cross-node coherence traffic.
 func Stencil(cfg config.Config, mech syncprim.Mechanism, chunk, iters int) (Result, error) {
+	return runStencil(cfg, mech, chunk, iters, RunConfig{})
+}
+
+func runStencil(cfg config.Config, mech syncprim.Mechanism, chunk, iters int, rc RunConfig) (Result, error) {
 	if chunk < 1 || iters < 1 {
 		return Result{}, fmt.Errorf("workload: stencil needs chunk, iters >= 1 (got %d, %d)", chunk, iters)
 	}
@@ -59,6 +63,7 @@ func Stencil(cfg config.Config, mech syncprim.Mechanism, chunk, iters int) (Resu
 		return Result{}, err
 	}
 	defer m.Shutdown()
+	orc := attachChaos(m, rc)
 
 	procs := cfg.Processors
 	n := procs * chunk
@@ -97,6 +102,9 @@ func Stencil(cfg config.Config, mech syncprim.Mechanism, chunk, iters int) (Resu
 	if err != nil {
 		return Result{}, fmt.Errorf("workload: stencil (%v): %w", mech, err)
 	}
+	if err := checkChaos(orc); err != nil {
+		return Result{}, fmt.Errorf("workload: stencil (%v, chaos seed %d level %d): %w", mech, rc.ChaosSeed, rc.ChaosLevel, err)
+	}
 
 	final := cur
 	if iters%2 == 1 {
@@ -134,11 +142,16 @@ func stencilOracle(cur []int64, iters int) []int64 {
 // PrefixSum computes an inclusive prefix sum over one value per CPU with
 // the Hillis–Steele algorithm: log2(P) rounds, each bounded by barriers.
 func PrefixSum(cfg config.Config, mech syncprim.Mechanism) (Result, error) {
+	return runPrefixSum(cfg, mech, RunConfig{})
+}
+
+func runPrefixSum(cfg config.Config, mech syncprim.Mechanism, rc RunConfig) (Result, error) {
 	m, err := machine.New(cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	defer m.Shutdown()
+	orc := attachChaos(m, rc)
 	procs := cfg.Processors
 
 	x := make([]uint64, procs)
@@ -166,6 +179,9 @@ func PrefixSum(cfg config.Config, mech syncprim.Mechanism) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("workload: prefix sum (%v): %w", mech, err)
 	}
+	if err := checkChaos(orc); err != nil {
+		return Result{}, fmt.Errorf("workload: prefix sum (%v, chaos seed %d level %d): %w", mech, rc.ChaosSeed, rc.ChaosLevel, err)
+	}
 
 	var running uint64
 	for p := 0; p < procs; p++ {
@@ -181,6 +197,10 @@ func PrefixSum(cfg config.Config, mech syncprim.Mechanism) (Result, error) {
 // bin counters with the mechanism's atomic fetch-add — the fine-grained
 // contended-counter pattern AMOs target. A final barrier closes the run.
 func Histogram(cfg config.Config, mech syncprim.Mechanism, bins, itemsPerCPU int) (Result, error) {
+	return runHistogram(cfg, mech, bins, itemsPerCPU, RunConfig{})
+}
+
+func runHistogram(cfg config.Config, mech syncprim.Mechanism, bins, itemsPerCPU int, rc RunConfig) (Result, error) {
 	if bins < 1 || itemsPerCPU < 1 {
 		return Result{}, fmt.Errorf("workload: histogram needs bins, items >= 1 (got %d, %d)", bins, itemsPerCPU)
 	}
@@ -189,6 +209,7 @@ func Histogram(cfg config.Config, mech syncprim.Mechanism, bins, itemsPerCPU int
 		return Result{}, err
 	}
 	defer m.Shutdown()
+	orc := attachChaos(m, rc)
 	procs := cfg.Processors
 
 	binAddr := make([]uint64, bins)
@@ -214,6 +235,9 @@ func Histogram(cfg config.Config, mech syncprim.Mechanism, bins, itemsPerCPU int
 	cycles, err := m.Run()
 	if err != nil {
 		return Result{}, fmt.Errorf("workload: histogram (%v): %w", mech, err)
+	}
+	if err := checkChaos(orc); err != nil {
+		return Result{}, fmt.Errorf("workload: histogram (%v, chaos seed %d level %d): %w", mech, rc.ChaosSeed, rc.ChaosLevel, err)
 	}
 
 	for i := range binAddr {

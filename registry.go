@@ -23,8 +23,14 @@ type ExperimentParams struct {
 	TreeMech Mechanism
 	// Backend selects the memory-system backend every experiment runs on
 	// (zero value: the default amo machine). The cross-backend "backends"
-	// comparison ignores it — it always runs all three.
+	// and "traffic" comparisons ignore it — they always run all three.
 	Backend Backend
+	// Traffic configures the open-loop traffic experiment's driver (zero
+	// value: the documented defaults); TrafficRates overrides its
+	// offered-rate ladder (nil: TrafficRates). Other experiments ignore
+	// both.
+	Traffic      TrafficOptions
+	TrafficRates []int
 }
 
 // procs resolves the processor sweep against an experiment's default.
@@ -198,6 +204,19 @@ func Experiments() []ExperimentInfo {
 			DefaultProcs: CrossoverProcs,
 			Run: func(p ExperimentParams) (*stats.Table, error) {
 				return CrossoverTable(p.procs(CrossoverProcs), p.Barrier, p.Lock)
+			},
+		},
+		{
+			Name:         "traffic",
+			Describe:     "Open-loop traffic: sojourn percentiles and saturation per app, backend, and offered rate",
+			DefaultProcs: []int{16},
+			Run: func(p ExperimentParams) (*stats.Table, error) {
+				return TrafficTable(TrafficExperiment{
+					Procs:     p.procs([]int{16}),
+					Rates:     p.TrafficRates,
+					Options:   p.Traffic,
+					RunConfig: p.Barrier.RunConfig,
+				})
 			},
 		},
 		{

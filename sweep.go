@@ -292,33 +292,42 @@ func (e LockExperiment) Points() []SweepPoint {
 	return pts
 }
 
-// WorkloadApps lists the verified application kernels in presentation
-// order, as accepted by WorkloadPoint.
+// WorkloadApps lists the classic phased application kernels in
+// presentation order (the rows of the applications and backend tables).
+// The open-loop traffic workloads are listed separately by TrafficApps.
 var WorkloadApps = []string{"stencil", "prefixsum", "histogram"}
 
-// Standard workload parameters (the harness configuration of experiment
-// E8): stencil 4 words/CPU x 4 sweeps, histogram 8 bins x 12 items/CPU.
-const (
-	workloadStencilChunk   = 4
-	workloadStencilIters   = 4
-	workloadHistogramBins  = 8
-	workloadHistogramItems = 12
-)
+// workloadRC projects the cross-cutting selectors a workload spec consumes
+// out of the root RunConfig (backend/kernel overrides travel inside the
+// resolved Config itself, via apply).
+func (rc RunConfig) workloadRC() workload.RunConfig {
+	return workload.RunConfig{ChaosSeed: rc.ChaosSeed, ChaosLevel: rc.ChaosLevel}
+}
 
-// WorkloadPoint returns the sweep point for one verified application
-// kernel ("stencil", "prefixsum" or "histogram") at the harness's standard
-// parameters. The kernel verifies its own output against a sequential
-// oracle, so a synchronization bug fails the point instead of skewing it.
+// WorkloadPoint returns the sweep point for one registered workload at its
+// default parameters. The kernel verifies its own output against a
+// sequential oracle, so a synchronization bug fails the point instead of
+// skewing it.
+//
+// Deprecated: resolve a typed spec with WorkloadSpecByName (or construct
+// one directly, e.g. workload.StencilSpec{Chunk: 8}) and call its Point
+// method. This stringly wrapper remains for one release.
 func WorkloadPoint(app string, cfg Config, mech Mechanism) (SweepPoint, error) {
-	switch app {
-	case "stencil":
-		return workload.StencilPoint(cfg, mech, workloadStencilChunk, workloadStencilIters), nil
-	case "prefixsum":
-		return workload.PrefixSumPoint(cfg, mech), nil
-	case "histogram":
-		return workload.HistogramPoint(cfg, mech, workloadHistogramBins, workloadHistogramItems), nil
+	s, ok := workload.ByName(app)
+	if !ok {
+		return SweepPoint{}, fmt.Errorf("amosim: unknown workload %q (have %v)", app, workloadNames())
 	}
-	return SweepPoint{}, fmt.Errorf("amosim: unknown workload %q (have %v)", app, WorkloadApps)
+	return s.Point(cfg, mech, workload.RunConfig{}), nil
+}
+
+// workloadNames lists every registered workload spec name.
+func workloadNames() []string {
+	specs := workload.All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name()
+	}
+	return names
 }
 
 // WorkloadExperiment is the unified application sweep: every kernel in
@@ -355,12 +364,12 @@ func (e WorkloadExperiment) Points() []SweepPoint {
 	for _, p := range e.Procs {
 		cfg := e.apply(DefaultConfig(p))
 		for _, app := range apps {
+			s, ok := workload.ByName(app)
+			if !ok {
+				panic(fmt.Sprintf("amosim: unknown workload %q (have %v)", app, workloadNames()))
+			}
 			for _, mech := range mechs {
-				pt, err := WorkloadPoint(app, cfg, mech)
-				if err != nil {
-					panic(err)
-				}
-				pts = append(pts, pt)
+				pts = append(pts, s.Point(cfg, mech, e.workloadRC()))
 			}
 		}
 	}

@@ -597,13 +597,13 @@ func BackendTable(procs []int, bopts BarrierOptions, lopts LockOptions) (*stats.
 			cells = append(cells, cell{p, fmt.Sprintf("ticket %s (cyc/pass)", mech)})
 		}
 		for _, app := range WorkloadApps {
+			s, ok := workload.ByName(app)
+			if !ok {
+				return nil, fmt.Errorf("amosim: unknown workload %q", app)
+			}
 			for _, b := range Backends {
 				cfg := RunConfig{Backend: b}.apply(DefaultConfig(p))
-				pt, err := WorkloadPoint(app, cfg, AMO)
-				if err != nil {
-					return nil, err
-				}
-				pts = append(pts, pt)
+				pts = append(pts, s.Point(cfg, AMO, workload.RunConfig{}))
 			}
 			cells = append(cells, cell{p, fmt.Sprintf("%s AMO (total cyc)", app)})
 		}
